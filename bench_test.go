@@ -1,0 +1,463 @@
+package eree
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact, as indexed in DESIGN.md), plus
+// ablation and micro-benchmarks for the mechanisms and substrates.
+//
+// Figure benchmarks run a reduced-trials version of the exact grid the
+// paper sweeps; cmd/experiments prints the full 20-trial series.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/lodes"
+	"repro/internal/mech"
+	"repro/internal/otm"
+	"repro/internal/privacy"
+	"repro/internal/pufferfish"
+	"repro/internal/qwi"
+	"repro/internal/sdl"
+	"repro/internal/smooth"
+	"repro/internal/suppress"
+	"repro/internal/table"
+)
+
+var (
+	benchOnce sync.Once
+	benchData *lodes.Dataset
+)
+
+func benchDataset(b *testing.B) *lodes.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchData = lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(1))
+	})
+	return benchData
+}
+
+func benchHarness(b *testing.B, trials int) *eval.Harness {
+	b.Helper()
+	h, err := eval.NewHarness(benchDataset(b), dist.NewStreamFromSeed(2), trials)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkTable1Matrix regenerates Table 1 (privacy definitions vs
+// statutory requirements).
+func BenchmarkTable1Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if eval.Table1Text() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2MinEpsilon regenerates Table 2 (minimum ε given α, δ).
+func BenchmarkTable2MinEpsilon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := privacy.Table2()
+		if len(rows) != 6 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func benchFigure(b *testing.B, run func(h *eval.Harness) (*eval.FigureResult, error)) {
+	h := benchHarness(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkFigure1Workload1L1 regenerates Figure 1: L1 error ratio of the
+// place × industry × ownership marginal vs SDL.
+func BenchmarkFigure1Workload1L1(b *testing.B) {
+	benchFigure(b, (*eval.Harness).Figure1)
+}
+
+// BenchmarkFigure2Ranking1 regenerates Figure 2: Spearman correlation of
+// Ranking 1 vs the SDL ranking.
+func BenchmarkFigure2Ranking1(b *testing.B) {
+	benchFigure(b, (*eval.Harness).Figure2)
+}
+
+// BenchmarkFigure3Workload2L1 regenerates Figure 3: L1 error ratio of
+// single (sex × education) queries on the workplace marginal.
+func BenchmarkFigure3Workload2L1(b *testing.B) {
+	benchFigure(b, (*eval.Harness).Figure3)
+}
+
+// BenchmarkFigure4Workload3L1 regenerates Figure 4: L1 error ratio of the
+// full worker × workplace marginal under the d·ε surcharge.
+func BenchmarkFigure4Workload3L1(b *testing.B) {
+	benchFigure(b, (*eval.Harness).Figure4)
+}
+
+// BenchmarkFigure5Ranking2 regenerates Figure 5: Spearman correlation of
+// the females-with-college-degrees ranking.
+func BenchmarkFigure5Ranking2(b *testing.B) {
+	benchFigure(b, (*eval.Harness).Figure5)
+}
+
+// BenchmarkFinding6TruncatedLaplace regenerates the node-DP baseline
+// sweep over θ ∈ {2,20,50,100,200,500}.
+func BenchmarkFinding6TruncatedLaplace(b *testing.B) {
+	h := benchHarness(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := h.Finding6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// BenchmarkAblationGammaBudgetSplit sweeps Smooth Gamma's ε₁/ε₂ split to
+// show Algorithm 2's default (smallest valid ε₂) minimizes expected
+// error — the design-choice ablation DESIGN.md calls out.
+func BenchmarkAblationGammaBudgetSplit(b *testing.B) {
+	in := mech.CellInput{Count: 500, MaxContribution: 200}
+	def, err := mech.NewSmoothGamma(0.1, 2.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := def.Split().Eps2
+	extras := []float64{0, 0.2, 0.5, 1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, bestErr := -1, 0.0
+		for j, extra := range extras {
+			m, err := mech.SmoothGammaWithSplit(0.1, 2.0, base+extra)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if e := m.ExpectedL1(in); best < 0 || e < bestErr {
+				best, bestErr = j, e
+			}
+		}
+		if best != 0 {
+			b.Fatal("default split no longer optimal")
+		}
+	}
+}
+
+// --- Micro-benchmarks: mechanisms ---
+
+func benchCellMechanism(b *testing.B, m mech.CellMechanism) {
+	s := dist.NewStreamFromSeed(3)
+	in := mech.CellInput{Count: 1234, MaxContribution: 321}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ReleaseCell(in, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReleaseLogLaplace measures Algorithm 1's per-cell cost.
+func BenchmarkReleaseLogLaplace(b *testing.B) {
+	m, err := mech.NewLogLaplace(0.1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCellMechanism(b, m)
+}
+
+// BenchmarkReleaseSmoothGamma measures Algorithm 2's per-cell cost
+// (dominated by generalized-Cauchy inverse-CDF sampling).
+func BenchmarkReleaseSmoothGamma(b *testing.B) {
+	m, err := mech.NewSmoothGamma(0.1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCellMechanism(b, m)
+}
+
+// BenchmarkReleaseSmoothLaplace measures Algorithm 3's per-cell cost.
+func BenchmarkReleaseSmoothLaplace(b *testing.B) {
+	m, err := mech.NewSmoothLaplace(0.1, 2, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCellMechanism(b, m)
+}
+
+// BenchmarkReleaseEdgeLaplace measures the edge-DP baseline's per-cell cost.
+func BenchmarkReleaseEdgeLaplace(b *testing.B) {
+	m, err := mech.NewEdgeLaplace(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCellMechanism(b, m)
+}
+
+// --- Micro-benchmarks: substrates ---
+
+// BenchmarkGenCauchySample measures the inverse-CDF sampler behind
+// Smooth Gamma.
+func BenchmarkGenCauchySample(b *testing.B) {
+	g := dist.GenCauchy{}
+	s := dist.NewStreamFromSeed(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Sample(s)
+	}
+}
+
+// BenchmarkLaplaceSample measures the Laplace sampler.
+func BenchmarkLaplaceSample(b *testing.B) {
+	l := dist.NewLaplace(1)
+	s := dist.NewStreamFromSeed(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Sample(s)
+	}
+}
+
+// BenchmarkMarginalCompute measures the group-by engine on the Workload 1
+// marginal (with per-cell x_v tracking).
+func BenchmarkMarginalCompute(b *testing.B) {
+	d := benchDataset(b)
+	q := table.MustNewQuery(d.Schema(), lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := table.Compute(d.WorkerFull, q)
+		if m.Total() == 0 {
+			b.Fatal("empty marginal")
+		}
+	}
+}
+
+// BenchmarkSDLRelease measures the input-noise-infusion baseline on the
+// Workload 1 marginal.
+func BenchmarkSDLRelease(b *testing.B) {
+	d := benchDataset(b)
+	sys, err := sdl.NewSystem(sdl.DefaultConfig(), d.NumEstablishments(), dist.NewStreamFromSeed(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := table.MustNewQuery(d.Schema(), lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.ReleaseMarginal(d.WorkerFull, q, dist.NewStreamFromSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateDataset measures the synthetic LODES generator at the
+// small test scale (~2k establishments).
+func BenchmarkGenerateDataset(b *testing.B) {
+	cfg := lodes.TestConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := lodes.MustGenerate(cfg, dist.NewStreamFromSeed(int64(i)))
+		if d.NumJobs() == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkPublisherMarginal measures an end-to-end Smooth Laplace
+// release of Workload 1 through the public pipeline.
+func BenchmarkPublisherMarginal(b *testing.B) {
+	p := core.NewPublisher(benchDataset(b))
+	req := core.Request{
+		Attrs:     []string{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership},
+		Mechanism: core.MechSmoothLaplace,
+		Alpha:     0.1, Eps: 2, Delta: 0.05,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpearman measures the tie-aware rank correlation on
+// Workload-1-sized vectors.
+func BenchmarkSpearman(b *testing.B) {
+	s := dist.NewStreamFromSeed(7)
+	n := 2400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = s.Float64()
+		y[i] = x[i] + 0.1*s.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Spearman(x, y)
+	}
+}
+
+// BenchmarkSmoothSensitivity measures the Lemma 8.5 computation.
+func BenchmarkSmoothSensitivity(b *testing.B) {
+	sp, err := smooth.GammaSplit(2, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := smooth.Sensitivity(int64(i%10000), 0.1, sp.B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Benchmarks for the extension modules ---
+
+// BenchmarkSuppressionPipeline measures the Appendix A baseline: primary
+// + audited complementary suppression on the industry × place table.
+func BenchmarkSuppressionPipeline(b *testing.B) {
+	d := benchDataset(b)
+	q := table.MustNewQuery(d.Schema(), lodes.AttrIndustry, lodes.AttrPlace)
+	m := table.Compute(d.WorkerFull, q)
+	tab, err := suppress.FromMarginal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		primary := suppress.Primary(tab,
+			suppress.ThresholdRule{MinContributors: 3},
+			suppress.PPercentRule{P: 10})
+		full := suppress.Complementary(tab, primary)
+		if full.Count() < primary.Count() {
+			b.Fatal("complement lost suppressions")
+		}
+	}
+}
+
+// BenchmarkSuppressionAudit measures the interval auditor alone.
+func BenchmarkSuppressionAudit(b *testing.B) {
+	d := benchDataset(b)
+	q := table.MustNewQuery(d.Schema(), lodes.AttrIndustry, lodes.AttrPlace)
+	m := table.Compute(d.WorkerFull, q)
+	tab, err := suppress.FromMarginal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := suppress.Complementary(tab, suppress.Primary(tab, suppress.ThresholdRule{MinContributors: 3}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(suppress.Audit(tab, full)) == 0 {
+			b.Fatal("no suppressed cells")
+		}
+	}
+}
+
+// BenchmarkQWIFlowRelease measures the two-quarter flow pipeline: panel
+// evolution, flow computation, and the 3-release DP publication.
+func BenchmarkQWIFlowRelease(b *testing.B) {
+	d := benchDataset(b)
+	panel, err := qwi.GeneratePanel(d, qwi.DefaultPanelConfig(), dist.NewStreamFromSeed(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := table.MustNewQuery(d.Schema(), lodes.AttrPlace, lodes.AttrIndustry)
+	flows, err := qwi.ComputeFlows(panel, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mech.NewSmoothLaplace(0.1, 2, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qwi.ReleaseFlows(flows, m, dist.NewStreamFromSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPufferfishVerify measures the Bayes-factor verifier on the
+// employee-requirement universe.
+func BenchmarkPufferfishVerify(b *testing.B) {
+	m, err := mech.NewSmoothGamma(0.1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	worlds := pufferfish.EmployeeWorlds(1000, 40, 0.5)
+	grid := pufferfish.DefaultGrid(worlds[0].Input, worlds[1].Input)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pufferfish.MaxBayesFactor(m, worlds,
+			func(w pufferfish.World) bool { return w.Label == "in" },
+			func(w pufferfish.World) bool { return w.Label == "out" },
+			2, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Satisfied {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkTopKOverlap measures the ranked-list membership metric.
+func BenchmarkTopKOverlap(b *testing.B) {
+	s := dist.NewStreamFromSeed(32)
+	n := 2400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = s.Float64()
+		y[i] = x[i] + 0.05*s.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.TopKOverlap(x, y, 50)
+	}
+}
+
+// BenchmarkKolmogorovSmirnov measures the sampler-validation test.
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	l := dist.NewLaplace(1)
+	s := dist.NewStreamFromSeed(33)
+	sample := make([]float64, 10000)
+	for i := range sample {
+		sample[i] = l.Sample(s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dist.KolmogorovSmirnov(sample, l.CDF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnTheMapSynthesis measures the Dirichlet-multinomial
+// residence synthesizer over a full OD matrix.
+func BenchmarkOnTheMapSynthesis(b *testing.B) {
+	d := benchDataset(b)
+	od := otm.SyntheticOD(d, dist.NewStreamFromSeed(40))
+	sy, err := otm.NewSynthesizer(2, 500, otm.MinPrior(2, 500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sy.Synthesize(od, dist.NewStreamFromSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 10 and Appendix C) on a synthetic LODES snapshot.
+//
+// Usage:
+//
+//	experiments [-all] [-table1] [-table2] [-fig1 ... -fig5] [-truncated]
+//	            [-seed 1] [-trials 20] [-small]
+//
+// Each figure prints as fixed-width grids: one block per mechanism, rows
+// are α, columns are ε, first overall and then per place-size stratum.
+// Values are L1-error ratios versus the input-noise-infusion baseline
+// (lower is better; < 1 beats SDL) or Spearman correlations against the
+// SDL ranking (higher is better).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	all := flag.Bool("all", false, "run everything")
+	table1 := flag.Bool("table1", false, "Table 1: definitions vs requirements")
+	table2 := flag.Bool("table2", false, "Table 2: minimum eps given alpha and delta")
+	fig1 := flag.Bool("fig1", false, "Figure 1: L1 ratio, Workload 1")
+	fig2 := flag.Bool("fig2", false, "Figure 2: Spearman, Ranking 1")
+	fig3 := flag.Bool("fig3", false, "Figure 3: L1 ratio, single (sex x education) queries")
+	fig4 := flag.Bool("fig4", false, "Figure 4: L1 ratio, full worker x workplace marginal")
+	fig5 := flag.Bool("fig5", false, "Figure 5: Spearman, females with college degrees")
+	truncated := flag.Bool("truncated", false, "Finding 6: Truncated Laplace sweep")
+	verify := flag.Bool("verify", false, "check the paper's six findings programmatically (PASS/FAIL)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	trials := flag.Int("trials", eval.PaperTrials, "trials per grid point")
+	small := flag.Bool("small", false, "use the small test-scale dataset")
+	csvDir := flag.String("csv", "", "also write each artifact as CSV into this directory")
+	flag.Parse()
+
+	if !(*all || *table1 || *table2 || *fig1 || *fig2 || *fig3 || *fig4 || *fig5 || *truncated || *verify) {
+		*all = true
+	}
+
+	if *all || *table1 {
+		fmt.Print(eree.Table1Text(), "\n")
+	}
+	if *all || *table2 {
+		fmt.Print(eree.Table2Text(), "\n")
+	}
+
+	needHarness := *all || *fig1 || *fig2 || *fig3 || *fig4 || *fig5 || *truncated || *verify
+	if !needHarness {
+		return
+	}
+
+	cfg := eree.DefaultDataConfig()
+	if *small {
+		cfg = eree.TestDataConfig()
+	}
+	start := time.Now()
+	data, err := eree.Generate(cfg, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d places, %d establishments, %d jobs (generated in %v)\n\n",
+		data.NumPlaces(), data.NumEstablishments(), data.NumJobs(), time.Since(start).Round(time.Millisecond))
+
+	h, err := eree.NewHarness(data, eree.NewStream(*seed+1), *trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	writeCSV := func(name string, write func(w io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := func(enabled bool, f func() (*eree.FigureResult, error)) {
+		if !enabled {
+			return
+		}
+		t0 := time.Now()
+		res, err := f()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Format())
+		fmt.Printf("(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+		writeCSV(res.ID+".csv", res.WriteCSV)
+	}
+	run(*all || *fig1, h.Figure1)
+	run(*all || *fig2, h.Figure2)
+	run(*all || *fig3, h.Figure3)
+	run(*all || *fig4, h.Figure4)
+	run(*all || *fig5, h.Figure5)
+
+	if *all || *truncated {
+		t0 := time.Now()
+		pts, err := h.Finding6()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(eval.FormatTruncated(pts))
+		fmt.Printf("(%v)\n\n", time.Since(t0).Round(time.Millisecond))
+		writeCSV("finding6.csv", func(w io.Writer) error {
+			return eval.WriteTruncatedCSV(w, pts)
+		})
+	}
+
+	if *all || *verify {
+		t0 := time.Now()
+		findings, err := h.VerifyFindings()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(eval.FormatFindings(findings))
+		fmt.Printf("(%v)\n", time.Since(t0).Round(time.Millisecond))
+		failed := 0
+		for _, f := range findings {
+			if !f.Passed {
+				failed++
+			}
+		}
+		if failed > 0 {
+			log.Fatalf("%d of %d findings FAILED", failed, len(findings))
+		}
+	}
+}

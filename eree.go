@@ -1,0 +1,366 @@
+// Package eree is the public API of this repository: a Go implementation
+// of "Utility Cost of Formal Privacy for Releasing National
+// Employer-Employee Statistics" (Haney, Machanavajjhala, Abowd, Graham,
+// Kutzbach, Vilhuber; SIGMOD 2017).
+//
+// The library releases tabular summaries (marginal count queries) of
+// linked employer-employee data under the paper's provable privacy
+// definitions:
+//
+//   - (α,ε)-ER-EE privacy (strong α-neighbors, Definition 7.2), via the
+//     Log-Laplace (Algorithm 1) and Smooth Gamma (Algorithm 2) mechanisms;
+//   - weak (α,ε)-ER-EE privacy (Definition 7.4), which the same mechanisms
+//     satisfy for queries involving worker attributes;
+//   - approximate (α,ε,δ)-ER-EE privacy (Definition 9.1), via the Smooth
+//     Laplace mechanism (Algorithm 3);
+//
+// together with the comparison baselines the paper evaluates: the current
+// statistical-disclosure-limitation scheme (input noise infusion),
+// edge-differential privacy, and node-differential privacy via degree
+// truncation.
+//
+// # Quick start
+//
+//	data, err := eree.Generate(eree.TestDataConfig(), 42)
+//	if err != nil { ... }
+//	pub := eree.NewPublisher(data)
+//	rel, err := pub.ReleaseMarginal(eree.Request{
+//		Attrs:     []string{eree.AttrPlace, eree.AttrIndustry, eree.AttrOwnership},
+//		Mechanism: eree.MechSmoothGamma,
+//		Alpha:     0.1,
+//		Eps:       2,
+//	}, eree.NewStream(7))
+//
+// rel.Noisy then holds one provably private count per cell of the
+// place × industry × ownership marginal, and rel.Loss records the privacy
+// loss of the whole release (including the d·ε surcharge when worker
+// attributes make the release fall under weak ER-EE privacy).
+//
+// The real LODES inputs are confidential; Generate produces a synthetic
+// snapshot reproducing the structural properties the paper's evaluation
+// depends on. See DESIGN.md for the substitution rationale and
+// EXPERIMENTS.md for the regenerated tables and figures.
+package eree
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/eval"
+	"repro/internal/lodes"
+	"repro/internal/otm"
+	"repro/internal/privacy"
+	"repro/internal/qwi"
+	"repro/internal/sdl"
+	"repro/internal/suppress"
+	"repro/internal/table"
+)
+
+// Stream is a deterministic splittable random stream. Every randomized
+// operation takes one explicitly, so releases and experiments are exactly
+// reproducible.
+type Stream = dist.Stream
+
+// NewStream returns a stream derived from an int64 seed.
+func NewStream(seed int64) *Stream { return dist.NewStreamFromSeed(seed) }
+
+// Dataset is a LODES-style snapshot: the WorkerFull relation (one record
+// per job), the establishment frame and place metadata.
+type Dataset = lodes.Dataset
+
+// DataConfig parameterizes the synthetic data generator.
+type DataConfig = lodes.Config
+
+// DefaultDataConfig returns the experiment-scale generator configuration
+// (~20k establishments, ~0.4M jobs).
+func DefaultDataConfig() DataConfig { return lodes.DefaultConfig() }
+
+// TestDataConfig returns a small configuration for fast experimentation
+// (~2k establishments, ~40k jobs).
+func TestDataConfig() DataConfig { return lodes.TestConfig() }
+
+// Generate produces a synthetic LODES snapshot. The same configuration
+// and seed always produce the same dataset.
+func Generate(cfg DataConfig, seed int64) (*Dataset, error) {
+	return lodes.Generate(cfg, dist.NewStreamFromSeed(seed))
+}
+
+// LoadCSV loads a dataset previously written with Dataset.WriteCSV.
+func LoadCSV(dir string) (*Dataset, error) { return lodes.ReadCSV(dir) }
+
+// Attribute names of the WorkerFull relation. Place, industry and
+// ownership are establishment (public) attributes; the rest are worker
+// (private) attributes.
+const (
+	AttrPlace     = lodes.AttrPlace
+	AttrIndustry  = lodes.AttrIndustry
+	AttrOwnership = lodes.AttrOwnership
+	AttrSex       = lodes.AttrSex
+	AttrAge       = lodes.AttrAge
+	AttrRace      = lodes.AttrRace
+	AttrEthnicity = lodes.AttrEthnicity
+	AttrEducation = lodes.AttrEducation
+)
+
+// WorkplaceAttrs lists the establishment-side attributes (the paper's V_W).
+func WorkplaceAttrs() []string { return lodes.WorkplaceAttrs() }
+
+// WorkerAttrs lists the worker-side attributes (the paper's V_I).
+func WorkerAttrs() []string { return lodes.WorkerAttrs() }
+
+// Publisher answers marginal release requests over one dataset.
+type Publisher = core.Publisher
+
+// NewPublisher creates a publisher for the dataset.
+func NewPublisher(d *Dataset) *Publisher { return core.NewPublisher(d) }
+
+// Request describes one release; Release is its result.
+type (
+	Request = core.Request
+	Release = core.Release
+)
+
+// MechanismKind selects a release mechanism.
+type MechanismKind = core.MechanismKind
+
+// The available mechanisms.
+const (
+	MechLogLaplace       = core.MechLogLaplace
+	MechSmoothGamma      = core.MechSmoothGamma
+	MechSmoothLaplace    = core.MechSmoothLaplace
+	MechEdgeLaplace      = core.MechEdgeLaplace
+	MechTruncatedLaplace = core.MechTruncatedLaplace
+)
+
+// ParseMechanismKind resolves a mechanism name ("smooth-gamma", ...).
+func ParseMechanismKind(name string) (MechanismKind, error) {
+	return core.ParseMechanismKind(name)
+}
+
+// Loss is a privacy-loss triple (α, ε, δ) under a named definition.
+type Loss = privacy.Loss
+
+// Definition identifies a privacy definition; Requirement one of the
+// statutory requirements; Satisfaction a Table 1 entry.
+type (
+	Definition   = privacy.Definition
+	Requirement  = privacy.Requirement
+	Satisfaction = privacy.Satisfaction
+)
+
+// The privacy definitions of Table 1.
+const (
+	InputNoiseInfusion = privacy.InputNoiseInfusion
+	EdgeDP             = privacy.EdgeDP
+	NodeDP             = privacy.NodeDP
+	StrongEREE         = privacy.StrongEREE
+	WeakEREE           = privacy.WeakEREE
+)
+
+// Satisfies returns Table 1's entry for (definition, requirement).
+func Satisfies(d Definition, r Requirement) Satisfaction { return privacy.Satisfies(d, r) }
+
+// Accountant tracks cumulative privacy loss under sequential composition.
+type Accountant = privacy.Accountant
+
+// NewAccountant creates an accountant for the given definition, α, and
+// total (ε, δ) budget.
+func NewAccountant(def Definition, alpha, budgetEps, budgetDelta float64) (*Accountant, error) {
+	return privacy.NewAccountant(def, alpha, budgetEps, budgetDelta)
+}
+
+// Query is a compiled marginal query (Definition 2.1); Marginal is its
+// evaluation over a dataset, including the per-cell largest
+// single-establishment contribution x_v the mechanisms calibrate to.
+type (
+	Query    = table.Query
+	Marginal = table.Marginal
+)
+
+// NewQuery compiles a marginal query over the dataset's schema.
+func NewQuery(d *Dataset, attrs ...string) (*Query, error) {
+	return table.NewQuery(d.Schema(), attrs...)
+}
+
+// ComputeMarginal evaluates the query over the dataset's WorkerFull
+// relation, returning the confidential true counts.
+func ComputeMarginal(d *Dataset, q *Query) *Marginal {
+	return table.Compute(d.WorkerFull, q)
+}
+
+// OnTheMap residence-side protection (the paper's footnote 2 /
+// reference [37]): synthetic origin-destination data from a
+// Dirichlet-multinomial synthesizer with a provable ε bound.
+type (
+	ODMatrix      = otm.ODMatrix
+	ODSynthesizer = otm.Synthesizer
+)
+
+// SyntheticOD derives a gravity-model origin-destination matrix for a
+// snapshot (real residence data are confidential).
+func SyntheticOD(d *Dataset, s *Stream) *ODMatrix { return otm.SyntheticOD(d, s) }
+
+// NewODSynthesizer validates that the prior meets the ε requirement
+// (α ≥ m/(e^ε − 1)) and returns the synthesizer.
+func NewODSynthesizer(eps float64, syntheticSize int, prior float64) (*ODSynthesizer, error) {
+	return otm.NewSynthesizer(eps, syntheticSize, prior)
+}
+
+// ODMinPrior returns the smallest per-block prior for which releasing m
+// synthetic residences per workplace satisfies pure ε-DP.
+func ODMinPrior(eps float64, m int) float64 { return otm.MinPrior(eps, m) }
+
+// QWI-style longitudinal job flows (the establishment-product family the
+// paper's conclusion targets): two-quarter panels, per-cell
+// B/E/JC/JD flow statistics, and privacy-budget-saving releases that
+// derive E = B + JC − JD by post-processing.
+type (
+	Panel       = qwi.Panel
+	PanelConfig = qwi.PanelConfig
+	Flows       = qwi.Flows
+	FlowRelease = qwi.FlowRelease
+	FlowKind    = qwi.FlowKind
+)
+
+// The four QWI flows.
+const (
+	FlowBeginning   = qwi.FlowBeginning
+	FlowEnd         = qwi.FlowEnd
+	FlowCreation    = qwi.FlowCreation
+	FlowDestruction = qwi.FlowDestruction
+)
+
+// DefaultPanelConfig returns quarter-over-quarter dynamics with ~2%
+// establishment deaths and ±10%-scale employment shocks.
+func DefaultPanelConfig() PanelConfig { return qwi.DefaultPanelConfig() }
+
+// GeneratePanel evolves a snapshot one quarter forward.
+func GeneratePanel(base *Dataset, cfg PanelConfig, s *Stream) (*Panel, error) {
+	return qwi.GeneratePanel(base, cfg, s)
+}
+
+// ComputeFlows evaluates the four QWI flows over a workplace marginal.
+func ComputeFlows(p *Panel, q *Query) (*Flows, error) { return qwi.ComputeFlows(p, q) }
+
+// ReleaseFlows releases a flow set under the request's mechanism (B, JC
+// and JD are released; E is derived from the identity for free),
+// returning the total privacy loss of the three sequential releases.
+func ReleaseFlows(f *Flows, req Request, s *Stream) (*FlowRelease, Loss, error) {
+	return core.ReleaseFlows(f, req, s)
+}
+
+// Cell suppression (the historical SDL of the paper's Appendix A):
+// SuppressionTable, suppression rules, patterns and the interval auditor.
+type (
+	SuppressionTable   = suppress.Table
+	SuppressionPattern = suppress.Pattern
+	SuppressionRule    = suppress.Rule
+	ThresholdRule      = suppress.ThresholdRule
+	PPercentRule       = suppress.PPercentRule
+	NKRule             = suppress.NKRule
+	AuditInterval      = suppress.Interval
+)
+
+// SuppressionFromMarginal converts a two-attribute marginal into a
+// suppression table carrying each cell's contributor statistics.
+func SuppressionFromMarginal(m *Marginal) (*SuppressionTable, error) {
+	return suppress.FromMarginal(m)
+}
+
+// PrimarySuppression applies the sensitivity rules; Complementary
+// extends the pattern so no suppressed cell is recoverable by
+// subtraction from published totals; AuditSuppression computes what an
+// attacker can still infer about every suppressed cell.
+func PrimarySuppression(t *SuppressionTable, rules ...SuppressionRule) *SuppressionPattern {
+	return suppress.Primary(t, rules...)
+}
+
+// ComplementarySuppression extends a primary pattern per Fellegi's
+// subtraction-attack conditions.
+func ComplementarySuppression(t *SuppressionTable, primary *SuppressionPattern) *SuppressionPattern {
+	return suppress.Complementary(t, primary)
+}
+
+// AuditSuppression bounds every suppressed cell from the published
+// values by interval constraint propagation.
+func AuditSuppression(t *SuppressionTable, p *SuppressionPattern) map[[2]int]AuditInterval {
+	return suppress.Audit(t, p)
+}
+
+// SDLSystem is the current-protection baseline: input noise infusion.
+type SDLSystem = sdl.System
+
+// SDLConfig holds the noise-infusion parameters.
+type SDLConfig = sdl.Config
+
+// DefaultSDLConfig returns the documented synthetic stand-ins for the
+// confidential production parameters (s=0.1, t=0.25, small-cell limit 2.5).
+func DefaultSDLConfig() SDLConfig { return sdl.DefaultConfig() }
+
+// NewSDLSystem instantiates the SDL baseline for a dataset, drawing one
+// time-invariant distortion factor per establishment.
+func NewSDLSystem(cfg SDLConfig, d *Dataset, s *Stream) (*SDLSystem, error) {
+	return sdl.NewSystem(cfg, d.NumEstablishments(), s)
+}
+
+// ReleaseRequest, PlannedRelease and Plan support allocating a total
+// privacy budget across multiple releases under sequential composition;
+// see PlanReleases.
+type (
+	ReleaseRequest = privacy.ReleaseRequest
+	PlannedRelease = privacy.PlannedRelease
+	Plan           = privacy.Plan
+)
+
+// PlanReleases allocates a total (ε, δ) budget across the requested
+// releases proportionally to their weights, translating each share into
+// the per-cell ε its mechanism must run at (including the d·ε
+// surcharge for worker-attribute marginals under weak ER-EE privacy).
+func PlanReleases(def Definition, alpha, budgetEps, budgetDelta float64, requests []ReleaseRequest) (*Plan, error) {
+	return privacy.PlanReleases(def, alpha, budgetEps, budgetDelta, requests)
+}
+
+// SDLShapeDisclosure, SDLFactorReconstruction and
+// SDLZeroCountReIdentification are the Section 5.2 inference attacks
+// against input noise infusion, exposed for the attack demonstration
+// (examples/attack). See the sdl package documentation for each attack's
+// premise.
+var (
+	SDLShapeDisclosure           = sdl.ShapeDisclosure
+	SDLFactorReconstruction      = sdl.FactorReconstruction
+	SDLZeroCountReIdentification = sdl.ZeroCountReIdentification
+	SDLTotalSizeReconstruction   = sdl.TotalSizeFromReconstruction
+)
+
+// Harness runs the paper's Section 10 experiments over one dataset.
+type Harness = eval.Harness
+
+// NewHarness builds an experiment harness with the given trial count.
+func NewHarness(d *Dataset, s *Stream, trials int) (*Harness, error) {
+	return eval.NewHarness(d, s, trials)
+}
+
+// FigureResult is regenerated figure data; GridSpec configures a custom
+// experiment grid; Metric selects L1-ratio or Spearman comparisons.
+type (
+	FigureResult   = eval.FigureResult
+	GridSpec       = eval.GridSpec
+	SliceSpec      = eval.SliceSpec
+	Metric         = eval.Metric
+	Point          = eval.Point
+	TruncatedPoint = eval.TruncatedPoint
+)
+
+// The comparison metrics.
+const (
+	MetricL1Ratio  = eval.MetricL1Ratio
+	MetricSpearman = eval.MetricSpearman
+)
+
+// Spearman returns the tie-aware Spearman rank correlation of two vectors.
+func Spearman(a, b []float64) float64 { return eval.Spearman(a, b) }
+
+// Table1Text and Table2Text render the paper's tables.
+func Table1Text() string { return eval.Table1Text() }
+
+// Table2Text renders Table 2 (minimum ε given α and δ).
+func Table2Text() string { return eval.Table2Text() }

@@ -1,0 +1,100 @@
+// OnTheMap-style origin-destination release (the paper's footnote 2).
+//
+// LODES publishes where workers live relative to where they work. The
+// residence side is protected not by noise but by *synthetic data*: for
+// each workplace, OnTheMap releases residences drawn from a Dirichlet
+// posterior over Census blocks (Machanavajjhala et al., ICDE 2008 — the
+// paper's reference [37] and prior work by the same authors).
+//
+// This example builds a synthetic OD matrix with a gravity model,
+// releases each workplace's residence distribution through the
+// Dirichlet-multinomial synthesizer at the provable ε bound
+// (prior ≥ m/(e^ε − 1)), and measures how well commute-distance
+// statistics survive.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	data, err := eree.Generate(eree.TestDataConfig(), 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	od := eree.SyntheticOD(data, eree.NewStream(1))
+	fmt.Printf("origin-destination matrix: %d workplaces x %d residences, %d jobs\n",
+		od.NumWorkplaces, od.NumResidences, od.Total())
+
+	const (
+		eps = 2.0
+		m   = 500 // synthetic residences per workplace
+	)
+	prior := eree.ODMinPrior(eps, m)
+	sy, err := eree.NewODSynthesizer(eps, m, prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesizer: eps=%g, m=%d, per-block prior %.2f (= m/(e^eps-1))\n\n", eps, m, prior)
+
+	synth, err := sy.Synthesize(od, eree.NewStream(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Utility: mean commute distance (index proxy) per workplace, true vs
+	// synthetic shares, for the busiest workplaces.
+	fmt.Printf("%-12s %14s %14s %12s\n", "workplace", "true commute", "synth commute", "jobs")
+	shown := 0
+	for w := 0; w < od.NumWorkplaces && shown < 8; w++ {
+		jobs := od.RowTotal(w)
+		if jobs < 2000 {
+			continue
+		}
+		fmt.Printf("%-12s %14.2f %14.2f %12d\n",
+			data.Places[w].Name, meanCommute(od.Counts[w], w), meanCommute(synth.Counts[w], w), jobs)
+		shown++
+	}
+
+	// Aggregate share error.
+	var l1, n float64
+	for w := range od.Counts {
+		total := float64(od.RowTotal(w))
+		if total == 0 {
+			continue
+		}
+		for r := range od.Counts[w] {
+			trueShare := float64(od.Counts[w][r]) / total
+			synthShare := float64(synth.Counts[w][r]) / float64(m)
+			l1 += math.Abs(trueShare - synthShare)
+		}
+		n++
+	}
+	fmt.Printf("\nmean per-workplace residence-share L1 distance: %.3f\n", l1/n)
+	fmt.Println("\nEvery released residence is synthetic: no worker's home block is")
+	fmt.Println("published, and moving any one worker's residence changes the release")
+	fmt.Println("distribution by at most e^2 — the same provable currency as the")
+	fmt.Println("workplace-side ER-EE guarantees.")
+}
+
+func meanCommute(counts []int64, w int) float64 {
+	var sum, n float64
+	for r, c := range counts {
+		d := float64(r - w)
+		if d < 0 {
+			d = -d
+		}
+		sum += d * float64(c)
+		n += float64(c)
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

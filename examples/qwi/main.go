@@ -1,0 +1,78 @@
+// Quarterly Workforce Indicators under provable privacy.
+//
+// The paper's conclusion notes its techniques apply to "virtually all
+// establishment-based products released by statistical agencies for
+// national production and employment statistics" — the QWI family chief
+// among them. This example evolves a snapshot one quarter, computes the
+// per-cell job flows (beginning/ending employment, job creation, job
+// destruction), and releases them under (α,ε)-ER-EE privacy.
+//
+// Two things to notice:
+//
+//  1. Budget accounting: only B, JC and JD are released; E is *derived*
+//     from the accounting identity E = B + JC − JD. Post-processing is
+//     free, so the flow set costs 3ε, not 4ε.
+//  2. Error scaling: JC and JD have far smaller per-cell x_v than the
+//     employment levels (an establishment's quarterly *change* is much
+//     smaller than its size), so the smooth mechanisms release flows
+//     more accurately than levels at the same ε.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	base, err := eree.Generate(eree.TestDataConfig(), 55)
+	if err != nil {
+		log.Fatal(err)
+	}
+	panel, err := eree.GeneratePanel(base, eree.DefaultPanelConfig(), eree.NewStream(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := eree.NewQuery(base, eree.AttrPlace, eree.AttrIndustry)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flows, err := eree.ComputeFlows(panel, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rel, loss, err := eree.ReleaseFlows(flows, eree.Request{
+		Mechanism: eree.MechSmoothLaplace,
+		Alpha:     0.1,
+		Eps:       2,
+		Delta:     0.05,
+	}, eree.NewStream(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("released B, JC, JD over %d cells; E derived for free\n", q.NumCells())
+	fmt.Printf("total privacy loss: %s (3 x eps, not 4)\n\n", loss)
+
+	// Aggregate accuracy per flow.
+	fmt.Printf("%-4s %14s %14s %12s\n", "flow", "true total", "released", "L1 error")
+	for _, k := range []eree.FlowKind{eree.FlowBeginning, eree.FlowEnd, eree.FlowCreation, eree.FlowDestruction} {
+		var trueTotal, relTotal, l1 float64
+		for cell := 0; cell < q.NumCells(); cell++ {
+			tv := float64(flows.Totals[k][cell])
+			rv := rel.Noisy[k][cell]
+			trueTotal += tv
+			relTotal += rv
+			l1 += math.Abs(rv - tv)
+		}
+		fmt.Printf("%-4s %14.0f %14.0f %12.0f\n", k, trueTotal, relTotal, l1)
+	}
+
+	fmt.Println("\nJC/JD release errors sit well below the employment levels' because")
+	fmt.Println("quarterly changes have much smaller per-cell x_v — the smooth-")
+	fmt.Println("sensitivity calibration adapts automatically.")
+}

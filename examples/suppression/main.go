@@ -1,0 +1,95 @@
+// Cell suppression — the historical SDL of the paper's Appendix A — run
+// against a LODES-style industry × place employment table, with the
+// interval audit that shows why the paper moved to formal privacy.
+//
+// Pipeline:
+//  1. Primary suppression: cells with < 3 contributing establishments or
+//     failing the p%-dominance rule are withheld.
+//  2. Complementary suppression: additional cells withheld so no
+//     suppressed cell is recoverable by subtracting published cells from
+//     published row/column totals (Fellegi's conditions).
+//  3. Audit: interval constraint propagation computes what an attacker
+//     can still infer about every withheld cell.
+//
+// The audit regularly pins suppressed cells into narrow intervals —
+// suppression prevents *exact* disclosure but not *inferential*
+// disclosure, which is precisely the gap the (α,ε)-ER-EE definitions
+// close with a provable e^ε Bayes-factor bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	data, err := eree.Generate(eree.TestDataConfig(), 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := eree.NewQuery(data, eree.AttrIndustry, eree.AttrPlace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	marg := eree.ComputeMarginal(data, q)
+	tab, err := eree.SuppressionFromMarginal(marg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	primary := eree.PrimarySuppression(tab,
+		eree.ThresholdRule{MinContributors: 3},
+		eree.PPercentRule{P: 10},
+	)
+	full := eree.ComplementarySuppression(tab, primary)
+	fmt.Printf("table: %d industries x %d places = %d cells\n", tab.Rows, tab.Cols, tab.Rows*tab.Cols)
+	fmt.Printf("primary suppressions:       %d\n", primary.Count())
+	fmt.Printf("with complements:           %d (%.1f%% of cells withheld)\n\n",
+		full.Count(), 100*float64(full.Count())/float64(tab.Rows*tab.Cols))
+
+	audit := eree.AuditSuppression(tab, full)
+	exact, narrow := 0, 0
+	type leak struct {
+		key   [2]int
+		width float64
+	}
+	var leaks []leak
+	for key, iv := range audit {
+		if iv.Exact() {
+			exact++
+		}
+		true_ := float64(tab.Cells[key[0]][key[1]].Count)
+		if true_ > 0 && iv.Width() < 2*true_ {
+			narrow++
+			leaks = append(leaks, leak{key, iv.Width()})
+		}
+	}
+	fmt.Printf("audit of %d suppressed cells:\n", len(audit))
+	fmt.Printf("  exactly recoverable:      %d (heuristic suppression's NP-hard residue)\n", exact)
+	fmt.Printf("  inferable within 2x true: %d (inferential disclosure persists)\n\n", narrow)
+
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].width < leaks[j].width })
+	if len(leaks) > 5 {
+		leaks = leaks[:5]
+	}
+	fmt.Println("tightest inferences an attacker can make from the published table:")
+	for _, l := range leaks {
+		iv := audit[l.key]
+		fmt.Printf("  %-55s true %4d, inferred [%6.1f, %6.1f]\n",
+			cellLabel(marg, l.key), tab.Cells[l.key[0]][l.key[1]].Count, iv.Lo, iv.Hi)
+	}
+
+	fmt.Println("\nUnder (alpha=0.1, eps=2)-ER-EE privacy the same cells carry a")
+	fmt.Println("provable guarantee instead: no attacker, however informed, improves")
+	fmt.Println("their odds about a cell's establishment beyond e^2, and nothing is")
+	fmt.Println("withheld — every cell is published with calibrated noise.")
+}
+
+func cellLabel(m *eree.Marginal, key [2]int) string {
+	return m.Query.CellString(m.Query.CellKey(key[0], key[1]))
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/privacy"
+	"repro/internal/qwi"
+	"repro/internal/table"
+)
+
+func testFlows(t *testing.T) *qwi.Flows {
+	t.Helper()
+	base := lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(20))
+	panel, err := qwi.GeneratePanel(base, qwi.DefaultPanelConfig(), dist.NewStreamFromSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := table.MustNewQuery(base.Schema(), lodes.AttrPlace, lodes.AttrIndustry)
+	f, err := qwi.ComputeFlows(panel, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestReleaseFlowsLoss(t *testing.T) {
+	f := testFlows(t)
+	rel, loss, err := ReleaseFlows(f, Request{
+		Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2,
+	}, dist.NewStreamFromSeed(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss.Def != privacy.StrongEREE {
+		t.Errorf("definition = %v, want StrongEREE (workplace attrs only)", loss.Def)
+	}
+	if loss.Eps != 6 {
+		t.Errorf("total eps = %v, want 3*2 = 6", loss.Eps)
+	}
+	if rel.ReleaseCount() != 3 {
+		t.Errorf("release count = %d", rel.ReleaseCount())
+	}
+}
+
+func TestReleaseFlowsEdgeBaseline(t *testing.T) {
+	f := testFlows(t)
+	_, loss, err := ReleaseFlows(f, Request{
+		Mechanism: MechEdgeLaplace, Eps: 1,
+	}, dist.NewStreamFromSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss.Def != privacy.EdgeDP || loss.Eps != 3 {
+		t.Errorf("loss = %v, want edge-DP eps=3", loss)
+	}
+}
+
+func TestReleaseFlowsRejectsTruncated(t *testing.T) {
+	f := testFlows(t)
+	if _, _, err := ReleaseFlows(f, Request{
+		Mechanism: MechTruncatedLaplace, Eps: 1, Theta: 10,
+	}, dist.NewStreamFromSeed(24)); err == nil {
+		t.Error("truncated-laplace flow release accepted")
+	}
+}
+
+func TestReleaseFlowsInvalidParameters(t *testing.T) {
+	f := testFlows(t)
+	if _, _, err := ReleaseFlows(f, Request{
+		Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 0.25,
+	}, dist.NewStreamFromSeed(25)); err == nil {
+		t.Error("out-of-validity parameters accepted")
+	}
+}

@@ -1,0 +1,286 @@
+// Package core assembles the paper's contribution into a publisher: it
+// answers marginal queries over a LODES dataset under a chosen privacy
+// definition and mechanism, computing per-cell smooth sensitivity from
+// the data, validating parameter regions, deriving the effective privacy
+// loss of the release (including the d·ε rule for weak ER-EE privacy over
+// worker attributes), and optionally charging a budget accountant.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/mech"
+	"repro/internal/privacy"
+	"repro/internal/table"
+)
+
+// MechanismKind selects one of the release mechanisms.
+type MechanismKind int
+
+const (
+	// MechLogLaplace is Algorithm 1.
+	MechLogLaplace MechanismKind = iota
+	// MechSmoothGamma is Algorithm 2.
+	MechSmoothGamma
+	// MechSmoothLaplace is Algorithm 3.
+	MechSmoothLaplace
+	// MechEdgeLaplace is the edge-DP baseline (Laplace(1/ε)).
+	MechEdgeLaplace
+	// MechTruncatedLaplace is the node-DP baseline (θ-truncation +
+	// Laplace(θ/ε)).
+	MechTruncatedLaplace
+)
+
+// String names the mechanism kind.
+func (k MechanismKind) String() string {
+	switch k {
+	case MechLogLaplace:
+		return "log-laplace"
+	case MechSmoothGamma:
+		return "smooth-gamma"
+	case MechSmoothLaplace:
+		return "smooth-laplace"
+	case MechEdgeLaplace:
+		return "edge-laplace"
+	case MechTruncatedLaplace:
+		return "truncated-laplace"
+	}
+	return fmt.Sprintf("MechanismKind(%d)", int(k))
+}
+
+// ParseMechanismKind resolves a mechanism name as used on command lines.
+func ParseMechanismKind(name string) (MechanismKind, error) {
+	for _, k := range []MechanismKind{
+		MechLogLaplace, MechSmoothGamma, MechSmoothLaplace, MechEdgeLaplace, MechTruncatedLaplace,
+	} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mechanism %q", name)
+}
+
+// Request describes one release: the marginal to publish and the
+// mechanism and parameters to publish it with.
+type Request struct {
+	// Attrs are the marginal query's attributes (Definition 2.1's V).
+	Attrs []string
+	// Mechanism selects the release algorithm.
+	Mechanism MechanismKind
+	// Alpha is the establishment-size protection window (unused by the
+	// edge/node DP baselines).
+	Alpha float64
+	// Eps is the privacy-loss parameter.
+	Eps float64
+	// Delta is the failure probability (Smooth Laplace only).
+	Delta float64
+	// Theta is the truncation threshold (Truncated Laplace only).
+	Theta int
+}
+
+// Release is the result of answering one request.
+type Release struct {
+	// Query is the compiled marginal query.
+	Query *table.Query
+	// Truth is the true marginal (confidential; retained for evaluation —
+	// a production deployment would not return it).
+	Truth *table.Marginal
+	// Noisy holds the released counts, indexed by cell key.
+	Noisy []float64
+	// Loss is the effective privacy loss of the whole release, after
+	// marginal composition.
+	Loss privacy.Loss
+	// MechanismName records the concrete mechanism and parameters.
+	MechanismName string
+	// Truncation is set for Truncated Laplace releases.
+	Truncation *bipartite.TruncationResult
+}
+
+// Publisher answers release requests over one dataset.
+type Publisher struct {
+	data       *lodes.Dataset
+	accountant *privacy.Accountant
+}
+
+// NewPublisher creates a publisher for the dataset.
+func NewPublisher(d *lodes.Dataset) *Publisher {
+	if d == nil {
+		panic("core: nil dataset")
+	}
+	return &Publisher{data: d}
+}
+
+// WithAccountant attaches a budget accountant; every subsequent release
+// is charged against it and fails if the budget would be exceeded.
+func (p *Publisher) WithAccountant(a *privacy.Accountant) *Publisher {
+	p.accountant = a
+	return p
+}
+
+// Dataset returns the publisher's dataset.
+func (p *Publisher) Dataset() *lodes.Dataset { return p.data }
+
+// definitionFor returns the privacy definition a request's release
+// satisfies: the paper's Theorem 8.1 dichotomy for the ER-EE mechanisms
+// (strong for establishment-attribute queries, weak once worker
+// attributes appear), and the graph-DP definitions for the baselines.
+func definitionFor(kind MechanismKind, attrs []string) privacy.Definition {
+	switch kind {
+	case MechEdgeLaplace:
+		return privacy.EdgeDP
+	case MechTruncatedLaplace:
+		return privacy.NodeDP
+	}
+	for _, a := range attrs {
+		if lodes.IsWorkerAttr(a) {
+			return privacy.WeakEREE
+		}
+	}
+	return privacy.StrongEREE
+}
+
+// cellMechanism constructs the cell-level mechanism for a request, or an
+// error when the parameters fall outside its validity region.
+func cellMechanism(req Request) (mech.CellMechanism, error) {
+	switch req.Mechanism {
+	case MechLogLaplace:
+		return mech.NewLogLaplace(req.Alpha, req.Eps)
+	case MechSmoothGamma:
+		return mech.NewSmoothGamma(req.Alpha, req.Eps)
+	case MechSmoothLaplace:
+		return mech.NewSmoothLaplace(req.Alpha, req.Eps, req.Delta)
+	case MechEdgeLaplace:
+		return mech.NewEdgeLaplace(req.Eps)
+	case MechTruncatedLaplace:
+		return nil, fmt.Errorf("core: truncated-laplace is a marginal-level mechanism")
+	}
+	return nil, fmt.Errorf("core: unknown mechanism kind %v", req.Mechanism)
+}
+
+// lossFor derives the effective privacy loss of releasing the full
+// marginal under the request.
+func lossFor(req Request, def privacy.Definition, schema *table.Schema) (privacy.Loss, error) {
+	alpha := req.Alpha
+	if def == privacy.EdgeDP || def == privacy.NodeDP {
+		alpha = 0
+	}
+	cellLoss := privacy.Loss{Def: def, Alpha: alpha, Eps: req.Eps, Delta: req.Delta}
+	if def == privacy.EdgeDP || def == privacy.NodeDP {
+		// Classical DP: marginal cells partition the records (edge-DP) or
+		// establishments (node-DP), so parallel composition gives ε.
+		return cellLoss, cellLoss.Validate()
+	}
+	d := lodes.WorkerAttrDomainSize(schema, req.Attrs)
+	return privacy.MarginalLoss(cellLoss, d)
+}
+
+// ReleaseMarginal answers a marginal query under the request.
+func (p *Publisher) ReleaseMarginal(req Request, s *dist.Stream) (*Release, error) {
+	q, err := table.NewQuery(p.data.Schema(), req.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	def := definitionFor(req.Mechanism, req.Attrs)
+	loss, err := lossFor(req, def, p.data.Schema())
+	if err != nil {
+		return nil, err
+	}
+	truth := table.Compute(p.data.WorkerFull, q)
+
+	rel := &Release{Query: q, Truth: truth, Loss: loss}
+	switch req.Mechanism {
+	case MechTruncatedLaplace:
+		m, err := mech.NewTruncatedLaplace(req.Eps, req.Theta)
+		if err != nil {
+			return nil, err
+		}
+		noisy, trunc, err := m.ReleaseMarginal(p.data.WorkerFull, q, s)
+		if err != nil {
+			return nil, err
+		}
+		rel.Noisy = noisy
+		rel.Truncation = trunc
+		rel.MechanismName = m.Name()
+	default:
+		m, err := cellMechanism(req)
+		if err != nil {
+			return nil, err
+		}
+		cells := CellInputs(truth)
+		noisy, err := mech.ReleaseCells(m, cells, s)
+		if err != nil {
+			return nil, err
+		}
+		rel.Noisy = noisy
+		rel.MechanismName = m.Name()
+	}
+
+	if p.accountant != nil {
+		if err := p.accountant.Spend(loss); err != nil {
+			return nil, fmt.Errorf("core: release blocked: %w", err)
+		}
+	}
+	return rel, nil
+}
+
+// ReleaseSingleCell answers one cell of a marginal (the paper's
+// Workload 2 regime: "single queries"). A single cell never pays the d·ε
+// marginal surcharge — that surcharge only arises when the full
+// worker-attribute marginal is released under weak privacy.
+func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.Stream) (noisy float64, truth int64, loss privacy.Loss, err error) {
+	if req.Mechanism == MechTruncatedLaplace {
+		return 0, 0, privacy.Loss{}, fmt.Errorf("core: single-cell release not defined for truncated-laplace")
+	}
+	q, err := table.NewQuery(p.data.Schema(), req.Attrs...)
+	if err != nil {
+		return 0, 0, privacy.Loss{}, err
+	}
+	cell, err := q.CellKeyForValues(cellValues...)
+	if err != nil {
+		return 0, 0, privacy.Loss{}, err
+	}
+	def := definitionFor(req.Mechanism, req.Attrs)
+	alpha := req.Alpha
+	if def == privacy.EdgeDP {
+		alpha = 0
+	}
+	loss = privacy.Loss{Def: def, Alpha: alpha, Eps: req.Eps, Delta: req.Delta}
+	if err := loss.Validate(); err != nil {
+		return 0, 0, privacy.Loss{}, err
+	}
+	m, err := cellMechanism(req)
+	if err != nil {
+		return 0, 0, privacy.Loss{}, err
+	}
+	marg := table.Compute(p.data.WorkerFull, q)
+	in := mech.CellInput{
+		Count:           float64(marg.Counts[cell]),
+		MaxContribution: marg.MaxEntityContribution[cell],
+	}
+	v, err := m.ReleaseCell(in, s)
+	if err != nil {
+		return 0, 0, privacy.Loss{}, err
+	}
+	if p.accountant != nil {
+		if err := p.accountant.Spend(loss); err != nil {
+			return 0, 0, privacy.Loss{}, fmt.Errorf("core: release blocked: %w", err)
+		}
+	}
+	return v, marg.Counts[cell], loss, nil
+}
+
+// CellInputs converts a computed marginal into the per-cell inputs the
+// mechanisms consume.
+func CellInputs(m *table.Marginal) []mech.CellInput {
+	out := make([]mech.CellInput, len(m.Counts))
+	for i := range m.Counts {
+		out[i] = mech.CellInput{
+			Count:           float64(m.Counts[i]),
+			MaxContribution: m.MaxEntityContribution[i],
+		}
+	}
+	return out
+}

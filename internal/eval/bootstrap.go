@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/mech"
+)
+
+// BootstrapCI computes a percentile-bootstrap confidence interval for the
+// mean of per-trial metric values — the error bars for a figure's grid
+// points. The paper plots point estimates over 20 trials; the bootstrap
+// quantifies how much of the visual difference between mechanisms is
+// trial noise (for the L1 ratios at small ε, quite a lot, which is why
+// points near validity boundaries look erratic).
+//
+// level is the confidence level (e.g. 0.95); resamples the number of
+// bootstrap resamples. The interval is deterministic given the stream.
+func BootstrapCI(values []float64, level float64, resamples int, s *dist.Stream) (lo, hi float64, err error) {
+	if len(values) < 2 {
+		return 0, 0, fmt.Errorf("eval: bootstrap needs at least 2 values, got %d", len(values))
+	}
+	if !(level > 0 && level < 1) {
+		return 0, 0, fmt.Errorf("eval: confidence level must be in (0,1), got %v", level)
+	}
+	if resamples < 10 {
+		return 0, 0, fmt.Errorf("eval: need at least 10 resamples, got %d", resamples)
+	}
+	means := make([]float64, resamples)
+	n := len(values)
+	for r := range means {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += values[s.IntN(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return means[loIdx], means[hiIdx], nil
+}
+
+// TrialValues collects the per-trial overall metric values for one grid
+// point (mechanism, ε, α) so callers can bootstrap error bars for it. It
+// mirrors RunGrid's computation for a single point, using the same
+// label-derived streams, so the mean of the returned values equals the
+// corresponding Point.Overall exactly.
+func (h *Harness) TrialValues(spec GridSpec, metric Metric, pointIdx int) ([]float64, error) {
+	points := 0
+	var kind = -1
+	var alpha, eps float64
+	for _, k := range spec.Mechanisms {
+		for _, a := range spec.Alpha {
+			for _, e := range spec.Eps {
+				if points == pointIdx {
+					kind, alpha, eps = int(k), a, e
+				}
+				points++
+			}
+		}
+	}
+	if kind < 0 {
+		return nil, fmt.Errorf("eval: point index %d out of range (%d points)", pointIdx, points)
+	}
+	marg, err := h.Marginal(spec.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	sdlRel, err := h.SDLRelease(spec.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	slice, err := sliceMask(marg.Query, spec.Slice)
+	if err != nil {
+		return nil, err
+	}
+	divisor := 1.0
+	if spec.DivideEpsByWorkerDomain {
+		divisor = float64(lodes.WorkerAttrDomainSize(h.Data.Schema(), spec.Attrs))
+	}
+	m, reason, err := buildCellMechanism(core.MechanismKind(kind), alpha, eps/divisor, spec.Delta)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("eval: point invalid: %s", reason)
+	}
+	sdlL1, _ := L1Masked(sdlRel, marg.Counts, slice)
+	cells := core.CellInputs(marg)
+	label := fmt.Sprintf("grid/%v/a=%g/e=%g/%v", core.MechanismKind(kind), alpha, eps, metric)
+	out := make([]float64, h.Trials)
+	for trial := 0; trial < h.Trials; trial++ {
+		stream := h.seed.Split(label).SplitIndex("trial", trial)
+		noisy, err := mech.ReleaseCells(m, cells, stream)
+		if err != nil {
+			return nil, err
+		}
+		switch metric {
+		case MetricL1Ratio:
+			l1, _ := L1Masked(noisy, marg.Counts, slice)
+			out[trial] = l1 / sdlL1
+		case MetricSpearman:
+			out[trial] = SpearmanMasked(noisy, sdlRel, slice)
+		default:
+			return nil, fmt.Errorf("eval: unknown metric %v", metric)
+		}
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of the values.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

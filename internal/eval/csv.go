@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/lodes"
+)
+
+// This file exports regenerated figure data as CSV for external plotting
+// tools, one row per (mechanism, α, ε, scope) with scope "overall" or a
+// stratum label — the same long format the paper's plotting scripts
+// would consume.
+
+// WriteCSV writes the figure's points in long format.
+func (f *FigureResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"figure", "metric", "mechanism", "alpha", "eps", "scope", "value", "valid", "reason"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: writing csv header: %w", err)
+	}
+	writeRow := func(p Point, scope string, value float64) error {
+		val := ""
+		if p.Valid && !math.IsNaN(value) {
+			val = strconv.FormatFloat(value, 'g', 10, 64)
+		}
+		return cw.Write([]string{
+			f.ID,
+			f.Metric.String(),
+			p.Mechanism.String(),
+			strconv.FormatFloat(p.Alpha, 'g', 10, 64),
+			strconv.FormatFloat(p.Eps, 'g', 10, 64),
+			scope,
+			val,
+			strconv.FormatBool(p.Valid),
+			p.Reason,
+		})
+	}
+	for _, p := range f.Points {
+		if err := writeRow(p, "overall", p.Overall); err != nil {
+			return fmt.Errorf("eval: writing csv row: %w", err)
+		}
+		for s := lodes.SizeStratum(0); s < lodes.NumStrata; s++ {
+			if err := writeRow(p, s.String(), p.Strata[s]); err != nil {
+				return fmt.Errorf("eval: writing csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: flushing csv: %w", err)
+	}
+	return nil
+}
+
+// WriteTruncatedCSV writes a Finding 6 sweep in long format.
+func WriteTruncatedCSV(w io.Writer, points []TruncatedPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{"theta", "eps", "l1_ratio", "spearman", "removed_establishments", "removed_jobs"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("eval: writing csv header: %w", err)
+	}
+	for _, p := range points {
+		row := []string{
+			strconv.Itoa(p.Theta),
+			strconv.FormatFloat(p.Eps, 'g', 10, 64),
+			strconv.FormatFloat(p.L1Ratio, 'g', 10, 64),
+			strconv.FormatFloat(p.Spearman, 'g', 10, 64),
+			strconv.Itoa(p.RemovedEmployers),
+			strconv.Itoa(p.RemovedEdges),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: flushing csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lodes"
+)
+
+func TestFigureWriteCSV(t *testing.T) {
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{0.25, 2},
+		Alpha:      []float64{0.1},
+		Mechanisms: []core.MechanismKind{core.MechSmoothLaplace},
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &FigureResult{ID: "figure1", Title: "t", Metric: MetricL1Ratio, Points: points}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + 2 points x (overall + 4 strata).
+	wantRows := 1 + 2*(1+int(lodes.NumStrata))
+	if len(records) != wantRows {
+		t.Fatalf("csv has %d rows, want %d", len(records), wantRows)
+	}
+	if records[0][0] != "figure" || records[0][6] != "value" {
+		t.Errorf("header = %v", records[0])
+	}
+	// The eps=0.25 point is invalid: value empty, reason populated.
+	foundInvalid := false
+	for _, r := range records[1:] {
+		if r[4] == "0.25" && r[5] == "overall" {
+			foundInvalid = true
+			if r[6] != "" || r[7] != "false" || r[8] == "" {
+				t.Errorf("invalid point row = %v", r)
+			}
+		}
+		if r[4] == "2" && r[5] == "overall" {
+			if r[6] == "" || r[7] != "true" {
+				t.Errorf("valid point row = %v", r)
+			}
+		}
+	}
+	if !foundInvalid {
+		t.Error("no invalid row found")
+	}
+}
+
+func TestWriteTruncatedCSV(t *testing.T) {
+	h := testHarness(t)
+	pts, err := h.RunTruncatedGrid(Workload1Attrs(), []int{50}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTruncatedCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "theta,eps") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunGridParallelDeterminism(t *testing.T) {
+	// The parallel grid must be bit-identical across runs (streams are
+	// label-derived, not order-derived).
+	h := testHarness(t)
+	spec := GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{1, 2, 4},
+		Alpha:      []float64{0.05, 0.1},
+		Mechanisms: PaperMechanisms(),
+		Delta:      PaperDelta,
+	}
+	a, err := h.RunGrid(spec, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.RunGrid(spec, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs across parallel runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,494 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+)
+
+// sharedHarness builds one harness per test binary: the TestConfig dataset
+// is large enough that regenerating it per test would dominate runtime.
+var (
+	harnessOnce sync.Once
+	sharedH     *Harness
+	sharedErr   error
+)
+
+func testHarness(t *testing.T) *Harness {
+	t.Helper()
+	harnessOnce.Do(func() {
+		d := lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(7))
+		sharedH, sharedErr = NewHarness(d, dist.NewStreamFromSeed(8), 5)
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedH
+}
+
+func TestNewHarnessValidates(t *testing.T) {
+	d := lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(1))
+	if _, err := NewHarness(d, dist.NewStreamFromSeed(1), 0); err == nil {
+		t.Error("trials=0 accepted")
+	}
+}
+
+func TestSDLReleaseCached(t *testing.T) {
+	h := testHarness(t)
+	a, err := h.SDLRelease(Workload1Attrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.SDLRelease(Workload1Attrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SDL release not cached/deterministic")
+		}
+	}
+}
+
+func TestRunGridSmoke(t *testing.T) {
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{2},
+		Alpha:      []float64{0.1},
+		Mechanisms: PaperMechanisms(),
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	for _, p := range points {
+		if !p.Valid {
+			t.Errorf("%v at eps=2 alpha=0.1 invalid: %s", p.Mechanism, p.Reason)
+			continue
+		}
+		if !(p.Overall > 0) || math.IsInf(p.Overall, 0) {
+			t.Errorf("%v overall ratio = %v", p.Mechanism, p.Overall)
+		}
+	}
+}
+
+func TestRunGridInvalidPointsFlagged(t *testing.T) {
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{0.25},
+		Alpha:      []float64{0.1},
+		Mechanisms: []core.MechanismKind{core.MechSmoothGamma, core.MechSmoothLaplace},
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smooth Gamma needs eps > 5 ln(1.1) = 0.477: invalid at 0.25.
+	// Smooth Laplace needs eps >= 2 ln(20) ln(1.1) = 0.571: invalid at 0.25.
+	for _, p := range points {
+		if p.Valid {
+			t.Errorf("%v at eps=0.25 alpha=0.1 should be invalid", p.Mechanism)
+		}
+		if p.Reason == "" {
+			t.Errorf("%v invalid point missing reason", p.Mechanism)
+		}
+	}
+}
+
+func TestRunGridLogLaplaceUnboundedSkipped(t *testing.T) {
+	h := testHarness(t)
+	// lambda = 2 ln(1.2)/0.25 = 1.46 >= 1: the paper does not plot this.
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{0.25},
+		Alpha:      []float64{0.2},
+		Mechanisms: []core.MechanismKind{core.MechLogLaplace},
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Valid {
+		t.Error("log-laplace with unbounded expectation should be skipped")
+	}
+	if !strings.Contains(points[0].Reason, "unbounded") {
+		t.Errorf("reason = %q", points[0].Reason)
+	}
+}
+
+func TestFinding1SmoothLaplaceBest(t *testing.T) {
+	// Finding 5: Smooth Laplace performs best of the three (it satisfies a
+	// weaker, approximate guarantee). Checked at the paper's baseline
+	// eps=2, alpha=0.1 on Workload 1.
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{2},
+		Alpha:      []float64{0.1},
+		Mechanisms: PaperMechanisms(),
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := map[core.MechanismKind]float64{}
+	for _, p := range points {
+		if !p.Valid {
+			t.Fatalf("%v invalid: %s", p.Mechanism, p.Reason)
+		}
+		ratio[p.Mechanism] = p.Overall
+	}
+	if !(ratio[core.MechSmoothLaplace] < ratio[core.MechLogLaplace]) {
+		t.Errorf("SmoothLaplace (%v) not better than LogLaplace (%v)",
+			ratio[core.MechSmoothLaplace], ratio[core.MechLogLaplace])
+	}
+	if !(ratio[core.MechSmoothLaplace] < ratio[core.MechSmoothGamma]) {
+		t.Errorf("SmoothLaplace (%v) not better than SmoothGamma (%v)",
+			ratio[core.MechSmoothLaplace], ratio[core.MechSmoothGamma])
+	}
+	// Finding 1's headline: comparable error — within a small constant
+	// factor of SDL at the baseline parameters.
+	for kind, r := range ratio {
+		if r > 10 {
+			t.Errorf("%v ratio %v not comparable to SDL", kind, r)
+		}
+	}
+	if ratio[core.MechSmoothLaplace] > 2 {
+		t.Errorf("SmoothLaplace ratio %v; paper finds it at or below SDL error", ratio[core.MechSmoothLaplace])
+	}
+}
+
+func TestFinding4ErrorImprovesWithPopulation(t *testing.T) {
+	// Finding 4: all algorithms perform better (relative to SDL) as place
+	// population grows; the largest improvement is from stratum 0 to 1.
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{2},
+		Alpha:      []float64{0.1},
+		Mechanisms: []core.MechanismKind{core.MechSmoothLaplace},
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if !p.Valid {
+		t.Fatal(p.Reason)
+	}
+	small := p.Strata[lodes.StratumUnder100]
+	large := p.Strata[lodes.StratumOver100k]
+	if math.IsNaN(small) || math.IsNaN(large) {
+		t.Fatalf("strata missing: small=%v large=%v", small, large)
+	}
+	if !(large < small) {
+		t.Errorf("ratio in largest stratum (%v) not better than smallest (%v)", large, small)
+	}
+}
+
+func TestFinding4RankingImprovesWithPopulation(t *testing.T) {
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{2},
+		Alpha:      []float64{0.1},
+		Mechanisms: []core.MechanismKind{core.MechSmoothLaplace},
+		Delta:      PaperDelta,
+	}, MetricSpearman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	small := p.Strata[lodes.StratumUnder100]
+	large := p.Strata[lodes.StratumOver100k]
+	if !(large > small) {
+		t.Errorf("Spearman in largest stratum (%v) not better than smallest (%v)", large, small)
+	}
+	// Finding: Smooth Laplace correlation close to 1 at eps >= 2. The
+	// small test dataset (2k establishments) is sparser than both the
+	// production data and the default experiment scale, so the tie-heavy
+	// zero cells cost a little correlation; assert a slightly looser bound
+	// here (EXPERIMENTS.md records ~0.95+ at the default 20k scale).
+	if p.Overall < 0.8 {
+		t.Errorf("overall Spearman = %v, want close to 1 at eps=2", p.Overall)
+	}
+}
+
+func TestFinding6TruncatedLaplaceMuchWorse(t *testing.T) {
+	h := testHarness(t)
+	trunc, err := h.RunTruncatedGrid(Workload1Attrs(), []int{2, 100}, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothPts, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{4},
+		Alpha:      []float64{0.1},
+		Mechanisms: []core.MechanismKind{core.MechSmoothLaplace},
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smoothRatio := smoothPts[0].Overall
+	for _, p := range trunc {
+		if p.L1Ratio < 5*smoothRatio {
+			t.Errorf("truncated(theta=%d) ratio %v not >> smooth-laplace %v", p.Theta, p.L1Ratio, smoothRatio)
+		}
+	}
+	// Paper: at eps=4 truncated laplace is at least 10x SDL.
+	foundBad := false
+	for _, p := range trunc {
+		if p.L1Ratio >= 10 {
+			foundBad = true
+		}
+	}
+	if !foundBad {
+		t.Error("no theta gives the paper's >=10x SDL error at eps=4")
+	}
+}
+
+func TestFinding6BiasDoesNotShrinkWithEps(t *testing.T) {
+	h := testHarness(t)
+	trunc, err := h.RunTruncatedGrid(Workload1Attrs(), []int{2}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := trunc[0].L1Ratio, trunc[1].L1Ratio
+	// At theta=2 nearly every job is removed; the error is all bias, so
+	// quadrupling eps barely helps.
+	if hi < 0.8*lo {
+		t.Errorf("theta=2 error dropped from %v to %v with eps; bias should dominate", lo, hi)
+	}
+}
+
+func TestSpearmanImprovesWithEps(t *testing.T) {
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{1, 4},
+		Alpha:      []float64{0.1},
+		Mechanisms: []core.MechanismKind{core.MechSmoothGamma},
+		Delta:      PaperDelta,
+	}, MetricSpearman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(points[1].Overall > points[0].Overall) {
+		t.Errorf("Spearman at eps=4 (%v) not better than eps=1 (%v)",
+			points[1].Overall, points[0].Overall)
+	}
+}
+
+func TestL1RatioDecreasesWithEps(t *testing.T) {
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{1, 4},
+		Alpha:      []float64{0.05},
+		Mechanisms: []core.MechanismKind{core.MechSmoothLaplace},
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(points[1].Overall < points[0].Overall) {
+		t.Errorf("L1 ratio at eps=4 (%v) not better than eps=1 (%v)",
+			points[1].Overall, points[0].Overall)
+	}
+}
+
+func TestFigure4SurchargeMakesMarginalsHarder(t *testing.T) {
+	// Finding 3: at the same nominal eps, the full worker-attribute
+	// marginal (eps divided by d=8) has a much larger error ratio than the
+	// single-query regime.
+	h := testHarness(t)
+	single, err := h.RunGrid(GridSpec{
+		Attrs:      Workload2Attrs(),
+		Eps:        []float64{4},
+		Alpha:      []float64{0.05},
+		Mechanisms: []core.MechanismKind{core.MechSmoothLaplace},
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := h.RunGrid(GridSpec{
+		Attrs:                   Workload3Attrs(),
+		Eps:                     []float64{4},
+		Alpha:                   []float64{0.05},
+		Mechanisms:              []core.MechanismKind{core.MechSmoothLaplace},
+		Delta:                   PaperDelta,
+		DivideEpsByWorkerDomain: true,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single[0].Valid || !full[0].Valid {
+		t.Fatalf("points invalid: %s / %s", single[0].Reason, full[0].Reason)
+	}
+	if !(full[0].Overall > 2*single[0].Overall) {
+		t.Errorf("marginal ratio %v should be much larger than single-query ratio %v",
+			full[0].Overall, single[0].Overall)
+	}
+}
+
+func TestRanking2Slice(t *testing.T) {
+	h := testHarness(t)
+	sliceAttrs, sliceValues := Ranking2Slice()
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload2Attrs(),
+		Eps:        []float64{4},
+		Alpha:      []float64{0.05},
+		Mechanisms: []core.MechanismKind{core.MechSmoothLaplace},
+		Delta:      PaperDelta,
+		Slice:      &SliceSpec{Attrs: sliceAttrs, Values: sliceValues},
+	}, MetricSpearman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !points[0].Valid {
+		t.Fatal(points[0].Reason)
+	}
+	if points[0].Overall < 0.5 {
+		t.Errorf("Ranking 2 Spearman = %v at eps=4; should be reasonably high", points[0].Overall)
+	}
+}
+
+func TestSliceMaskErrors(t *testing.T) {
+	h := testHarness(t)
+	_, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{2},
+		Alpha:      []float64{0.1},
+		Mechanisms: []core.MechanismKind{core.MechSmoothGamma},
+		Delta:      PaperDelta,
+		Slice:      &SliceSpec{Attrs: []string{lodes.AttrSex}, Values: []string{"F"}},
+	}, MetricL1Ratio)
+	if err == nil {
+		t.Error("slice over attribute not in query accepted")
+	}
+	_, err = h.RunGrid(GridSpec{
+		Attrs:      Workload2Attrs(),
+		Eps:        []float64{2},
+		Alpha:      []float64{0.1},
+		Mechanisms: []core.MechanismKind{core.MechSmoothGamma},
+		Delta:      PaperDelta,
+		Slice:      &SliceSpec{Attrs: []string{lodes.AttrSex}, Values: []string{"F", "extra"}},
+	}, MetricL1Ratio)
+	if err == nil {
+		t.Error("mismatched slice attrs/values accepted")
+	}
+}
+
+func TestRelativeErrorComparison(t *testing.T) {
+	h := testHarness(t)
+	frac, err := h.RelativeErrorComparison(Workload1Attrs(), core.MechSmoothLaplace, 0.1, 2, PaperDelta, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finding 1 reports 75% for Smooth Laplace on the production data; on
+	// synthetic data we assert the qualitative claim: a majority of cells.
+	if frac < 0.5 {
+		t.Errorf("within-10pp fraction = %v, want a majority", frac)
+	}
+	if _, err := h.RelativeErrorComparison(Workload1Attrs(), core.MechSmoothGamma, 0.1, 0.25, PaperDelta, 0.1); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+}
+
+func TestFigureFormatting(t *testing.T) {
+	h := testHarness(t)
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        []float64{0.25, 2},
+		Alpha:      []float64{0.1},
+		Mechanisms: PaperMechanisms(),
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &FigureResult{ID: "figure1", Title: "test", Metric: MetricL1Ratio, Points: points}
+	text := f.Format()
+	for _, want := range []string{"figure1", "overall", "pop>=100k", "n/a", "log-laplace"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted figure missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTruncatedFormatting(t *testing.T) {
+	h := testHarness(t)
+	pts, err := h.RunTruncatedGrid(Workload1Attrs(), []int{50}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatTruncated(pts)
+	if !strings.Contains(text, "finding6") || !strings.Contains(text, "theta") {
+		t.Errorf("truncated format missing headers:\n%s", text)
+	}
+}
+
+func TestTableTexts(t *testing.T) {
+	t1 := Table1Text()
+	for _, want := range []string{"Input Noise Infusion", "ER-EE-privacy", "Yes*", "No"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 text missing %q", want)
+		}
+	}
+	t2 := Table2Text()
+	for _, want := range []string{"min-eps", "0.05", "0.0005"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 text missing %q", want)
+		}
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricL1Ratio.String() != "l1-ratio" || MetricSpearman.String() != "spearman" {
+		t.Error("metric strings wrong")
+	}
+}
+
+func TestVerifyFindingsAllPass(t *testing.T) {
+	// The findings verifier asserts the paper's quantitative shape claims,
+	// which are calibrated to the default experiment scale (20k
+	// establishments); the shared 2k-establishment test harness is too
+	// sparse for findings 2 and 3. Build a default-scale harness with few
+	// trials instead.
+	if testing.Short() {
+		t.Skip("default-scale findings verification skipped in -short mode")
+	}
+	d := lodes.MustGenerate(lodes.DefaultConfig(), dist.NewStreamFromSeed(7))
+	h, err := NewHarness(d, dist.NewStreamFromSeed(8), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := h.VerifyFindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 6 {
+		t.Fatalf("got %d findings, want 6", len(findings))
+	}
+	for _, f := range findings {
+		if !f.Passed {
+			t.Errorf("%s failed: %s (measured: %s)", f.ID, f.Claim, f.Detail)
+		}
+	}
+	text := FormatFindings(findings)
+	if !strings.Contains(text, "finding6") || !strings.Contains(text, "PASS") {
+		t.Error("findings format incomplete")
+	}
+}

@@ -1,0 +1,273 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lodes"
+	"repro/internal/privacy"
+)
+
+// FigureResult is the regenerated data behind one of the paper's figures.
+type FigureResult struct {
+	ID     string
+	Title  string
+	Metric Metric
+	Points []Point
+}
+
+// Figure1 regenerates Figure 1: average L1 error ratio of the Workload 1
+// marginal (place × industry × ownership) versus the current SDL system,
+// overall and per place-size stratum.
+func (h *Harness) Figure1() (*FigureResult, error) {
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        PaperEpsGrid(),
+		Alpha:      PaperAlphaGrid(),
+		Mechanisms: PaperMechanisms(),
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:     "figure1",
+		Title:  "L1 Error Ratio — Place x Industry x Ownership (no worker attributes)",
+		Metric: MetricL1Ratio,
+		Points: points,
+	}, nil
+}
+
+// Figure2 regenerates Figure 2: Spearman correlation between each
+// algorithm's ranking of Workload 1 cells and the SDL ranking (Ranking 1).
+func (h *Harness) Figure2() (*FigureResult, error) {
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload1Attrs(),
+		Eps:        PaperEpsGrid(),
+		Alpha:      PaperAlphaGrid(),
+		Mechanisms: PaperMechanisms(),
+		Delta:      PaperDelta,
+	}, MetricSpearman)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:     "figure2",
+		Title:  "Ranking Correlation of Employment Counts — Place x Industry x Ownership",
+		Metric: MetricSpearman,
+		Points: points,
+	}, nil
+}
+
+// Figure3 regenerates Figure 3: average L1 error ratio for single
+// (sex × education) queries on the workplace marginal — each cell of the
+// Workload 2 marginal released at the full per-cell ε.
+func (h *Harness) Figure3() (*FigureResult, error) {
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload2Attrs(),
+		Eps:        PaperEpsGrid(),
+		Alpha:      PaperAlphaGrid(),
+		Mechanisms: PaperMechanisms(),
+		Delta:      PaperDelta,
+	}, MetricL1Ratio)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:     "figure3",
+		Title:  "L1 Error Ratio — Single (Sex x Education) Query on the Workplace Marginal",
+		Metric: MetricL1Ratio,
+		Points: points,
+	}, nil
+}
+
+// Figure4 regenerates Figure 4: average L1 error ratio for the full
+// worker × workplace marginal (Workload 3). The x-axis ε is the *total*
+// marginal budget, so every cell runs at ε/d with d = |sex|·|education|
+// = 8 — the weak-privacy surcharge of Theorem 7.5.
+func (h *Harness) Figure4() (*FigureResult, error) {
+	points, err := h.RunGrid(GridSpec{
+		Attrs:                   Workload3Attrs(),
+		Eps:                     PaperEpsGridWide(),
+		Alpha:                   PaperAlphaGrid(),
+		Mechanisms:              PaperMechanisms(),
+		Delta:                   PaperDelta,
+		DivideEpsByWorkerDomain: true,
+	}, MetricL1Ratio)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:     "figure4",
+		Title:  "L1 Error Ratio — All (Sex x Education) Queries on the Workplace Marginal",
+		Metric: MetricL1Ratio,
+		Points: points,
+	}, nil
+}
+
+// Figure5 regenerates Figure 5: Spearman correlation for Ranking 2 —
+// ranking workplace cells by their count of female workers with a
+// bachelor's degree or higher.
+func (h *Harness) Figure5() (*FigureResult, error) {
+	sliceAttrs, sliceValues := Ranking2Slice()
+	points, err := h.RunGrid(GridSpec{
+		Attrs:      Workload2Attrs(),
+		Eps:        PaperEpsGrid(),
+		Alpha:      PaperAlphaGrid(),
+		Mechanisms: PaperMechanisms(),
+		Delta:      PaperDelta,
+		Slice:      &SliceSpec{Attrs: sliceAttrs, Values: sliceValues},
+	}, MetricSpearman)
+	if err != nil {
+		return nil, err
+	}
+	return &FigureResult{
+		ID:     "figure5",
+		Title:  "Ranking Correlation — Females with College Degrees",
+		Metric: MetricSpearman,
+		Points: points,
+	}, nil
+}
+
+// Finding6 regenerates the node-DP comparison: Truncated Laplace over the
+// paper's θ grid for Workload 1.
+func (h *Harness) Finding6() ([]TruncatedPoint, error) {
+	return h.RunTruncatedGrid(Workload1Attrs(), PaperThetaGrid(), PaperEpsGrid())
+}
+
+// Format renders a figure's grid as fixed-width text: one block per
+// mechanism, rows = α, columns = ε, first the overall metric and then
+// each place-size stratum.
+func (f *FigureResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "metric: %v (vs. input-noise-infusion SDL baseline)\n", f.Metric)
+
+	// Collect the grids actually present.
+	epsSet := map[float64]bool{}
+	alphaSet := map[float64]bool{}
+	mechOrder := []core.MechanismKind{}
+	mechSeen := map[core.MechanismKind]bool{}
+	for _, p := range f.Points {
+		epsSet[p.Eps] = true
+		alphaSet[p.Alpha] = true
+		if !mechSeen[p.Mechanism] {
+			mechSeen[p.Mechanism] = true
+			mechOrder = append(mechOrder, p.Mechanism)
+		}
+	}
+	eps := sortedKeys(epsSet)
+	alphas := sortedKeys(alphaSet)
+	lookup := map[[2]float64]map[core.MechanismKind]Point{}
+	for _, p := range f.Points {
+		k := [2]float64{p.Alpha, p.Eps}
+		if lookup[k] == nil {
+			lookup[k] = map[core.MechanismKind]Point{}
+		}
+		lookup[k][p.Mechanism] = p
+	}
+
+	sections := []struct {
+		name   string
+		value  func(Point) float64
+		strata int
+	}{{name: "overall", strata: -1}}
+	for s := lodes.SizeStratum(0); s < lodes.NumStrata; s++ {
+		sections = append(sections, struct {
+			name   string
+			value  func(Point) float64
+			strata int
+		}{name: s.String(), strata: int(s)})
+	}
+
+	for _, m := range mechOrder {
+		fmt.Fprintf(&b, "\n-- %v --\n", m)
+		for _, sec := range sections {
+			fmt.Fprintf(&b, "[%s]\n", sec.name)
+			fmt.Fprintf(&b, "%10s", "alpha\\eps")
+			for _, e := range eps {
+				fmt.Fprintf(&b, "%10.4g", e)
+			}
+			b.WriteString("\n")
+			for _, a := range alphas {
+				fmt.Fprintf(&b, "%10.4g", a)
+				for _, e := range eps {
+					p, ok := lookup[[2]float64{a, e}][m]
+					switch {
+					case !ok:
+						fmt.Fprintf(&b, "%10s", "-")
+					case !p.Valid:
+						fmt.Fprintf(&b, "%10s", "n/a")
+					default:
+						v := p.Overall
+						if sec.strata >= 0 {
+							v = p.Strata[sec.strata]
+						}
+						if math.IsNaN(v) {
+							fmt.Fprintf(&b, "%10s", "nan")
+						} else {
+							fmt.Fprintf(&b, "%10.3f", v)
+						}
+					}
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(set map[float64]bool) []float64 {
+	out := make([]float64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// FormatTruncated renders the Finding 6 sweep.
+func FormatTruncated(points []TruncatedPoint) string {
+	var b strings.Builder
+	b.WriteString("== finding6: Truncated Laplace (node-DP baseline), Workload 1 ==\n")
+	fmt.Fprintf(&b, "%8s%8s%12s%12s%12s%12s\n",
+		"theta", "eps", "l1-ratio", "spearman", "rm-estabs", "rm-jobs")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%8d%8.4g%12.3f%12.3f%12d%12d\n",
+			p.Theta, p.Eps, p.L1Ratio, p.Spearman, p.RemovedEmployers, p.RemovedEdges)
+	}
+	return b.String()
+}
+
+// Table1Text renders Table 1 (which privacy definitions satisfy which
+// statutory requirements) from the privacy package's encoded matrix.
+func Table1Text() string {
+	var b strings.Builder
+	b.WriteString("== table1: Privacy definitions and requirements they satisfy ==\n")
+	fmt.Fprintf(&b, "%-40s%14s%14s%14s\n", "Definition", "Individuals", "Emp.Size", "Emp.Shape")
+	for _, d := range privacy.Definitions() {
+		fmt.Fprintf(&b, "%-40s", d.String())
+		for _, r := range privacy.Requirements() {
+			fmt.Fprintf(&b, "%14s", privacy.Satisfies(d, r).String())
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("(* requirement satisfied under weak adversaries)\n")
+	return b.String()
+}
+
+// Table2Text renders Table 2 (minimum ε given α and δ for Smooth Laplace).
+func Table2Text() string {
+	var b strings.Builder
+	b.WriteString("== table2: Minimum eps given alpha and delta (Smooth Laplace validity) ==\n")
+	fmt.Fprintf(&b, "%10s%10s%12s\n", "delta", "alpha", "min-eps")
+	for _, row := range privacy.Table2() {
+		fmt.Fprintf(&b, "%10.4g%10.4g%12.4f\n", row.Delta, row.Alpha, row.MinEps)
+	}
+	b.WriteString("(formula: eps >= 2*ln(1/delta)*ln(1+alpha); see DESIGN.md for the\n")
+	b.WriteString(" discrepancy with the paper's printed delta=0.05 rows)\n")
+	return b.String()
+}

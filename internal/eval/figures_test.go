@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+)
+
+// TestAllFiguresEndToEnd runs every Figure function on a single-trial
+// harness and checks the structural properties each figure must have.
+// The full 20-trial runs live in cmd/experiments; this is the fast
+// regression net for the figure plumbing itself.
+func TestAllFiguresEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep skipped in -short mode")
+	}
+	d := lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(70))
+	h, err := NewHarness(d, dist.NewStreamFromSeed(71), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type figCase struct {
+		run     func() (*FigureResult, error)
+		id      string
+		metric  Metric
+		epsGrid []float64
+	}
+	cases := []figCase{
+		{h.Figure1, "figure1", MetricL1Ratio, PaperEpsGrid()},
+		{h.Figure2, "figure2", MetricSpearman, PaperEpsGrid()},
+		{h.Figure3, "figure3", MetricL1Ratio, PaperEpsGrid()},
+		{h.Figure4, "figure4", MetricL1Ratio, PaperEpsGridWide()},
+		{h.Figure5, "figure5", MetricSpearman, PaperEpsGrid()},
+	}
+	for _, c := range cases {
+		res, err := c.run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.id, err)
+		}
+		if res.ID != c.id || res.Metric != c.metric {
+			t.Errorf("%s: metadata = %s/%v", c.id, res.ID, res.Metric)
+		}
+		wantPoints := len(PaperMechanisms()) * len(PaperAlphaGrid()) * len(c.epsGrid)
+		if len(res.Points) != wantPoints {
+			t.Errorf("%s: %d points, want %d", c.id, len(res.Points), wantPoints)
+		}
+		valid, invalid := 0, 0
+		for _, p := range res.Points {
+			if p.Valid {
+				valid++
+				if c.metric == MetricL1Ratio && (!(p.Overall > 0) || math.IsInf(p.Overall, 0)) {
+					t.Errorf("%s: point %v/%g/%g has ratio %v", c.id, p.Mechanism, p.Alpha, p.Eps, p.Overall)
+				}
+				if c.metric == MetricSpearman && (p.Overall < -1.01 || p.Overall > 1.01) {
+					t.Errorf("%s: point %v/%g/%g has correlation %v", c.id, p.Mechanism, p.Alpha, p.Eps, p.Overall)
+				}
+			} else {
+				invalid++
+			}
+		}
+		if valid == 0 {
+			t.Errorf("%s: no valid points", c.id)
+		}
+		// Every figure has validity holes at small eps / large alpha,
+		// exactly like the paper's plots.
+		if invalid == 0 {
+			t.Errorf("%s: expected some invalid (n/a) points", c.id)
+		}
+		text := res.Format()
+		if !strings.Contains(text, res.ID) || !strings.Contains(text, "n/a") {
+			t.Errorf("%s: formatted output incomplete", c.id)
+		}
+	}
+}
+
+func TestFinding6EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("finding6 sweep skipped in -short mode")
+	}
+	d := lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(72))
+	h, err := NewHarness(d, dist.NewStreamFromSeed(73), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := h.Finding6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(PaperThetaGrid())*len(PaperEpsGrid()) {
+		t.Fatalf("points = %d, want %d", len(pts), len(PaperThetaGrid())*len(PaperEpsGrid()))
+	}
+	for _, p := range pts {
+		if p.L1Ratio <= 0 {
+			t.Errorf("theta=%d eps=%g ratio %v", p.Theta, p.Eps, p.L1Ratio)
+		}
+		if p.Theta == 2 && p.RemovedEdges == 0 {
+			t.Error("theta=2 should remove nearly all jobs")
+		}
+	}
+}
+
+func TestPaperGridDefinitions(t *testing.T) {
+	if len(PaperEpsGrid()) != 5 || len(PaperEpsGridWide()) != 7 || len(PaperAlphaGrid()) != 5 {
+		t.Error("paper grids wrong size")
+	}
+	if len(PaperThetaGrid()) != 6 || len(PaperMechanisms()) != 3 {
+		t.Error("theta grid or mechanism list wrong size")
+	}
+	if PaperTrials != 20 || PaperDelta != 0.05 {
+		t.Error("paper constants wrong")
+	}
+	attrs, values := Ranking2Slice()
+	if len(attrs) != 2 || values[0] != "F" || values[1] != "BachelorsPlus" {
+		t.Errorf("ranking 2 slice = %v/%v", attrs, values)
+	}
+	if len(Workload1Attrs()) != 3 || len(Workload2Attrs()) != 5 {
+		t.Error("workload attribute lists wrong")
+	}
+	for _, k := range []core.MechanismKind{core.MechLogLaplace, core.MechSmoothLaplace, core.MechSmoothGamma} {
+		found := false
+		for _, m := range PaperMechanisms() {
+			if m == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("mechanism %v missing from paper list", k)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"repro/internal/core"
+	"repro/internal/lodes"
+)
+
+// The query workloads and ranking tasks of Section 10.
+
+// Workload1Attrs is the marginal over all establishment characteristics:
+// place × industry (NAICS sector) × ownership. Figures 1 and 2.
+func Workload1Attrs() []string {
+	return []string{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership}
+}
+
+// Workload2Attrs is the workplace marginal extended by the worker
+// attributes sex and education, evaluated as *single* queries (each cell
+// released at the full per-cell ε). Figures 3 and 5.
+func Workload2Attrs() []string {
+	return []string{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership,
+		lodes.AttrSex, lodes.AttrEducation}
+}
+
+// Workload3Attrs is the same attribute set as Workload 2 but released as a
+// full marginal: under weak ER-EE privacy the whole marginal costs
+// d·ε_cell with d = |sex|·|education| = 8, so at a total budget ε each
+// cell runs at ε/8. Figure 4.
+func Workload3Attrs() []string { return Workload2Attrs() }
+
+// Ranking2Slice identifies Ranking 2's target series: within each
+// place × industry × ownership cell, the count of female workers with a
+// bachelor's degree or higher.
+func Ranking2Slice() (attrs []string, values []string) {
+	return []string{lodes.AttrSex, lodes.AttrEducation}, []string{"F", "BachelorsPlus"}
+}
+
+// PaperEpsGrid is the ε grid of Figures 1, 2, 3 and 5.
+func PaperEpsGrid() []float64 { return []float64{0.25, 0.5, 1, 2, 4} }
+
+// PaperEpsGridWide is the ε grid of Figure 4 (full worker×workplace
+// marginals need a larger budget because of the d·ε surcharge).
+func PaperEpsGridWide() []float64 { return []float64{1, 2, 4, 8, 10, 16, 20} }
+
+// PaperAlphaGrid is the α grid used in every figure.
+func PaperAlphaGrid() []float64 { return []float64{0.01, 0.05, 0.1, 0.15, 0.2} }
+
+// PaperThetaGrid is the truncation-threshold grid of the node-DP baseline.
+func PaperThetaGrid() []int { return []int{2, 20, 50, 100, 200, 500} }
+
+// PaperMechanisms are the three algorithms every figure compares.
+func PaperMechanisms() []core.MechanismKind {
+	return []core.MechanismKind{core.MechLogLaplace, core.MechSmoothLaplace, core.MechSmoothGamma}
+}
+
+// PaperDelta is the failure probability the paper reports Smooth Laplace
+// results for ("a high failure probability of δ = 0.05").
+const PaperDelta = 0.05
+
+// PaperTrials is the number of independent trials each point averages
+// over ("average L1 error (over 20 independent trials)").
+const PaperTrials = 20

@@ -1,0 +1,137 @@
+// Package lodes models the LEHD Origin-Destination Employment Statistics
+// (LODES) data the paper evaluates on: linked employer-employee microdata
+// organized as Workplace, Worker and Job tables (Section 3 of the paper),
+// plus a deterministic synthetic generator.
+//
+// The real LODES inputs are confidential Census Bureau data and cannot be
+// obtained; the generator reproduces the structural properties the
+// paper's evaluation depends on — right-skewed establishment sizes, sparse
+// place×industry×ownership cells, and Census places spanning four
+// population strata. See DESIGN.md section 2 for the substitution
+// rationale.
+package lodes
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// Attribute names of the WorkerFull relation. Workplace attributes are
+// public under the paper's legal analysis; worker attributes are private.
+const (
+	AttrPlace     = "place"
+	AttrIndustry  = "industry"
+	AttrOwnership = "ownership"
+	AttrSex       = "sex"
+	AttrAge       = "age"
+	AttrRace      = "race"
+	AttrEthnicity = "ethnicity"
+	AttrEducation = "education"
+)
+
+// WorkplaceAttrs lists the establishment-side attributes (the paper's V_W).
+func WorkplaceAttrs() []string {
+	return []string{AttrPlace, AttrIndustry, AttrOwnership}
+}
+
+// WorkerAttrs lists the worker-side attributes (the paper's V_I).
+func WorkerAttrs() []string {
+	return []string{AttrSex, AttrAge, AttrRace, AttrEthnicity, AttrEducation}
+}
+
+// IsWorkerAttr reports whether the named attribute is a worker attribute.
+func IsWorkerAttr(name string) bool {
+	switch name {
+	case AttrSex, AttrAge, AttrRace, AttrEthnicity, AttrEducation:
+		return true
+	}
+	return false
+}
+
+// IsWorkplaceAttr reports whether the named attribute is a workplace
+// attribute.
+func IsWorkplaceAttr(name string) bool {
+	switch name {
+	case AttrPlace, AttrIndustry, AttrOwnership:
+		return true
+	}
+	return false
+}
+
+// NAICSSectors are the 20 two-digit NAICS sectors LODES tabulates by.
+var NAICSSectors = []string{
+	"11-Agriculture",
+	"21-Mining",
+	"22-Utilities",
+	"23-Construction",
+	"31-Manufacturing",
+	"42-Wholesale",
+	"44-Retail",
+	"48-Transportation",
+	"51-Information",
+	"52-Finance",
+	"53-RealEstate",
+	"54-Professional",
+	"55-Management",
+	"56-Administrative",
+	"61-Education",
+	"62-Health",
+	"71-Arts",
+	"72-Accommodation",
+	"81-OtherServices",
+	"92-PublicAdministration",
+}
+
+// OwnershipClasses are the two ownership types LODES distinguishes.
+var OwnershipClasses = []string{"Private", "Public"}
+
+// SexValues, AgeBins, RaceValues, EthnicityValues and EducationLevels are
+// the LODES worker attribute domains (LODES Technical Document 7.1).
+var (
+	SexValues       = []string{"M", "F"}
+	AgeBins         = []string{"14-18", "19-21", "22-24", "25-34", "35-44", "45-54", "55-64", "65+"}
+	RaceValues      = []string{"White", "Black", "AmericanIndian", "Asian", "PacificIslander", "TwoOrMore"}
+	EthnicityValues = []string{"NotHispanic", "Hispanic"}
+	EducationLevels = []string{"LessThanHS", "HighSchool", "SomeCollege", "BachelorsPlus"}
+)
+
+// PlaceName returns the canonical name of the i-th synthetic Census place.
+func PlaceName(i int) string { return fmt.Sprintf("place-%04d", i) }
+
+// NewSchema builds the WorkerFull schema for a dataset with numPlaces
+// Census places. Attribute order is workplace attributes first, then
+// worker attributes, matching the paper's V_W / V_I split.
+func NewSchema(numPlaces int) *table.Schema {
+	if numPlaces < 1 {
+		panic(fmt.Sprintf("lodes: numPlaces must be >= 1, got %d", numPlaces))
+	}
+	places := make([]string, numPlaces)
+	for i := range places {
+		places[i] = PlaceName(i)
+	}
+	return table.NewSchema(
+		table.NewDomain(AttrPlace, places...),
+		table.NewDomain(AttrIndustry, NAICSSectors...),
+		table.NewDomain(AttrOwnership, OwnershipClasses...),
+		table.NewDomain(AttrSex, SexValues...),
+		table.NewDomain(AttrAge, AgeBins...),
+		table.NewDomain(AttrRace, RaceValues...),
+		table.NewDomain(AttrEthnicity, EthnicityValues...),
+		table.NewDomain(AttrEducation, EducationLevels...),
+	)
+}
+
+// WorkerAttrDomainSize returns the product of the domain sizes of the
+// given attributes, counting only worker attributes. This is the d in the
+// paper's "effective privacy-loss parameter of d·ε" rule for releasing
+// worker-attribute marginals under weak ER-EE privacy (Section 8).
+func WorkerAttrDomainSize(schema *table.Schema, attrs []string) int {
+	d := 1
+	for _, name := range attrs {
+		if IsWorkerAttr(name) {
+			d *= schema.Attr(schema.MustAttrIndex(name)).Size()
+		}
+	}
+	return d
+}

@@ -1,0 +1,267 @@
+package lodes
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/table"
+)
+
+// This file provides a plain-text interchange format for synthetic
+// snapshots so that cmd/lodesgen output can be inspected, versioned, and
+// reloaded by cmd/ereepub. Three files are written: places.csv,
+// establishments.csv and jobs.csv.
+
+// WriteCSV writes the dataset to dir, creating it if necessary.
+func (d *Dataset) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("lodes: creating %s: %w", dir, err)
+	}
+	if err := writeCSVFile(filepath.Join(dir, "places.csv"), d.writePlaces); err != nil {
+		return err
+	}
+	if err := writeCSVFile(filepath.Join(dir, "establishments.csv"), d.writeEstablishments); err != nil {
+		return err
+	}
+	return writeCSVFile(filepath.Join(dir, "jobs.csv"), d.writeJobs)
+}
+
+func writeCSVFile(path string, write func(w *csv.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("lodes: creating %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	if err := write(w); err != nil {
+		f.Close()
+		return fmt.Errorf("lodes: writing %s: %w", path, err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("lodes: flushing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lodes: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+func (d *Dataset) writePlaces(w *csv.Writer) error {
+	if err := w.Write([]string{"name", "population"}); err != nil {
+		return err
+	}
+	for _, p := range d.Places {
+		if err := w.Write([]string{p.Name, strconv.Itoa(p.Population)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) writeEstablishments(w *csv.Writer) error {
+	if err := w.Write([]string{"id", "place", "industry", "ownership", "employment"}); err != nil {
+		return err
+	}
+	s := d.Schema()
+	placeDom := s.Attr(s.MustAttrIndex(AttrPlace))
+	indDom := s.Attr(s.MustAttrIndex(AttrIndustry))
+	ownDom := s.Attr(s.MustAttrIndex(AttrOwnership))
+	for _, e := range d.Establishments {
+		rec := []string{
+			strconv.Itoa(int(e.ID)),
+			placeDom.Value(e.Place),
+			indDom.Value(e.Industry),
+			ownDom.Value(e.Ownership),
+			strconv.Itoa(e.Employment),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) writeJobs(w *csv.Writer) error {
+	header := append([]string{"establishment"}, WorkerAttrs()...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	s := d.Schema()
+	attrIdx := make([]int, len(WorkerAttrs()))
+	for i, name := range WorkerAttrs() {
+		attrIdx[i] = s.MustAttrIndex(name)
+	}
+	rec := make([]string, 1+len(attrIdx))
+	for row := 0; row < d.WorkerFull.NumRows(); row++ {
+		rec[0] = strconv.Itoa(int(d.WorkerFull.Entity(row)))
+		for i, a := range attrIdx {
+			rec[1+i] = d.WorkerFull.Value(row, a)
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV loads a dataset previously written with WriteCSV.
+func ReadCSV(dir string) (*Dataset, error) {
+	places, err := readPlaces(filepath.Join(dir, "places.csv"))
+	if err != nil {
+		return nil, err
+	}
+	schema := NewSchema(len(places))
+	ests, err := readEstablishments(filepath.Join(dir, "establishments.csv"), schema)
+	if err != nil {
+		return nil, err
+	}
+	full, err := readJobs(filepath.Join(dir, "jobs.csv"), schema, ests)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{WorkerFull: full, Establishments: ests, Places: places}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("lodes: loaded dataset inconsistent: %w", err)
+	}
+	return d, nil
+}
+
+func openCSV(path string) (*os.File, *csv.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lodes: opening %s: %w", path, err)
+	}
+	return f, csv.NewReader(f), nil
+}
+
+func readPlaces(path string) ([]Place, error) {
+	f, r, err := openCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := r.Read(); err != nil { // header
+		return nil, fmt.Errorf("lodes: reading %s header: %w", path, err)
+	}
+	var places []Place
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lodes: reading %s: %w", path, err)
+		}
+		pop, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("lodes: bad population %q in %s: %w", rec[1], path, err)
+		}
+		places = append(places, Place{Name: rec[0], Population: pop})
+	}
+	if len(places) == 0 {
+		return nil, fmt.Errorf("lodes: %s contains no places", path)
+	}
+	return places, nil
+}
+
+func readEstablishments(path string, schema *table.Schema) ([]Establishment, error) {
+	f, r, err := openCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := r.Read(); err != nil {
+		return nil, fmt.Errorf("lodes: reading %s header: %w", path, err)
+	}
+	placeDom := schema.Attr(schema.MustAttrIndex(AttrPlace))
+	indDom := schema.Attr(schema.MustAttrIndex(AttrIndustry))
+	ownDom := schema.Attr(schema.MustAttrIndex(AttrOwnership))
+	var ests []Establishment
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lodes: reading %s: %w", path, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("lodes: bad establishment id %q: %w", rec[0], err)
+		}
+		place, err := placeDom.Code(rec[1])
+		if err != nil {
+			return nil, err
+		}
+		ind, err := indDom.Code(rec[2])
+		if err != nil {
+			return nil, err
+		}
+		own, err := ownDom.Code(rec[3])
+		if err != nil {
+			return nil, err
+		}
+		emp, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("lodes: bad employment %q: %w", rec[4], err)
+		}
+		if id != len(ests) {
+			return nil, fmt.Errorf("lodes: establishment IDs must be dense and ordered; got %d at row %d", id, len(ests))
+		}
+		ests = append(ests, Establishment{
+			ID: int32(id), Place: place, Industry: ind, Ownership: own, Employment: emp,
+		})
+	}
+	return ests, nil
+}
+
+func readJobs(path string, schema *table.Schema, ests []Establishment) (*table.Table, error) {
+	f, r, err := openCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := r.Read(); err != nil {
+		return nil, fmt.Errorf("lodes: reading %s header: %w", path, err)
+	}
+	workerAttrs := WorkerAttrs()
+	attrIdx := make([]int, len(workerAttrs))
+	doms := make([]*table.Domain, len(workerAttrs))
+	for i, name := range workerAttrs {
+		attrIdx[i] = schema.MustAttrIndex(name)
+		doms[i] = schema.Attr(attrIdx[i])
+	}
+	full := table.New(schema)
+	codes := make([]int, schema.NumAttrs())
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lodes: reading %s: %w", path, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil || id < 0 || id >= len(ests) {
+			return nil, fmt.Errorf("lodes: bad establishment reference %q in jobs", rec[0])
+		}
+		est := ests[id]
+		codes[schema.MustAttrIndex(AttrPlace)] = est.Place
+		codes[schema.MustAttrIndex(AttrIndustry)] = est.Industry
+		codes[schema.MustAttrIndex(AttrOwnership)] = est.Ownership
+		for i := range workerAttrs {
+			c, err := doms[i].Code(rec[1+i])
+			if err != nil {
+				return nil, err
+			}
+			codes[attrIdx[i]] = c
+		}
+		full.AppendRow(int32(id), codes...)
+	}
+	return full, nil
+}

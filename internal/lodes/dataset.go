@@ -1,0 +1,180 @@
+package lodes
+
+import (
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// Place describes one synthetic Census place: its name and its decennial
+// population count. Population is what the paper stratifies every figure
+// by (0–100, 100–10k, 10k–100k, 100k+), and what the FEMA resource
+// allocation scenario divides damage estimates by.
+type Place struct {
+	Name       string
+	Population int
+}
+
+// Establishment describes one workplace: its public attributes and its
+// true employment. Employment is the confidential value every mechanism
+// in this repository exists to protect.
+type Establishment struct {
+	ID         int32
+	Place      int // place code
+	Industry   int // industry code
+	Ownership  int // ownership code
+	Employment int
+}
+
+// Dataset is a complete LODES-style snapshot: the universal WorkerFull
+// relation (one record per job, carrying all workplace and worker
+// attributes, entity = establishment), plus the establishment frame and
+// place metadata.
+type Dataset struct {
+	// WorkerFull is the join of Job with Worker and Workplace
+	// (Section 3.1): one record per job with all attributes.
+	WorkerFull *table.Table
+
+	// Establishments is the workplace frame, one entry per establishment,
+	// indexed by establishment ID.
+	Establishments []Establishment
+
+	// Places holds place metadata indexed by place code.
+	Places []Place
+}
+
+// Schema returns the WorkerFull schema.
+func (d *Dataset) Schema() *table.Schema { return d.WorkerFull.Schema() }
+
+// NumJobs returns the number of job records.
+func (d *Dataset) NumJobs() int { return d.WorkerFull.NumRows() }
+
+// NumEstablishments returns the number of establishments.
+func (d *Dataset) NumEstablishments() int { return len(d.Establishments) }
+
+// NumPlaces returns the number of Census places.
+func (d *Dataset) NumPlaces() int { return len(d.Places) }
+
+// PlacePopulation returns the population of the place with the given code.
+func (d *Dataset) PlacePopulation(code int) int {
+	if code < 0 || code >= len(d.Places) {
+		panic(fmt.Sprintf("lodes: place code %d out of range", code))
+	}
+	return d.Places[code].Population
+}
+
+// MaxEmployment returns the size of the largest establishment, the global
+// quantity that makes node-differential privacy so costly (Section 6).
+func (d *Dataset) MaxEmployment() int {
+	max := 0
+	for _, e := range d.Establishments {
+		if e.Employment > max {
+			max = e.Employment
+		}
+	}
+	return max
+}
+
+// EstablishmentsOver returns how many establishments employ strictly more
+// than threshold workers (the count the paper reports as 740–815 for
+// θ=1000 on the production data).
+func (d *Dataset) EstablishmentsOver(threshold int) int {
+	n := 0
+	for _, e := range d.Establishments {
+		if e.Employment > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks internal consistency: every job's attributes must match
+// its establishment's workplace attributes, and per-establishment job
+// counts must equal recorded employment. It returns the first
+// inconsistency found.
+func (d *Dataset) Validate() error {
+	s := d.Schema()
+	placeIdx := s.MustAttrIndex(AttrPlace)
+	indIdx := s.MustAttrIndex(AttrIndustry)
+	ownIdx := s.MustAttrIndex(AttrOwnership)
+
+	jobCounts := make([]int, len(d.Establishments))
+	for row := 0; row < d.WorkerFull.NumRows(); row++ {
+		e := d.WorkerFull.Entity(row)
+		if e < 0 || int(e) >= len(d.Establishments) {
+			return fmt.Errorf("lodes: job %d has invalid establishment %d", row, e)
+		}
+		est := d.Establishments[e]
+		if d.WorkerFull.Code(row, placeIdx) != est.Place {
+			return fmt.Errorf("lodes: job %d place %d != establishment place %d",
+				row, d.WorkerFull.Code(row, placeIdx), est.Place)
+		}
+		if d.WorkerFull.Code(row, indIdx) != est.Industry {
+			return fmt.Errorf("lodes: job %d industry mismatch", row)
+		}
+		if d.WorkerFull.Code(row, ownIdx) != est.Ownership {
+			return fmt.Errorf("lodes: job %d ownership mismatch", row)
+		}
+		jobCounts[e]++
+	}
+	for i, est := range d.Establishments {
+		if jobCounts[i] != est.Employment {
+			return fmt.Errorf("lodes: establishment %d has %d jobs but employment %d",
+				i, jobCounts[i], est.Employment)
+		}
+		if int32(i) != est.ID {
+			return fmt.Errorf("lodes: establishment at index %d has ID %d", i, est.ID)
+		}
+	}
+	return nil
+}
+
+// SizeStratum identifies one of the paper's four place-population strata.
+type SizeStratum int
+
+// The four strata used throughout Section 10's stratified results.
+const (
+	StratumUnder100  SizeStratum = iota // 0 <= pop < 100
+	Stratum100To10k                     // 100 <= pop < 10,000
+	Stratum10kTo100k                    // 10,000 <= pop < 100,000
+	StratumOver100k                     // pop >= 100,000
+	NumStrata
+)
+
+// String returns the paper's label for the stratum.
+func (s SizeStratum) String() string {
+	switch s {
+	case StratumUnder100:
+		return "0<=pop<100"
+	case Stratum100To10k:
+		return "100<=pop<10k"
+	case Stratum10kTo100k:
+		return "10k<=pop<100k"
+	case StratumOver100k:
+		return "pop>=100k"
+	}
+	return fmt.Sprintf("SizeStratum(%d)", int(s))
+}
+
+// StratumForPopulation returns the stratum a population falls in.
+func StratumForPopulation(pop int) SizeStratum {
+	switch {
+	case pop < 100:
+		return StratumUnder100
+	case pop < 10_000:
+		return Stratum100To10k
+	case pop < 100_000:
+		return Stratum10kTo100k
+	default:
+		return StratumOver100k
+	}
+}
+
+// PlaceStrata returns the stratum of every place, indexed by place code.
+func (d *Dataset) PlaceStrata() []SizeStratum {
+	out := make([]SizeStratum, len(d.Places))
+	for i, p := range d.Places {
+		out[i] = StratumForPopulation(p.Population)
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package lodes
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/table"
+)
+
+// Config parameterizes the synthetic LODES generator. The defaults target
+// the structural properties of the paper's 3-state 2011 sample at 1/26
+// scale: a mean of ~20.7 jobs per establishment, a heavy right tail of
+// establishment sizes, and place×industry×ownership marginals where most
+// cells are small and many contain a single establishment.
+type Config struct {
+	// NumPlaces is the number of synthetic Census places.
+	NumPlaces int
+	// NumEstablishments is the number of workplaces to generate.
+	NumEstablishments int
+
+	// SizeBody is the log-normal body of the establishment-size mixture.
+	SizeBody dist.LogNormal
+	// SizeTail is the Pareto tail of the mixture (factories, hospitals,
+	// universities).
+	SizeTail dist.Pareto
+	// TailProb is the probability an establishment is drawn from the tail.
+	TailProb float64
+
+	// PopExponentLo and PopExponentHi bound the log10 of place
+	// populations, which are drawn log-uniformly. The default range
+	// [1, 5.5) spans all four of the paper's strata.
+	PopExponentLo, PopExponentHi float64
+}
+
+// DefaultConfig returns the configuration used by the experiment harness.
+func DefaultConfig() Config {
+	return Config{
+		NumPlaces:         60,
+		NumEstablishments: 20_000,
+		SizeBody:          dist.NewLogNormal(2.0, 1.0),
+		SizeTail:          dist.NewPareto(200, 1.3),
+		TailProb:          0.01,
+		PopExponentLo:     1.0,
+		PopExponentHi:     5.5,
+	}
+}
+
+// TestConfig returns a small configuration for fast unit tests
+// (~2k establishments, ~40k jobs).
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.NumPlaces = 30
+	c.NumEstablishments = 2_000
+	return c
+}
+
+// Validate returns an error describing the first invalid field, if any.
+func (c Config) Validate() error {
+	if c.NumPlaces < 4 {
+		return fmt.Errorf("lodes: NumPlaces must be >= 4 to cover all strata, got %d", c.NumPlaces)
+	}
+	if c.NumEstablishments < 1 {
+		return fmt.Errorf("lodes: NumEstablishments must be >= 1, got %d", c.NumEstablishments)
+	}
+	if !(c.TailProb >= 0 && c.TailProb <= 1) {
+		return fmt.Errorf("lodes: TailProb must be in [0,1], got %v", c.TailProb)
+	}
+	if !(c.PopExponentLo < c.PopExponentHi) {
+		return fmt.Errorf("lodes: PopExponentLo must be < PopExponentHi")
+	}
+	return nil
+}
+
+// sector indexes into NAICSSectors for the per-sector parameter tables.
+var (
+	sectorIdx = func() map[string]int {
+		m := make(map[string]int, len(NAICSSectors))
+		for i, s := range NAICSSectors {
+			m[s] = i
+		}
+		return m
+	}()
+)
+
+// publicOwnershipProb returns the probability an establishment in the
+// given sector is publicly owned.
+func publicOwnershipProb(sector int) float64 {
+	switch NAICSSectors[sector] {
+	case "92-PublicAdministration":
+		return 0.95
+	case "61-Education":
+		return 0.60
+	case "22-Utilities":
+		return 0.40
+	case "62-Health":
+		return 0.25
+	default:
+		return 0.05
+	}
+}
+
+// femaleProb returns the probability a worker in the sector is female.
+func femaleProb(sector int) float64 {
+	switch NAICSSectors[sector] {
+	case "62-Health":
+		return 0.75
+	case "61-Education":
+		return 0.68
+	case "23-Construction":
+		return 0.10
+	case "21-Mining":
+		return 0.12
+	case "31-Manufacturing":
+		return 0.30
+	default:
+		return 0.48
+	}
+}
+
+// educationDist returns the education distribution for the sector
+// (LessThanHS, HighSchool, SomeCollege, BachelorsPlus).
+func educationDist(sector int) [4]float64 {
+	switch NAICSSectors[sector] {
+	case "51-Information", "52-Finance", "54-Professional", "55-Management", "61-Education":
+		return [4]float64{0.04, 0.15, 0.26, 0.55}
+	case "11-Agriculture", "23-Construction", "72-Accommodation", "44-Retail", "56-Administrative":
+		return [4]float64{0.22, 0.38, 0.26, 0.14}
+	default:
+		return [4]float64{0.12, 0.30, 0.30, 0.28}
+	}
+}
+
+// Base worker-attribute distributions (shares summing to 1).
+var (
+	ageDist  = [8]float64{0.04, 0.07, 0.07, 0.24, 0.22, 0.19, 0.13, 0.04}
+	raceDist = [6]float64{0.62, 0.13, 0.01, 0.07, 0.003, 0.167}
+)
+
+const hispanicProb = 0.18
+
+// sectorWeights makes some industries far more common than others, which
+// is what produces sparse cells in small places.
+var sectorWeights = [20]float64{
+	1.0, // Agriculture
+	0.3, // Mining
+	0.4, // Utilities
+	3.5, // Construction
+	2.5, // Manufacturing
+	2.0, // Wholesale
+	6.0, // Retail
+	1.8, // Transportation
+	1.0, // Information
+	2.2, // Finance
+	1.6, // RealEstate
+	4.0, // Professional
+	0.5, // Management
+	2.8, // Administrative
+	1.4, // Education
+	4.5, // Health
+	0.9, // Arts
+	3.8, // Accommodation
+	3.0, // OtherServices
+	0.8, // PublicAdministration
+}
+
+// sampleCat draws an index from the categorical distribution with the
+// given weights (not necessarily normalized).
+func sampleCat(s *dist.Stream, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := s.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Generate produces a synthetic LODES snapshot from the configuration and
+// stream. The same configuration and stream seed always produce the same
+// dataset.
+func Generate(cfg Config, s *dist.Stream) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	schema := NewSchema(cfg.NumPlaces)
+
+	// Places: one forced into each stratum so stratified experiments never
+	// see an empty stratum, the rest log-uniform across the exponent range.
+	placeStream := s.Split("places")
+	places := make([]Place, cfg.NumPlaces)
+	forced := []int{50, 5_000, 50_000, 200_000}
+	for i := range places {
+		var pop int
+		if i < len(forced) {
+			pop = forced[i]
+		} else {
+			exp := cfg.PopExponentLo + placeStream.Float64()*(cfg.PopExponentHi-cfg.PopExponentLo)
+			pop = int(math.Round(math.Pow(10, exp)))
+		}
+		places[i] = Place{Name: PlaceName(i), Population: pop}
+	}
+
+	// Establishment placement weights grow sublinearly with population
+	// (sqrt, plus a floor of 2): big places get many establishments while
+	// tiny places still get a handful — matching real Census places, where
+	// even sub-100-population places host some employers. This produces
+	// the sparse single-establishment cells the Section 5.2 attacks and
+	// the smooth-sensitivity analysis both care about, without leaving the
+	// smallest population stratum empty.
+	placeWeights := make([]float64, cfg.NumPlaces)
+	for i, p := range places {
+		placeWeights[i] = math.Sqrt(float64(p.Population)) + 2
+	}
+
+	sizeDist := dist.NewSkewedSize(cfg.SizeBody, cfg.SizeTail, cfg.TailProb)
+	estStream := s.Split("establishments")
+
+	ests := make([]Establishment, cfg.NumEstablishments)
+	totalJobs := 0
+	for i := range ests {
+		place := sampleCat(estStream, placeWeights)
+		sector := sampleCat(estStream, sectorWeights[:])
+		own := 0
+		if estStream.Float64() < publicOwnershipProb(sector) {
+			own = 1
+		}
+		size := sizeDist.Sample(estStream)
+		ests[i] = Establishment{
+			ID: int32(i), Place: place, Industry: sector, Ownership: own, Employment: size,
+		}
+		totalJobs += size
+	}
+
+	// Jobs: one WorkerFull record per employee, with worker attributes
+	// drawn from sector-conditioned distributions.
+	workerStream := s.Split("workers")
+	full := table.NewWithCapacity(schema, totalJobs)
+	var eduW [4]float64
+	for _, est := range ests {
+		edu := educationDist(est.Industry)
+		copy(eduW[:], edu[:])
+		fProb := femaleProb(est.Industry)
+		for j := 0; j < est.Employment; j++ {
+			sex := 0
+			if workerStream.Float64() < fProb {
+				sex = 1
+			}
+			age := sampleCat(workerStream, ageDist[:])
+			race := sampleCat(workerStream, raceDist[:])
+			eth := 0
+			if workerStream.Float64() < hispanicProb {
+				eth = 1
+			}
+			education := sampleCat(workerStream, eduW[:])
+			full.AppendRow(est.ID,
+				est.Place, est.Industry, est.Ownership,
+				sex, age, race, eth, education)
+		}
+	}
+
+	return &Dataset{WorkerFull: full, Establishments: ests, Places: places}, nil
+}
+
+// MustGenerate is Generate but panics on configuration errors; for use
+// with the validated default configurations.
+func MustGenerate(cfg Config, s *dist.Stream) *Dataset {
+	d, err := Generate(cfg, s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// SectorIndex returns the code of the named NAICS sector, or -1.
+func SectorIndex(name string) int {
+	if i, ok := sectorIdx[name]; ok {
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,321 @@
+package otm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lodes"
+)
+
+func TestMinPrior(t *testing.T) {
+	// eps = ln 2 makes e^eps - 1 = 1, so min prior = m.
+	if got := MinPrior(math.Ln2, 10); math.Abs(got-10) > 1e-12 {
+		t.Errorf("MinPrior(ln2, 10) = %v, want 10", got)
+	}
+	// Larger eps needs smaller priors; larger m larger priors.
+	if !(MinPrior(2, 10) < MinPrior(1, 10)) {
+		t.Error("min prior not decreasing in eps")
+	}
+	if !(MinPrior(1, 20) > MinPrior(1, 10)) {
+		t.Error("min prior not increasing in m")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinPrior(0, 1) did not panic")
+		}
+	}()
+	MinPrior(0, 1)
+}
+
+func TestNewSynthesizerValidation(t *testing.T) {
+	if _, err := NewSynthesizer(1, 10, MinPrior(1, 10)*0.9); err == nil {
+		t.Error("prior below minimum accepted")
+	}
+	if _, err := NewSynthesizer(1, 10, MinPrior(1, 10)); err != nil {
+		t.Errorf("prior at minimum rejected: %v", err)
+	}
+	if _, err := NewSynthesizer(0, 10, 1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewSynthesizer(1, 0, 100); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestSynthesizeRowBasics(t *testing.T) {
+	sy, err := NewSynthesizer(1, 50, MinPrior(1, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{100, 50, 0, 10}
+	out, err := sy.SynthesizeRow(counts, dist.NewStreamFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, v := range out {
+		if v < 0 {
+			t.Fatal("negative synthetic count")
+		}
+		total += v
+	}
+	if total != 50 {
+		t.Fatalf("synthetic total = %d, want 50", total)
+	}
+}
+
+func TestSynthesizeRowRejectsBadInput(t *testing.T) {
+	sy, err := NewSynthesizer(1, 10, MinPrior(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sy.SynthesizeRow(nil, dist.NewStreamFromSeed(1)); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := sy.SynthesizeRow([]int64{-1, 2}, dist.NewStreamFromSeed(1)); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	sy, err := NewSynthesizer(1, 30, MinPrior(1, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{5, 20, 3}
+	a, err := sy.SynthesizeRow(counts, dist.NewStreamFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sy.SynthesizeRow(counts, dist.NewStreamFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("synthesis not deterministic for fixed stream")
+		}
+	}
+}
+
+func TestLogPMFNormalizes(t *testing.T) {
+	// Over a 2-block domain with small m the PMF can be summed exactly.
+	sy, err := NewSynthesizer(1, 5, MinPrior(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{7, 3}
+	sum := 0.0
+	for o0 := int64(0); o0 <= 5; o0++ {
+		lp, err := sy.LogPMF(counts, []int64{o0, 5 - o0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += math.Exp(lp)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("PMF sums to %v, want 1", sum)
+	}
+}
+
+func TestLogPMFMatchesSampling(t *testing.T) {
+	sy, err := NewSynthesizer(1, 4, MinPrior(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{10, 2}
+	s := dist.NewStreamFromSeed(3)
+	const n = 200000
+	hist := map[int64]int{}
+	for i := 0; i < n; i++ {
+		out, err := sy.SynthesizeRow(counts, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist[out[0]]++
+	}
+	for o0 := int64(0); o0 <= 4; o0++ {
+		lp, err := sy.LogPMF(counts, []int64{o0, 4 - o0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(lp)
+		got := float64(hist[o0]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(o0=%d): empirical %v vs exact %v", o0, got, want)
+		}
+	}
+}
+
+func TestPrivacyRatioExhaustive(t *testing.T) {
+	// Exhaustively verify the pure-eps guarantee on a small domain: for
+	// every synthetic output, the likelihood ratio between neighbors
+	// (one worker moved between blocks) is within e^eps when the prior
+	// meets MinPrior, and the analytic WorstCaseRatio is attained.
+	eps := 1.0
+	m := 6
+	sy, err := NewSynthesizer(eps, m, MinPrior(eps, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{4, 2, 1}
+	// Neighbor: move one worker from block 0 to block 1.
+	neighbor := []int64{3, 3, 1}
+	maxRatio := 0.0
+	for o0 := 0; o0 <= m; o0++ {
+		for o1 := 0; o0+o1 <= m; o1++ {
+			o := []int64{int64(o0), int64(o1), int64(m - o0 - o1)}
+			lpA, err := sy.LogPMF(counts, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lpB, err := sy.LogPMF(neighbor, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := math.Exp(math.Abs(lpA - lpB))
+			if ratio > maxRatio {
+				maxRatio = ratio
+			}
+		}
+	}
+	if maxRatio > math.Exp(eps)*(1+1e-9) {
+		t.Errorf("max likelihood ratio %v exceeds e^eps = %v", maxRatio, math.Exp(eps))
+	}
+	want, err := sy.WorstCaseRatio(counts, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(maxRatio-want) > 1e-9 {
+		t.Errorf("exhaustive max %v != analytic worst case %v", maxRatio, want)
+	}
+}
+
+func TestPrivacyViolatedBelowMinPrior(t *testing.T) {
+	// With a prior below the minimum the worst-case ratio must exceed
+	// e^eps — the bound is tight, not slack.
+	eps := 1.0
+	m := 6
+	sy := &Synthesizer{Eps: eps, SyntheticSize: m, Prior: MinPrior(eps, m) * 0.5}
+	ratio, err := sy.WorstCaseRatio([]int64{1, 0}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= math.Exp(eps) {
+		t.Errorf("undersized prior still satisfies eps: ratio %v", ratio)
+	}
+}
+
+func TestSynthesizeODEndToEnd(t *testing.T) {
+	d := lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(4))
+	od := SyntheticOD(d, dist.NewStreamFromSeed(5))
+	if od.Total() != int64(d.NumJobs()) {
+		t.Fatalf("OD total %d != jobs %d", od.Total(), d.NumJobs())
+	}
+	eps, m := 2.0, 100
+	sy, err := NewSynthesizer(eps, m, MinPrior(eps, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := sy.Synthesize(od, dist.NewStreamFromSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < synth.NumWorkplaces; w++ {
+		if synth.RowTotal(w) != int64(m) {
+			t.Fatalf("workplace %d synthetic total %d, want %d", w, synth.RowTotal(w), m)
+		}
+	}
+}
+
+func TestSyntheticODGravityShape(t *testing.T) {
+	// Residences should concentrate near the workplace (in index
+	// distance), all else equal.
+	d := lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(7))
+	od := SyntheticOD(d, dist.NewStreamFromSeed(8))
+	// Average |workplace - residence| distance must be far below the
+	// uniform-assignment expectation (~ numPlaces/3).
+	var sumDist, n float64
+	for w := range od.Counts {
+		for r, c := range od.Counts[w] {
+			sumDist += float64(abs(w-r)) * float64(c)
+			n += float64(c)
+		}
+	}
+	avg := sumDist / n
+	uniform := float64(d.NumPlaces()) / 3
+	if avg > uniform*0.8 {
+		t.Errorf("mean commute distance %v not concentrated (uniform ~%v)", avg, uniform)
+	}
+}
+
+func TestSynthesisUtilityTracksShape(t *testing.T) {
+	// The synthetic shares should approximate the true shares for a large
+	// row, within Dirichlet-multinomial noise plus prior shrinkage.
+	eps, m := 2.0, 2000
+	sy, err := NewSynthesizer(eps, m, MinPrior(eps, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{5000, 3000, 1500, 500}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	out, err := sy.SynthesizeRow(counts, dist.NewStreamFromSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the posterior-predictive mean (which shrinks toward
+	// uniform by the prior), not the raw truth.
+	priorTotal := sy.Prior * float64(len(counts))
+	for k := range counts {
+		wantShare := (sy.Prior + float64(counts[k])) / (priorTotal + float64(total))
+		gotShare := float64(out[k]) / float64(m)
+		if math.Abs(gotShare-wantShare) > 0.05 {
+			t.Errorf("block %d share %v, posterior mean %v", k, gotShare, wantShare)
+		}
+	}
+}
+
+func TestODMatrixValidation(t *testing.T) {
+	if _, err := NewODMatrix(0, 5); err == nil {
+		t.Error("zero workplaces accepted")
+	}
+	if _, err := NewODMatrix(5, 0); err == nil {
+		t.Error("zero residences accepted")
+	}
+}
+
+func TestWorstCaseRatioValidation(t *testing.T) {
+	sy, err := NewSynthesizer(1, 5, MinPrior(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sy.WorstCaseRatio([]int64{1, 1}, 5, 0); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if _, err := sy.WorstCaseRatio([]int64{0, 1}, 0, 1); err == nil {
+		t.Error("empty block accepted as move source")
+	}
+	if _, err := sy.WorstCaseRatio([]int64{1, 1}, 0, 0); err == nil {
+		t.Error("self-move accepted")
+	}
+}
+
+func TestLogPMFValidation(t *testing.T) {
+	sy, err := NewSynthesizer(1, 5, MinPrior(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sy.LogPMF([]int64{1, 2}, []int64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := sy.LogPMF([]int64{1, 2}, []int64{1, 2}); err == nil {
+		t.Error("wrong output size accepted")
+	}
+	if _, err := sy.LogPMF([]int64{1, 2}, []int64{-1, 6}); err == nil {
+		t.Error("negative output accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss is a privacy-loss triple (α, ε, δ). δ = 0 for pure definitions.
+// α parameterizes the neighbor relation and does not compose — two losses
+// can only be combined when their α (and definition) agree.
+type Loss struct {
+	Def   Definition
+	Alpha float64
+	Eps   float64
+	Delta float64
+}
+
+// Validate returns an error describing the first invalid field, if any.
+func (l Loss) Validate() error {
+	if !(l.Eps > 0) {
+		return fmt.Errorf("privacy: eps must be positive, got %v", l.Eps)
+	}
+	if !(l.Delta >= 0 && l.Delta < 1) {
+		return fmt.Errorf("privacy: delta must be in [0,1), got %v", l.Delta)
+	}
+	switch l.Def {
+	case StrongEREE, WeakEREE:
+		if !(l.Alpha > 0) {
+			return fmt.Errorf("privacy: ER-EE privacy requires alpha > 0, got %v", l.Alpha)
+		}
+	case EdgeDP, NodeDP:
+		// α is implied: 0 for edge-DP, ∞ for node-DP (Section 7.2).
+	default:
+		return fmt.Errorf("privacy: %v is not a formal privacy definition", l.Def)
+	}
+	return nil
+}
+
+// String renders the loss for diagnostics.
+func (l Loss) String() string {
+	if l.Delta > 0 {
+		return fmt.Sprintf("%v(alpha=%g, eps=%g, delta=%g)", l.Def, l.Alpha, l.Eps, l.Delta)
+	}
+	return fmt.Sprintf("%v(alpha=%g, eps=%g)", l.Def, l.Alpha, l.Eps)
+}
+
+func compatible(a, b Loss) error {
+	if a.Def != b.Def {
+		return fmt.Errorf("privacy: cannot compose %v with %v", a.Def, b.Def)
+	}
+	if a.Alpha != b.Alpha {
+		return fmt.Errorf("privacy: cannot compose different alphas %v and %v", a.Alpha, b.Alpha)
+	}
+	return nil
+}
+
+// SequentialCompose implements Theorem 7.3 (and Theorem 2.1): releasing
+// the outputs of two mechanisms on the same data costs the sum of the ε
+// (and δ) losses. It applies identically to strong and weak ER-EE privacy.
+func SequentialCompose(a, b Loss) (Loss, error) {
+	if err := compatible(a, b); err != nil {
+		return Loss{}, err
+	}
+	return Loss{Def: a.Def, Alpha: a.Alpha, Eps: a.Eps + b.Eps, Delta: a.Delta + b.Delta}, nil
+}
+
+// Partition describes how two sub-releases split the data, for parallel
+// composition.
+type Partition int
+
+const (
+	// DistinctEstablishments: the sub-datasets pertain to disjoint sets of
+	// establishments (Theorem 7.4): parallel composition holds for both
+	// strong and weak ER-EE privacy.
+	DistinctEstablishments Partition = iota
+	// DistinctWorkersSharedEstablishments: the sub-datasets pertain to
+	// disjoint workers but can share establishments — e.g. "males in New
+	// York" and "females in New York" (Theorem 7.5): parallel composition
+	// holds for strong ER-EE privacy but NOT for weak.
+	DistinctWorkersSharedEstablishments
+)
+
+// String names the partition for diagnostics.
+func (p Partition) String() string {
+	switch p {
+	case DistinctEstablishments:
+		return "distinct-establishments"
+	case DistinctWorkersSharedEstablishments:
+		return "distinct-workers-shared-establishments"
+	}
+	return fmt.Sprintf("Partition(%d)", int(p))
+}
+
+// ParallelCompose implements Theorems 7.4 and 7.5: the loss of releasing
+// two mechanisms on disjoint parts of the data. For partitions where
+// parallel composition holds the total ε is the max of the parts; where
+// it does not hold (weak privacy across workers sharing establishments)
+// it falls back to sequential composition and reports that via the
+// returned fellBack flag.
+func ParallelCompose(a, b Loss, p Partition) (total Loss, fellBack bool, err error) {
+	if err := compatible(a, b); err != nil {
+		return Loss{}, false, err
+	}
+	holds := true
+	if p == DistinctWorkersSharedEstablishments && a.Def == WeakEREE {
+		holds = false
+	}
+	if !holds {
+		seq, err := SequentialCompose(a, b)
+		return seq, true, err
+	}
+	return Loss{
+		Def:   a.Def,
+		Alpha: a.Alpha,
+		Eps:   math.Max(a.Eps, b.Eps),
+		Delta: math.Max(a.Delta, b.Delta),
+	}, false, nil
+}
+
+// MarginalLoss returns the effective privacy loss of releasing every cell
+// of a marginal query with per-cell loss cellLoss (Section 8's composition
+// discussion):
+//
+//   - Under strong (α,ε)-ER-EE privacy, cells partition the workers
+//     (Theorem 7.5 holds), so the marginal costs ε regardless of the
+//     attributes involved.
+//   - Under weak (α,ε)-ER-EE privacy, cells over establishment attributes
+//     only partition the establishments (Theorem 7.4), so the marginal
+//     costs ε; but a marginal involving worker attributes costs d·ε,
+//     where d = workerDomainSize is the product of the worker-attribute
+//     domain sizes in the query.
+func MarginalLoss(cellLoss Loss, workerDomainSize int) (Loss, error) {
+	if err := cellLoss.Validate(); err != nil {
+		return Loss{}, err
+	}
+	if workerDomainSize < 1 {
+		return Loss{}, fmt.Errorf("privacy: worker domain size must be >= 1, got %d", workerDomainSize)
+	}
+	out := cellLoss
+	if cellLoss.Def == WeakEREE && workerDomainSize > 1 {
+		out.Eps = cellLoss.Eps * float64(workerDomainSize)
+		out.Delta = math.Min(1, cellLoss.Delta*float64(workerDomainSize))
+	}
+	return out, nil
+}
+
+// Accountant tracks cumulative privacy loss across releases under
+// sequential composition, enforcing a total budget. The α and definition
+// are fixed at construction: mixing them has no composition semantics.
+type Accountant struct {
+	def          Definition
+	alpha        float64
+	budgetEps    float64
+	budgetDelta  float64
+	spentEps     float64
+	spentDelta   float64
+	numReleases  int
+	exhaustedErr error
+}
+
+// NewAccountant creates an accountant for the given definition, α, and
+// total (ε, δ) budget.
+func NewAccountant(def Definition, alpha, budgetEps, budgetDelta float64) (*Accountant, error) {
+	probe := Loss{Def: def, Alpha: alpha, Eps: budgetEps, Delta: budgetDelta}
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accountant{def: def, alpha: alpha, budgetEps: budgetEps, budgetDelta: budgetDelta}, nil
+}
+
+// Implies reports whether a guarantee under definition a is at least as
+// strong as one under definition b (at the same α), so that a release
+// certified under a may be charged against a budget stated under b.
+// Strong (α,ε)-ER-EE privacy implies weak (α,ε)-ER-EE privacy: the weak
+// α-neighbor pairs (Definition 7.3, which constrains every workforce
+// property φ) are a subset of the strong pairs (Definition 7.1, which
+// constrains only total size), so indistinguishability over the strong
+// relation covers the weak one.
+func Implies(a, b Definition) bool {
+	if a == b {
+		return true
+	}
+	return a == StrongEREE && b == WeakEREE
+}
+
+// Spend charges a release against the budget. It errors — without
+// spending — if the charge would exhaust the budget or is incompatible.
+// A loss under a definition that Implies the accountant's definition is
+// accepted (e.g. a strong ER-EE release against a weak ER-EE budget).
+func (a *Accountant) Spend(l Loss) error {
+	if !Implies(l.Def, a.def) || l.Alpha != a.alpha {
+		return fmt.Errorf("privacy: accountant is for %v(alpha=%g), got %v", a.def, a.alpha, l)
+	}
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if a.spentEps+l.Eps > a.budgetEps+1e-12 {
+		return fmt.Errorf("privacy: eps budget exhausted: spent %g + %g > %g",
+			a.spentEps, l.Eps, a.budgetEps)
+	}
+	if a.spentDelta+l.Delta > a.budgetDelta+1e-15 {
+		return fmt.Errorf("privacy: delta budget exhausted: spent %g + %g > %g",
+			a.spentDelta, l.Delta, a.budgetDelta)
+	}
+	a.spentEps += l.Eps
+	a.spentDelta += l.Delta
+	a.numReleases++
+	return nil
+}
+
+// Spent returns the cumulative loss so far.
+func (a *Accountant) Spent() Loss {
+	return Loss{Def: a.def, Alpha: a.alpha, Eps: a.spentEps, Delta: a.spentDelta}
+}
+
+// Remaining returns the unspent (ε, δ) budget.
+func (a *Accountant) Remaining() (eps, delta float64) {
+	return a.budgetEps - a.spentEps, a.budgetDelta - a.spentDelta
+}
+
+// Releases returns how many releases have been charged.
+func (a *Accountant) Releases() int { return a.numReleases }

@@ -1,0 +1,149 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements a release planner: given a total privacy-loss
+// budget and a set of marginal releases an agency wants to publish, it
+// allocates the budget across releases under sequential composition
+// (Theorem 7.3), translating each release's share into the per-cell ε
+// its mechanism must run at (undoing the d·ε surcharge of Theorem 7.5
+// for worker-attribute marginals under weak privacy).
+//
+// The paper's Section 3.2 frames this as the analyst's problem — "the
+// analyst is allowed to pose multiple queries as long as the total
+// privacy loss ... is no greater than ε" — and the planner makes that
+// arithmetic explicit and checkable.
+
+// ReleaseRequest names one planned release and its composition facts.
+type ReleaseRequest struct {
+	// Name identifies the release in the plan.
+	Name string
+	// Weight is the release's relative share of the budget. Weights are
+	// normalized; equal weights split the budget evenly.
+	Weight float64
+	// WorkerDomainSize is the product of worker-attribute domain sizes in
+	// the release's marginal (1 for establishment-only marginals). Under
+	// weak ER-EE privacy, releasing the marginal costs
+	// WorkerDomainSize × the per-cell ε.
+	WorkerDomainSize int
+}
+
+// PlannedRelease is one allocation in a finished plan.
+type PlannedRelease struct {
+	Name string
+	// MarginalEps is the release's share of the total budget — what the
+	// accountant will be charged.
+	MarginalEps float64
+	// CellEps is the ε each cell's mechanism must be instantiated with:
+	// MarginalEps / WorkerDomainSize.
+	CellEps float64
+	// MarginalDelta and CellDelta are the δ analogues.
+	MarginalDelta float64
+	CellDelta     float64
+	// WorkerDomainSize echoes the request.
+	WorkerDomainSize int
+}
+
+// Plan is a complete budget allocation.
+type Plan struct {
+	Def         Definition
+	Alpha       float64
+	BudgetEps   float64
+	BudgetDelta float64
+	Releases    []PlannedRelease
+}
+
+// PlanReleases allocates the budget across the requests proportionally
+// to their weights.
+func PlanReleases(def Definition, alpha, budgetEps, budgetDelta float64, requests []ReleaseRequest) (*Plan, error) {
+	probe := Loss{Def: def, Alpha: alpha, Eps: budgetEps, Delta: budgetDelta}
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	if len(requests) == 0 {
+		return nil, fmt.Errorf("privacy: plan needs at least one release")
+	}
+	var totalWeight float64
+	seen := make(map[string]bool, len(requests))
+	for _, r := range requests {
+		if r.Name == "" {
+			return nil, fmt.Errorf("privacy: release name must be non-empty")
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("privacy: duplicate release name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if !(r.Weight > 0) {
+			return nil, fmt.Errorf("privacy: release %q needs positive weight, got %v", r.Name, r.Weight)
+		}
+		if r.WorkerDomainSize < 1 {
+			return nil, fmt.Errorf("privacy: release %q needs worker domain size >= 1, got %d",
+				r.Name, r.WorkerDomainSize)
+		}
+		if r.WorkerDomainSize > 1 && def != WeakEREE {
+			// The d·ε surcharge exists only under weak privacy; under the
+			// strong definition worker-attribute marginals parallel-compose
+			// (Theorem 7.5). A domain size > 1 is then simply ignored, but
+			// flagging it prevents silent double-discounting.
+			return nil, fmt.Errorf("privacy: release %q sets WorkerDomainSize=%d but definition %v has no d-surcharge; set it to 1",
+				r.Name, r.WorkerDomainSize, def)
+		}
+		totalWeight += r.Weight
+	}
+	plan := &Plan{Def: def, Alpha: alpha, BudgetEps: budgetEps, BudgetDelta: budgetDelta}
+	for _, r := range requests {
+		share := r.Weight / totalWeight
+		marginalEps := budgetEps * share
+		marginalDelta := budgetDelta * share
+		d := float64(r.WorkerDomainSize)
+		plan.Releases = append(plan.Releases, PlannedRelease{
+			Name:             r.Name,
+			MarginalEps:      marginalEps,
+			CellEps:          marginalEps / d,
+			MarginalDelta:    marginalDelta,
+			CellDelta:        marginalDelta / d,
+			WorkerDomainSize: r.WorkerDomainSize,
+		})
+	}
+	return plan, nil
+}
+
+// TotalLoss returns the plan's total loss under sequential composition,
+// which by construction equals the budget (up to rounding).
+func (p *Plan) TotalLoss() Loss {
+	var eps, delta float64
+	for _, r := range p.Releases {
+		eps += r.MarginalEps
+		delta += r.MarginalDelta
+	}
+	return Loss{Def: p.Def, Alpha: p.Alpha, Eps: eps, Delta: delta}
+}
+
+// Release returns the planned allocation with the given name.
+func (p *Plan) Release(name string) (PlannedRelease, error) {
+	for _, r := range p.Releases {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return PlannedRelease{}, fmt.Errorf("privacy: plan has no release %q", name)
+}
+
+// Feasible checks the plan against a per-release minimum cell ε (e.g.
+// smooth.MinEpsilonLaplace for Smooth Laplace at the plan's α and a
+// chosen δ, or 5·ln(1+α) for Smooth Gamma) and returns the names of
+// releases whose allocation is too small to run.
+func (p *Plan) Feasible(minCellEps float64) (infeasible []string) {
+	if !(minCellEps >= 0) || math.IsInf(minCellEps, 0) {
+		panic(fmt.Sprintf("privacy: invalid minimum cell eps %v", minCellEps))
+	}
+	for _, r := range p.Releases {
+		if r.CellEps < minCellEps {
+			infeasible = append(infeasible, r.Name)
+		}
+	}
+	return infeasible
+}

@@ -1,0 +1,129 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanReleasesEvenSplit(t *testing.T) {
+	plan, err := PlanReleases(WeakEREE, 0.1, 8.0, 0.1, []ReleaseRequest{
+		{Name: "workplace", Weight: 1, WorkerDomainSize: 1},
+		{Name: "by-sex-edu", Weight: 1, WorkerDomainSize: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := plan.Release("workplace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.MarginalEps != 4 || wp.CellEps != 4 {
+		t.Errorf("workplace allocation = %+v, want marginal 4, cell 4", wp)
+	}
+	se, err := plan.Release("by-sex-edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.MarginalEps != 4 || se.CellEps != 0.5 {
+		t.Errorf("sex-edu allocation = %+v, want marginal 4, cell 0.5 (d=8)", se)
+	}
+	total := plan.TotalLoss()
+	if math.Abs(total.Eps-8) > 1e-12 || math.Abs(total.Delta-0.1) > 1e-12 {
+		t.Errorf("total loss = %v, want the full budget", total)
+	}
+}
+
+func TestPlanReleasesWeighted(t *testing.T) {
+	plan, err := PlanReleases(StrongEREE, 0.1, 10.0, 0, []ReleaseRequest{
+		{Name: "a", Weight: 3, WorkerDomainSize: 1},
+		{Name: "b", Weight: 1, WorkerDomainSize: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := plan.Release("a")
+	b, _ := plan.Release("b")
+	if math.Abs(a.MarginalEps-7.5) > 1e-12 || math.Abs(b.MarginalEps-2.5) > 1e-12 {
+		t.Errorf("weighted allocations = %v / %v, want 7.5 / 2.5", a.MarginalEps, b.MarginalEps)
+	}
+}
+
+func TestPlanReleasesValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		def  Definition
+		reqs []ReleaseRequest
+	}{
+		{"empty", WeakEREE, nil},
+		{"zero weight", WeakEREE, []ReleaseRequest{{Name: "a", Weight: 0, WorkerDomainSize: 1}}},
+		{"no name", WeakEREE, []ReleaseRequest{{Weight: 1, WorkerDomainSize: 1}}},
+		{"duplicate", WeakEREE, []ReleaseRequest{
+			{Name: "a", Weight: 1, WorkerDomainSize: 1},
+			{Name: "a", Weight: 1, WorkerDomainSize: 1},
+		}},
+		{"bad domain", WeakEREE, []ReleaseRequest{{Name: "a", Weight: 1, WorkerDomainSize: 0}}},
+		{"surcharge under strong", StrongEREE, []ReleaseRequest{{Name: "a", Weight: 1, WorkerDomainSize: 8}}},
+	}
+	for _, c := range cases {
+		if _, err := PlanReleases(c.def, 0.1, 4, 0, c.reqs); err == nil {
+			t.Errorf("%s: plan accepted", c.name)
+		}
+	}
+	if _, err := PlanReleases(WeakEREE, 0, 4, 0, []ReleaseRequest{{Name: "a", Weight: 1, WorkerDomainSize: 1}}); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+}
+
+func TestPlanFeasible(t *testing.T) {
+	plan, err := PlanReleases(WeakEREE, 0.1, 4.0, 0.05, []ReleaseRequest{
+		{Name: "coarse", Weight: 1, WorkerDomainSize: 1},
+		{Name: "fine", Weight: 1, WorkerDomainSize: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// coarse gets cell eps 2, fine gets 0.25. Against a minimum of 0.5
+	// (Smooth Gamma at alpha=0.1 needs ~0.477), fine is infeasible.
+	infeasible := plan.Feasible(0.5)
+	if len(infeasible) != 1 || infeasible[0] != "fine" {
+		t.Errorf("infeasible = %v, want [fine]", infeasible)
+	}
+	if got := plan.Feasible(0); got != nil {
+		t.Errorf("zero minimum should make everything feasible, got %v", got)
+	}
+}
+
+func TestPlanIntegratesWithAccountant(t *testing.T) {
+	plan, err := PlanReleases(WeakEREE, 0.1, 4.0, 0, []ReleaseRequest{
+		{Name: "q1", Weight: 1, WorkerDomainSize: 1},
+		{Name: "q2", Weight: 1, WorkerDomainSize: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, err := NewAccountant(WeakEREE, 0.1, 4.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range plan.Releases {
+		if err := acct.Spend(Loss{Def: WeakEREE, Alpha: 0.1, Eps: r.MarginalEps}); err != nil {
+			t.Fatalf("planned release %q rejected by accountant: %v", r.Name, err)
+		}
+	}
+	eps, _ := acct.Remaining()
+	if math.Abs(eps) > 1e-9 {
+		t.Errorf("plan should exactly exhaust the budget, %v left", eps)
+	}
+}
+
+func TestPlanReleaseUnknownName(t *testing.T) {
+	plan, err := PlanReleases(StrongEREE, 0.1, 1, 0, []ReleaseRequest{
+		{Name: "a", Weight: 1, WorkerDomainSize: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Release("nope"); err == nil {
+		t.Error("unknown release name accepted")
+	}
+}

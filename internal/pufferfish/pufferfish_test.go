@@ -1,0 +1,321 @@
+package pufferfish
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mech"
+)
+
+func mustGamma(t *testing.T, alpha, eps float64) mech.SmoothGamma {
+	t.Helper()
+	m, err := mech.NewSmoothGamma(alpha, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustLogLap(t *testing.T, alpha, eps float64) mech.LogLaplace {
+	t.Helper()
+	m, err := mech.NewLogLaplace(alpha, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSmoothGammaPassesStrongNeighbors(t *testing.T) {
+	// x vs (1+alpha)x on a single-establishment cell: distance-1 strong
+	// alpha-neighbors; the pure guarantee must hold pointwise.
+	alpha, eps := 0.1, 2.0
+	m := mustGamma(t, alpha, eps)
+	a := mech.CellInput{Count: 1000, MaxContribution: 1000}
+	b := mech.CellInput{Count: 1100, MaxContribution: 1100}
+	res, err := VerifyNeighbors(m, a, b, eps, DefaultGrid(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Errorf("SmoothGamma violated eps at o=%v: log ratio %v > %v",
+			res.ArgMax, res.MaxLogRatio, eps)
+	}
+	if res.MaxLogRatio <= 0 {
+		t.Error("max log ratio should be positive")
+	}
+}
+
+func TestSmoothGammaPassesPlusOneNeighbor(t *testing.T) {
+	alpha, eps := 0.1, 2.0
+	m := mustGamma(t, alpha, eps)
+	a := mech.CellInput{Count: 5, MaxContribution: 5}
+	b := mech.CellInput{Count: 6, MaxContribution: 6}
+	res, err := VerifyNeighbors(m, a, b, eps, DefaultGrid(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Errorf("SmoothGamma violated eps on +1 neighbor: %v at %v", res.MaxLogRatio, res.ArgMax)
+	}
+}
+
+func TestLogLaplacePassesStrongNeighbors(t *testing.T) {
+	alpha, eps := 0.1, 1.0
+	m := mustLogLap(t, alpha, eps)
+	a := mech.CellInput{Count: 500, MaxContribution: 500}
+	b := mech.CellInput{Count: 550, MaxContribution: 550}
+	g := Grid{Lo: -m.Gamma() + 0.01, Hi: 3000, Step: 0.25}
+	res, err := VerifyNeighbors(m, a, b, eps, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Errorf("LogLaplace violated eps: %v at o=%v", res.MaxLogRatio, res.ArgMax)
+	}
+}
+
+func TestSmoothLaplaceIsOnlyApproximatelyPrivate(t *testing.T) {
+	// Algorithm 3 satisfies (alpha, eps, delta)-privacy with delta > 0:
+	// the pointwise density-ratio bound must FAIL somewhere in the tails
+	// (that is what delta buys), while holding on the central mass.
+	alpha, eps, delta := 0.1, 2.0, 0.05
+	m, err := mech.NewSmoothLaplace(alpha, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mech.CellInput{Count: 1000, MaxContribution: 1000}
+	b := mech.CellInput{Count: 1100, MaxContribution: 1100}
+	wide := Grid{Lo: -15000, Hi: 17000, Step: 1}
+	res, err := VerifyNeighbors(m, a, b, eps, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("SmoothLaplace satisfied the pure eps bound on a wide grid; delta would be unnecessary")
+	}
+	// Central region (within ~2 noise scales): the bound holds there.
+	central := Grid{Lo: 700, Hi: 1500, Step: 0.25}
+	resC, err := VerifyNeighbors(m, a, b, eps, central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resC.Satisfied {
+		t.Errorf("SmoothLaplace violated eps on the central mass: %v at %v",
+			resC.MaxLogRatio, resC.ArgMax)
+	}
+}
+
+func TestEdgeLaplacePassesEmployeeRequirement(t *testing.T) {
+	// Table 1 row 2: edge-DP protects individuals...
+	eps := 1.0
+	m, err := mech.NewEdgeLaplace(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mech.CellInput{Count: 100}
+	b := mech.CellInput{Count: 99}
+	res, err := VerifyNeighbors(m, a, b, eps, Grid{Lo: 0, Hi: 200, Step: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Errorf("edge-DP violated the employee bound: %v", res.MaxLogRatio)
+	}
+}
+
+func TestEdgeLaplaceFailsEmployerSizeRequirement(t *testing.T) {
+	// ...but not establishment size: between sizes 100 and 110 (which
+	// Definition 4.2 with alpha=0.1 requires to be eps-indistinguishable)
+	// the Laplace(1/eps) density ratio reaches e^{10*eps}.
+	eps := 1.0
+	m, err := mech.NewEdgeLaplace(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mech.CellInput{Count: 100, MaxContribution: 100}
+	b := mech.CellInput{Count: 110, MaxContribution: 110}
+	res, err := VerifyNeighbors(m, a, b, eps, Grid{Lo: 0, Hi: 250, Step: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("edge-DP passed the employer-size bound; Table 1 says it must fail")
+	}
+	if res.MaxLogRatio < 9.9 {
+		t.Errorf("max log ratio %v, want ~10 (= eps * size gap)", res.MaxLogRatio)
+	}
+}
+
+func TestBayesFactorEmployeeRequirement(t *testing.T) {
+	// Definition 4.1 for a worker in a 1000-worker cell, across a range of
+	// informed priors: the Bayes factor must stay within e^eps for the
+	// pure mechanisms.
+	alpha, eps := 0.1, 2.0
+	m := mustGamma(t, alpha, eps)
+	for _, p := range []float64{0.01, 0.3, 0.5, 0.9, 0.99} {
+		worlds := EmployeeWorlds(1000, 40, p)
+		res, err := MaxBayesFactor(m, worlds,
+			func(w World) bool { return w.Label == "in" },
+			func(w World) bool { return w.Label == "out" },
+			eps, DefaultGrid(worlds[0].Input, worlds[1].Input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Satisfied {
+			t.Errorf("prior %v: Bayes factor %v exceeds eps=%v at o=%v",
+				p, res.MaxLogBayesFactor, eps, res.ArgMax)
+		}
+	}
+}
+
+func TestBayesFactorEmployerSizeWithinWindow(t *testing.T) {
+	// Definition 4.2: sizes 200 vs 220 = (1+alpha)*200 with a prior also
+	// spreading mass on other sizes. Bounded by eps for Smooth Gamma.
+	alpha, eps := 0.1, 2.0
+	m := mustGamma(t, alpha, eps)
+	worlds, err := EmployerSizeWorlds(
+		[]int64{180, 200, 220, 300},
+		[]float64{0.1, 0.4, 0.4, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MaxBayesFactor(m, worlds,
+		func(w World) bool { return w.Label == "size=200" },
+		func(w World) bool { return w.Label == "size=220" },
+		eps, Grid{Lo: -500, Hi: 1000, Step: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Errorf("employer-size Bayes factor %v exceeds eps=%v at o=%v",
+			res.MaxLogBayesFactor, eps, res.ArgMax)
+	}
+}
+
+func TestBayesFactorDistantSizesAllowed(t *testing.T) {
+	// Semantics (Eq 8): sizes far apart in the alpha-metric MAY be
+	// distinguished beyond e^eps — the definition only protects within
+	// the (1+alpha) window. Verify the verifier measures a larger factor
+	// for 100 vs 400 (distance ~15 at alpha=0.1).
+	alpha, eps := 0.1, 2.0
+	m := mustGamma(t, alpha, eps)
+	worlds, err := EmployerSizeWorlds([]int64{100, 400}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MaxBayesFactor(m, worlds,
+		func(w World) bool { return w.Label == "size=100" },
+		func(w World) bool { return w.Label == "size=400" },
+		eps, Grid{Lo: -500, Hi: 1500, Step: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfied {
+		t.Error("distant sizes reported as eps-indistinguishable; they should not be")
+	}
+}
+
+func TestMaxBayesFactorMatchesPairwiseForPointSecrets(t *testing.T) {
+	// With two point worlds and uniform prior, the Bayes factor equals
+	// the raw likelihood ratio, so both verifiers must agree.
+	alpha, eps := 0.1, 2.0
+	m := mustGamma(t, alpha, eps)
+	a := mech.CellInput{Count: 300, MaxContribution: 300}
+	b := mech.CellInput{Count: 330, MaxContribution: 330}
+	g := Grid{Lo: -500, Hi: 1200, Step: 0.25}
+	pair, err := VerifyNeighbors(m, a, b, eps, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := []World{
+		{Label: "a", Input: a, Prior: 0.5},
+		{Label: "b", Input: b, Prior: 0.5},
+	}
+	bayes, err := MaxBayesFactor(m, worlds,
+		func(w World) bool { return w.Label == "a" },
+		func(w World) bool { return w.Label == "b" },
+		eps, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pair.MaxLogRatio-bayes.MaxLogBayesFactor) > 1e-9 {
+		t.Errorf("pairwise %v != bayes %v", pair.MaxLogRatio, bayes.MaxLogBayesFactor)
+	}
+}
+
+func TestVerifierInputValidation(t *testing.T) {
+	m := mustGamma(t, 0.1, 2)
+	a := mech.CellInput{Count: 1}
+	if _, err := VerifyNeighbors(m, a, a, 0, DefaultGrid(a, a)); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := VerifyNeighbors(m, a, a, 1, Grid{Lo: 1, Hi: 0, Step: 1}); err == nil {
+		t.Error("inverted grid accepted")
+	}
+	worlds := EmployeeWorlds(10, 5, 0.5)
+	if _, err := MaxBayesFactor(m, worlds,
+		func(World) bool { return true },
+		func(World) bool { return true },
+		1, DefaultGrid(worlds[0].Input, worlds[1].Input)); err == nil {
+		t.Error("overlapping secrets accepted")
+	}
+	if _, err := MaxBayesFactor(m, worlds,
+		func(World) bool { return false },
+		func(w World) bool { return w.Label == "out" },
+		1, DefaultGrid(worlds[0].Input, worlds[1].Input)); err == nil {
+		t.Error("empty secret accepted")
+	}
+	if _, err := EmployerSizeWorlds([]int64{1}, []float64{0.5, 0.5}); err == nil {
+		t.Error("mismatched sizes/priors accepted")
+	}
+	if _, err := EmployerSizeWorlds([]int64{-1}, []float64{1}); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestEmployeeWorldsConstruction(t *testing.T) {
+	w := EmployeeWorlds(100, 30, 0.7)
+	if w[0].Input.Count != 100 || w[1].Input.Count != 99 {
+		t.Errorf("counts = %v, %v", w[0].Input.Count, w[1].Input.Count)
+	}
+	if w[0].Prior != 0.7 || math.Abs(w[1].Prior-0.3) > 1e-12 {
+		t.Errorf("priors = %v, %v", w[0].Prior, w[1].Prior)
+	}
+	if w[1].Input.MaxContribution != 29 {
+		t.Errorf("out-world x_v = %d, want 29", w[1].Input.MaxContribution)
+	}
+	w0 := EmployeeWorlds(1, 0, 0.5)
+	if w0[1].Input.MaxContribution != 0 {
+		t.Error("x_v should clamp at 0")
+	}
+}
+
+func TestDefaultGridCoversInputs(t *testing.T) {
+	a := mech.CellInput{Count: 100, MaxContribution: 50}
+	b := mech.CellInput{Count: 500, MaxContribution: 200}
+	g := DefaultGrid(a, b)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Lo >= a.Count || g.Hi <= b.Count {
+		t.Errorf("grid [%v, %v] does not cover inputs", g.Lo, g.Hi)
+	}
+	if g.Step <= 0 || g.Step > (g.Hi-g.Lo)/100 {
+		t.Errorf("grid step %v too coarse", g.Step)
+	}
+}
+
+func TestMaxBayesFactorNegativePriorRejected(t *testing.T) {
+	m := mustGamma(t, 0.1, 2)
+	worlds := []World{
+		{Label: "a", Input: mech.CellInput{Count: 1}, Prior: -0.5},
+		{Label: "b", Input: mech.CellInput{Count: 2}, Prior: 0.5},
+	}
+	_, err := MaxBayesFactor(m, worlds,
+		func(w World) bool { return w.Label == "a" },
+		func(w World) bool { return w.Label == "b" },
+		1, Grid{Lo: -10, Hi: 10, Step: 0.5})
+	if err == nil {
+		t.Error("negative prior accepted")
+	}
+}

@@ -1,0 +1,258 @@
+package qwi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/mech"
+	"repro/internal/table"
+)
+
+func testPanel(t *testing.T, seed int64) *Panel {
+	t.Helper()
+	base := lodes.MustGenerate(lodes.TestConfig(), dist.NewStreamFromSeed(seed))
+	p, err := GeneratePanel(base, DefaultPanelConfig(), dist.NewStreamFromSeed(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func workplaceQuery(t *testing.T, p *Panel) *table.Query {
+	t.Helper()
+	return table.MustNewQuery(p.Base.Schema(), lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership)
+}
+
+func TestPanelConfigValidate(t *testing.T) {
+	if err := DefaultPanelConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PanelConfig{
+		{DeathRate: -0.1, GrowthSigma: 0.1},
+		{DeathRate: 1, GrowthSigma: 0.1},
+		{DeathRate: 0.1, GrowthSigma: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestGeneratePanelDeterministic(t *testing.T) {
+	a := testPanel(t, 1)
+	b := testPanel(t, 1)
+	for i := range a.Q2 {
+		if a.Q2[i] != b.Q2[i] {
+			t.Fatalf("panel not deterministic at establishment %d", i)
+		}
+	}
+}
+
+func TestGeneratePanelDynamics(t *testing.T) {
+	p := testPanel(t, 2)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deaths, grew, shrank := 0, 0, 0
+	for i := range p.Q1 {
+		switch {
+		case p.Q2[i] == 0:
+			deaths++
+		case p.Q2[i] > p.Q1[i]:
+			grew++
+		case p.Q2[i] < p.Q1[i]:
+			shrank++
+		}
+	}
+	n := len(p.Q1)
+	deathRate := float64(deaths) / float64(n)
+	if math.Abs(deathRate-0.02) > 0.01 {
+		t.Errorf("death rate = %v, want ~0.02", deathRate)
+	}
+	if grew == 0 || shrank == 0 {
+		t.Error("no growth churn generated")
+	}
+}
+
+func TestPanelValidateCatchesCorruption(t *testing.T) {
+	p := testPanel(t, 3)
+	p.Q1[0]++
+	if err := p.Validate(); err == nil {
+		t.Error("Q1 mismatch not caught")
+	}
+	p.Q1[0]--
+	p.Q2[1] = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative employment not caught")
+	}
+}
+
+func TestComputeFlowsIdentity(t *testing.T) {
+	p := testPanel(t, 4)
+	f, err := ComputeFlows(p, workplaceQuery(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckIdentity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeFlowsTotals(t *testing.T) {
+	p := testPanel(t, 5)
+	f, err := ComputeFlows(p, workplaceQuery(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bTotal, eTotal int64
+	for cell := range f.Totals[FlowBeginning] {
+		bTotal += f.Totals[FlowBeginning][cell]
+		eTotal += f.Totals[FlowEnd][cell]
+	}
+	var wantB, wantE int64
+	for i := range p.Q1 {
+		wantB += int64(p.Q1[i])
+		wantE += int64(p.Q2[i])
+	}
+	if bTotal != wantB || eTotal != wantE {
+		t.Errorf("totals B=%d E=%d, want %d/%d", bTotal, eTotal, wantB, wantE)
+	}
+}
+
+func TestComputeFlowsMaxContribution(t *testing.T) {
+	p := testPanel(t, 6)
+	q := workplaceQuery(t, p)
+	f, err := ComputeFlows(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute JC x_v per cell by hand and compare.
+	want := make([]int64, q.NumCells())
+	for w, est := range p.Base.Establishments {
+		cell := q.CellKey(est.Place, est.Industry, est.Ownership)
+		if d := int64(p.Q2[w] - p.Q1[w]); d > 0 && d > want[cell] {
+			want[cell] = d
+		}
+	}
+	for cell := range want {
+		if f.MaxContribution[FlowCreation][cell] != want[cell] {
+			t.Fatalf("JC x_v cell %d = %d, want %d",
+				cell, f.MaxContribution[FlowCreation][cell], want[cell])
+		}
+	}
+}
+
+func TestComputeFlowsRejectsWorkerAttrs(t *testing.T) {
+	p := testPanel(t, 7)
+	q := table.MustNewQuery(p.Base.Schema(), lodes.AttrPlace, lodes.AttrSex)
+	if _, err := ComputeFlows(p, q); err == nil {
+		t.Error("worker-attribute flow query accepted")
+	}
+}
+
+func TestReleaseFlowsIdentityPreserved(t *testing.T) {
+	// The derived E must satisfy the identity against the released B, JC,
+	// JD exactly (post-processing is deterministic).
+	p := testPanel(t, 8)
+	f, err := ComputeFlows(p, workplaceQuery(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mech.NewSmoothLaplace(0.1, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := ReleaseFlows(f, m, dist.NewStreamFromSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cell := range rel.Noisy[FlowEnd] {
+		want := rel.Noisy[FlowBeginning][cell] + rel.Noisy[FlowCreation][cell] - rel.Noisy[FlowDestruction][cell]
+		if math.Abs(rel.Noisy[FlowEnd][cell]-want) > 1e-9 {
+			t.Fatalf("cell %d: derived E %v != identity %v", cell, rel.Noisy[FlowEnd][cell], want)
+		}
+	}
+	if rel.ReleaseCount() != 3 {
+		t.Errorf("release count = %d, want 3 (E derived free)", rel.ReleaseCount())
+	}
+}
+
+func TestReleaseFlowsAccuracy(t *testing.T) {
+	// Released flows track truth at reasonable eps; the derived E's error
+	// is bounded by the sum of the three released errors.
+	p := testPanel(t, 10)
+	f, err := ComputeFlows(p, workplaceQuery(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mech.NewSmoothLaplace(0.1, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 10
+	parent := dist.NewStreamFromSeed(11)
+	var errB, errE, errJC, errJD float64
+	for trial := 0; trial < trials; trial++ {
+		rel, err := ReleaseFlows(f, m, parent.SplitIndex("t", trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cell := range rel.Noisy[FlowEnd] {
+			errB += math.Abs(rel.Noisy[FlowBeginning][cell] - float64(f.Totals[FlowBeginning][cell]))
+			errE += math.Abs(rel.Noisy[FlowEnd][cell] - float64(f.Totals[FlowEnd][cell]))
+			errJC += math.Abs(rel.Noisy[FlowCreation][cell] - float64(f.Totals[FlowCreation][cell]))
+			errJD += math.Abs(rel.Noisy[FlowDestruction][cell] - float64(f.Totals[FlowDestruction][cell]))
+		}
+	}
+	totalB := 0.0
+	for _, v := range f.Totals[FlowBeginning] {
+		totalB += float64(v)
+	}
+	if errB/trials > 0.2*totalB {
+		t.Errorf("B release error %v too large vs total %v", errB/trials, totalB)
+	}
+	if errE > errB+errJC+errJD+1e-6 {
+		t.Errorf("derived E error %v exceeds component sum %v", errE, errB+errJC+errJD)
+	}
+	// JC/JD have much smaller x_v (changes, not levels) so their absolute
+	// error should be below B's.
+	if errJC >= errB || errJD >= errB {
+		t.Errorf("flow errors JC=%v JD=%v should be below B=%v (smaller x_v)", errJC, errJD, errB)
+	}
+}
+
+func TestNetChange(t *testing.T) {
+	p := testPanel(t, 12)
+	f, err := ComputeFlows(p, workplaceQuery(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mech.NewSmoothLaplace(0.1, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := ReleaseFlows(f, m, dist.NewStreamFromSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := rel.NetChange()
+	for cell := range net {
+		want := rel.Noisy[FlowCreation][cell] - rel.Noisy[FlowDestruction][cell]
+		if net[cell] != want {
+			t.Fatalf("net change cell %d = %v, want %v", cell, net[cell], want)
+		}
+	}
+}
+
+func TestFlowKindString(t *testing.T) {
+	for k, want := range map[FlowKind]string{
+		FlowBeginning: "B", FlowEnd: "E", FlowCreation: "JC", FlowDestruction: "JD",
+	} {
+		if k.String() != want {
+			t.Errorf("flow %d string = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

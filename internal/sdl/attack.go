@@ -1,0 +1,104 @@
+package sdl
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the Section 5.2 inference attacks against input
+// noise infusion as executable demonstrations. Each attack's premise is a
+// marginal q_{V_I ∪ V_W} in which one workplace-attribute combination v_W
+// matches exactly one establishment w, so the released counts for cells
+// (v_W, c) are f_w · h(w, c) whenever they exceed the small-cell limit.
+
+// ShapeDisclosure is the first attack: because every cell of the single
+// establishment is scaled by the *same* factor f_w, released ratios equal
+// true ratios exactly. Given the released counts for the establishment's
+// cells (all above the small-cell limit), it returns the establishment's
+// exact workforce shape (the normalized distribution over cells),
+// violating the establishment-shape requirement (Definition 4.3).
+func ShapeDisclosure(released []float64) ([]float64, error) {
+	var total float64
+	for i, r := range released {
+		if r < 0 {
+			return nil, fmt.Errorf("sdl: released count %d is negative (%v)", i, r)
+		}
+		total += r
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("sdl: all released counts are zero; no shape to recover")
+	}
+	shape := make([]float64, len(released))
+	for i, r := range released {
+		shape[i] = r / total
+	}
+	return shape, nil
+}
+
+// FactorReconstruction is the second attack: an attacker who knows one
+// true cell count (say 100 males aged 20–25) divides the released count
+// by it to recover f_w exactly, then divides every other released cell by
+// f_w to recover the establishment's entire histogram and total size —
+// violating the establishment-size requirement (Definition 4.2).
+//
+// knownCell indexes the cell whose true count the attacker knows;
+// knownTrue is that count. Returns the reconstructed factor and the
+// reconstructed true counts for all cells.
+func FactorReconstruction(released []float64, knownCell int, knownTrue float64) (factor float64, reconstructed []float64, err error) {
+	if knownCell < 0 || knownCell >= len(released) {
+		return 0, nil, fmt.Errorf("sdl: known cell %d out of range", knownCell)
+	}
+	if !(knownTrue > 0) {
+		return 0, nil, fmt.Errorf("sdl: attacker's known count must be positive, got %v", knownTrue)
+	}
+	factor = released[knownCell] / knownTrue
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		return 0, nil, fmt.Errorf("sdl: degenerate reconstructed factor %v", factor)
+	}
+	reconstructed = make([]float64, len(released))
+	for i, r := range released {
+		reconstructed[i] = r / factor
+	}
+	return factor, reconstructed, nil
+}
+
+// ZeroCountReIdentification is the third attack: zero counts pass through
+// noise infusion unperturbed, so if the attacker knows the establishment
+// has exactly one employee with some attribute value (e.g. one college
+// graduate), the *unique* cell with a positive released count among the
+// cells matching that attribute reveals the employee's remaining
+// attributes — violating the employee requirement (Definition 4.1).
+//
+// released holds the establishment's released counts; matching marks the
+// cells consistent with the attacker's background knowledge. The attack
+// succeeds when exactly one matching cell is positive, and returns its
+// index.
+func ZeroCountReIdentification(released []float64, matching []bool) (cell int, err error) {
+	if len(released) != len(matching) {
+		return 0, fmt.Errorf("sdl: length mismatch %d vs %d", len(released), len(matching))
+	}
+	found := -1
+	for i := range released {
+		if !matching[i] || released[i] <= 0 {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sdl: multiple candidate cells (%d and %d); attack inconclusive", found, i)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sdl: no positive matching cell; background knowledge inconsistent with release")
+	}
+	return found, nil
+}
+
+// TotalSizeFromReconstruction sums reconstructed cell counts into the
+// establishment's total employment, the headline confidential value.
+func TotalSizeFromReconstruction(reconstructed []float64) float64 {
+	var total float64
+	for _, v := range reconstructed {
+		total += v
+	}
+	return total
+}

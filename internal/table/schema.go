@@ -1,0 +1,96 @@
+package table
+
+import "fmt"
+
+// Schema is an ordered list of attribute domains, identifying a relation's
+// columns. The paper's WorkerFull relation, for example, has a schema with
+// both workplace attributes (place, industry, ownership) and worker
+// attributes (sex, age, race, ethnicity, education).
+type Schema struct {
+	attrs []*Domain
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given domains. Domain names must be
+// distinct.
+func NewSchema(attrs ...*Domain) *Schema {
+	if len(attrs) == 0 {
+		panic("table: schema must have at least one attribute")
+	}
+	idx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == nil {
+			panic("table: schema attribute must not be nil")
+		}
+		if _, dup := idx[a.Name]; dup {
+			panic(fmt.Sprintf("table: schema has duplicate attribute %q", a.Name))
+		}
+		idx[a.Name] = i
+	}
+	return &Schema{attrs: attrs, index: idx}
+}
+
+// NumAttrs returns the number of attributes in the schema.
+func (s *Schema) NumAttrs() int { return len(s.attrs) }
+
+// Attr returns the domain at position i.
+func (s *Schema) Attr(i int) *Domain {
+	if i < 0 || i >= len(s.attrs) {
+		panic(fmt.Sprintf("table: attribute index %d out of range (schema has %d)", i, len(s.attrs)))
+	}
+	return s.attrs[i]
+}
+
+// AttrIndex returns the position of the attribute with the given name, or
+// an error if no such attribute exists.
+func (s *Schema) AttrIndex(name string) (int, error) {
+	i, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("table: schema has no attribute %q", name)
+	}
+	return i, nil
+}
+
+// MustAttrIndex is AttrIndex but panics on unknown names.
+func (s *Schema) MustAttrIndex(name string) int {
+	i, err := s.AttrIndex(name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// HasAttr reports whether the schema contains an attribute with the name.
+func (s *Schema) HasAttr(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Resolve maps attribute names to their schema positions, preserving the
+// given order. It is the entry point for parsing a marginal query's
+// attribute set V.
+func (s *Schema) Resolve(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	seen := make(map[int]bool, len(names))
+	for i, n := range names {
+		idx, err := s.AttrIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("table: attribute %q listed twice in query", n)
+		}
+		seen[idx] = true
+		out[i] = idx
+	}
+	return out, nil
+}
