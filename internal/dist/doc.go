@@ -1,0 +1,39 @@
+// Package dist is the deterministic randomness substrate of the
+// repository: a splittable random stream plus the noise and data
+// distributions every mechanism, generator and experiment draws from.
+//
+// # The stream contract
+//
+// Every randomized operation in this repository takes an explicit
+// *Stream. A Stream has an immutable identity (derived from its seed and
+// the chain of Split labels that produced it) and a mutable draw
+// position. The two rules that make whole experiments reproducible are:
+//
+//  1. Determinism: a stream's draw sequence is a pure function of its
+//     identity. NewStreamFromSeed(42).Float64() is the same number on
+//     every machine, architecture and run. (Integer and uniform draws
+//     are exact everywhere; samplers that go through math.Log/Exp/Atan
+//     inherit Go's transcendental implementations, which can differ in
+//     the last ulp on ports with assembly math routines — bit-exact
+//     reproducibility for those is per-architecture.)
+//
+//  2. Split purity: Split and SplitIndex derive the child's identity
+//     from the parent's identity only — not from how many draws the
+//     parent (or any sibling) has made. s.Split("workers") denotes the
+//     same stream no matter when it is called, so independent
+//     subsystems can re-derive their stream from a shared root without
+//     coordinating draw order.
+//
+// Children with different labels (or indices) are statistically
+// independent of each other and of the parent's own draw sequence; the
+// golden-vector tests pin both properties.
+//
+// # Samplers
+//
+// Noise distributions (Laplace, GenCauchy) expose Sample together with
+// the closed forms the verification layers need (PDF, CDF, Quantile).
+// Data distributions (LogNormal, Pareto, SkewedSize, GapUniform) model
+// the synthetic LODES inputs and the SDL distortion factors.
+// KolmogorovSmirnov is the goodness-of-fit check the sampler tests and
+// the eval layer share.
+package dist

@@ -1,0 +1,45 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pareto is the Pareto (type I) distribution with scale x_m and shape
+// α: P(X > x) = (x_m/x)^α for x >= x_m. It models the heavy tail of
+// establishment sizes — the factories, hospitals and universities whose
+// single-establishment cells drive the paper's sensitivity analysis.
+type Pareto struct {
+	// Xm is the scale (minimum value); Alpha the tail exponent.
+	Xm, Alpha float64
+}
+
+// NewPareto returns the Pareto distribution with minimum xm and shape
+// alpha. It panics unless both are positive.
+func NewPareto(xm, alpha float64) Pareto {
+	if !(xm > 0) || !(alpha > 0) {
+		panic(fmt.Sprintf("dist: Pareto requires xm > 0 and alpha > 0, got xm=%v alpha=%v", xm, alpha))
+	}
+	return Pareto{Xm: xm, Alpha: alpha}
+}
+
+// Sample draws one variate by inverting the survival function.
+func (p Pareto) Sample(s *Stream) float64 {
+	return p.Xm / math.Pow(s.float64Open(), 1/p.Alpha)
+}
+
+// Mean returns E X = α·x_m/(α−1) for α > 1, +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// CDF returns P(X <= x).
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
