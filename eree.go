@@ -107,7 +107,25 @@ func WorkplaceAttrs() []string { return lodes.WorkplaceAttrs() }
 // WorkerAttrs lists the worker-side attributes (the paper's V_I).
 func WorkerAttrs() []string { return lodes.WorkerAttrs() }
 
-// Publisher answers marginal release requests over one dataset.
+// Publisher answers marginal release requests over one dataset. The truth
+// for each marginal is computed once — via an entity-sorted columnar
+// index over the dataset — and served from a concurrency-safe cache, so
+// repeated releases of the same query (different mechanisms, parameters
+// or trials) pay only for noise. Beyond ReleaseMarginal and
+// ReleaseSingleCell, a Publisher offers:
+//
+//   - ReleaseBatch: answer many requests at once — missing marginals are
+//     computed in a single pass over the data, noise is drawn in
+//     parallel, and an attached Accountant is charged atomically (an
+//     over-budget batch spends nothing);
+//   - PrefetchMarginals: warm the cache for a set of queries with one
+//     table scan;
+//   - MarginalCacheStats, SetMarginalCacheEnabled and
+//     InvalidateMarginalCache: observe and control the cache.
+//
+// Because truth is cached, Release.Truth (and the result of
+// Publisher.Marginal) is shared across releases of the same attribute
+// set and must be treated as read-only.
 type Publisher = core.Publisher
 
 // NewPublisher creates a publisher for the dataset.
@@ -118,6 +136,10 @@ type (
 	Request = core.Request
 	Release = core.Release
 )
+
+// CacheStats reports the publisher's marginal-cache effectiveness: a hit
+// is a release that skipped the full-table scan.
+type CacheStats = core.CacheStats
 
 // MechanismKind selects a release mechanism.
 type MechanismKind = core.MechanismKind
@@ -185,6 +207,13 @@ func NewQuery(d *Dataset, attrs ...string) (*Query, error) {
 // relation, returning the confidential true counts.
 func ComputeMarginal(d *Dataset, q *Query) *Marginal {
 	return table.Compute(d.WorkerFull, q)
+}
+
+// ComputeMarginals evaluates many queries in one sharded pass over the
+// dataset, positionally aligned with the input — the bulk path for
+// workloads that ask several marginals of the same snapshot.
+func ComputeMarginals(d *Dataset, qs []*Query) []*Marginal {
+	return table.ComputeAll(d.WorkerFull, qs)
 }
 
 // OnTheMap residence-side protection (the paper's footnote 2 /

@@ -269,3 +269,49 @@ func TestPublicSingleCellAndDataset(t *testing.T) {
 		t.Error("released exactly")
 	}
 }
+
+func TestPublicBatchAndCache(t *testing.T) {
+	data, err := Generate(TestDataConfig(), 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := NewPublisher(data)
+	reqs := []Request{
+		{Attrs: WorkplaceAttrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2},
+		{Attrs: WorkplaceAttrs(), Mechanism: MechLogLaplace, Alpha: 0.1, Eps: 4},
+		{Attrs: WorkplaceAttrs(), Mechanism: MechSmoothLaplace, Alpha: 0.1, Eps: 2, Delta: 0.05},
+	}
+	rels, err := pub.ReleaseBatch(reqs, NewStream(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != len(reqs) {
+		t.Fatalf("batch returned %d releases, want %d", len(rels), len(reqs))
+	}
+	var stats CacheStats = pub.MarginalCacheStats()
+	if stats.Misses != 1 {
+		t.Errorf("three releases of one marginal cost %d scans, want 1", stats.Misses)
+	}
+	// The three releases share one truth but carry independent noise.
+	if rels[0].Truth != rels[1].Truth || rels[1].Truth != rels[2].Truth {
+		t.Error("batch releases do not share the cached truth")
+	}
+
+	// Bulk marginal computation is positionally aligned and agrees with
+	// the single-query path.
+	q1, err := NewQuery(data, AttrPlace, AttrIndustry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewQuery(data, AttrSex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := ComputeMarginals(data, []*Query{q1, q2})
+	if len(ms) != 2 {
+		t.Fatalf("ComputeMarginals returned %d results", len(ms))
+	}
+	if ms[0].Total() != ComputeMarginal(data, q1).Total() || ms[1].Total() != int64(data.NumJobs()) {
+		t.Error("bulk marginals disagree with single-query computation")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/privacy"
+)
+
+// ReleaseBatch answers many release requests as one batch: the missing
+// marginals are computed in a single sharded pass over the table, the
+// per-request noise is drawn in parallel, and the accountant (if any) is
+// charged atomically — either the whole batch fits in the remaining
+// budget or nothing is spent.
+//
+// Determinism: request i draws its noise from s.SplitIndex("batch", i),
+// so the result is bit-identical to calling
+//
+//	ReleaseMarginal(reqs[i], s.SplitIndex("batch", i))
+//
+// for each request in order, regardless of scheduling. Releases are
+// returned positionally aligned with the requests.
+func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	// Derive every request's loss once, upfront: it depends only on the
+	// request, and with an accountant attached it lets an over-budget
+	// batch fail fast before paying for scans and noise. The atomic
+	// SpendAll below remains authoritative — remaining budget only ever
+	// shrinks, so this pre-check can only reject what SpendAll would
+	// also reject.
+	losses := make([]privacy.Loss, len(reqs))
+	for i, req := range reqs {
+		loss, err := lossFor(req, definitionFor(req.Mechanism, req.Attrs), p.data.Schema())
+		if err != nil {
+			return nil, fmt.Errorf("core: batch request %d: %w", i, err)
+		}
+		losses[i] = loss
+	}
+	if p.accountant != nil {
+		var sumEps, sumDelta float64
+		for _, l := range losses {
+			sumEps += l.Eps
+			sumDelta += l.Delta
+		}
+		remEps, remDelta := p.accountant.Remaining()
+		if sumEps > remEps+1e-12 || sumDelta > remDelta+1e-15 {
+			return nil, fmt.Errorf("core: batch blocked: batch loss (eps=%g, delta=%g) exceeds remaining budget (eps=%g, delta=%g)",
+				sumEps, sumDelta, remEps, remDelta)
+		}
+	}
+	// One scan for every marginal the batch needs. Requests with invalid
+	// attribute sets are left out so their error surfaces below with the
+	// request's batch position attached.
+	attrSets := make([][]string, 0, len(reqs))
+	for _, req := range reqs {
+		if _, err := p.canonicalAttrs(req.Attrs); err == nil {
+			attrSets = append(attrSets, req.Attrs)
+		}
+	}
+	if err := p.PrefetchMarginals(attrSets); err != nil {
+		return nil, err
+	}
+
+	rels := make([]*Release, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, req := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, req Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rels[i], errs[i] = p.releaseWithLoss(req, losses[i], s.SplitIndex("batch", i))
+		}(i, req)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch request %d: %w", i, err)
+		}
+	}
+
+	if p.accountant != nil {
+		if err := p.accountant.SpendAll(losses); err != nil {
+			return nil, fmt.Errorf("core: batch blocked: %w", err)
+		}
+	}
+	return rels, nil
+}

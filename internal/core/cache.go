@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/mech"
+	"repro/internal/table"
+)
+
+// The publisher's marginal cache. Computing a marginal is a full pass
+// over the WorkerFull relation; the paper's evaluation (and any serving
+// deployment) asks for the same handful of marginals under thousands of
+// (mechanism, α, ε) combinations, so the truth is computed once per
+// attribute set and reused. Only the noise differs between releases —
+// and noise is what privacy budgets pay for, so reusing the truth is
+// free in privacy terms.
+//
+// Entries are keyed by the canonical attribute set (attributes sorted in
+// schema order): two requests that name the same attributes in different
+// orders share one table scan. The cell numbering of a marginal depends
+// on attribute order, so a non-canonical request is served by remapping
+// the canonical entry's cells — a permutation of mixed-radix digits,
+// O(cells) instead of O(rows).
+
+// CacheStats reports marginal-cache effectiveness. A hit means a release
+// skipped the full-table scan (whether served directly or by remapping a
+// canonical entry).
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// marginalEntry is one cached truth: the compiled query, its marginal,
+// and the per-cell mechanism inputs derived from it.
+type marginalEntry struct {
+	q     *table.Query
+	m     *table.Marginal
+	cells []mech.CellInput
+}
+
+func newMarginalEntry(q *table.Query, m *table.Marginal) *marginalEntry {
+	return &marginalEntry{q: q, m: m, cells: CellInputs(m)}
+}
+
+// exactKey identifies an attribute list in request order.
+func exactKey(attrs []string) string { return strings.Join(attrs, "\x1f") }
+
+// canonicalAttrs returns the attribute names sorted in schema order —
+// the cache's canonical form — or an error for unknown names.
+func (p *Publisher) canonicalAttrs(attrs []string) ([]string, error) {
+	schema := p.data.Schema()
+	idx, err := schema.Resolve(attrs)
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(idx)
+	out := make([]string, len(idx))
+	for i, a := range idx {
+		out[i] = schema.Attr(a).Name
+	}
+	return out, nil
+}
+
+// marginalFor returns the cached truth for the attribute set, computing
+// and caching it on first use. The returned entry is shared: its query,
+// marginal and cell inputs must be treated as read-only.
+//
+// The cache mutex is held across the compute, so concurrent requests for
+// the same marginal trigger exactly one table scan (the scan itself
+// parallelizes internally via the table index).
+func (p *Publisher) marginalFor(attrs []string) (*marginalEntry, error) {
+	canon, err := p.canonicalAttrs(attrs)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.marginalForLocked(attrs, canon)
+}
+
+func (p *Publisher) marginalForLocked(attrs, canon []string) (*marginalEntry, error) {
+	if p.cacheOff {
+		q, err := table.NewQuery(p.data.Schema(), attrs...)
+		if err != nil {
+			return nil, err
+		}
+		return newMarginalEntry(q, table.Compute(p.data.WorkerFull, q)), nil
+	}
+	key := exactKey(attrs)
+	if e, ok := p.marginals[key]; ok {
+		p.cacheHits++
+		return e, nil
+	}
+	canonKey := exactKey(canon)
+	canonEntry, haveCanon := p.marginals[canonKey]
+	if !haveCanon {
+		q, err := table.NewQuery(p.data.Schema(), canon...)
+		if err != nil {
+			return nil, err
+		}
+		canonEntry = newMarginalEntry(q, table.Compute(p.data.WorkerFull, q))
+		p.marginals[canonKey] = canonEntry
+		p.cacheMisses++
+	} else if key != canonKey {
+		// Truth reused, only the cell numbering changes: count as a hit.
+		p.cacheHits++
+	}
+	if key == canonKey {
+		return canonEntry, nil
+	}
+	q, err := table.NewQuery(p.data.Schema(), attrs...)
+	if err != nil {
+		return nil, err
+	}
+	e := newMarginalEntry(q, remapMarginal(canonEntry.m, q))
+	p.marginals[key] = e
+	return e, nil
+}
+
+// remapMarginal re-expresses a marginal under a query over the same
+// attribute set in a different order. Cell keys are mixed-radix encodings
+// of the per-attribute codes, so the remap permutes digits: decode each
+// destination cell, reorder the codes into source attribute order, and
+// copy the source cell's statistics.
+func remapMarginal(src *table.Marginal, dst *table.Query) *table.Marginal {
+	srcQ := src.Query
+	// perm[j] = position within dst's attribute list of srcQ's j-th
+	// attribute.
+	dstPos := make(map[int]int, len(dst.Attrs()))
+	for i, a := range dst.Attrs() {
+		dstPos[a] = i
+	}
+	perm := make([]int, len(srcQ.Attrs()))
+	for j, a := range srcQ.Attrs() {
+		perm[j] = dstPos[a]
+	}
+	out := &table.Marginal{
+		Query:                    dst,
+		Counts:                   make([]int64, dst.NumCells()),
+		MaxEntityContribution:    make([]int64, dst.NumCells()),
+		SecondEntityContribution: make([]int64, dst.NumCells()),
+		EntityCount:              make([]int64, dst.NumCells()),
+	}
+	codes := make([]int, len(perm))
+	srcCodes := make([]int, len(perm))
+	for cell := 0; cell < dst.NumCells(); cell++ {
+		codes = dst.DecodeCell(cell, codes)
+		for j := range perm {
+			srcCodes[j] = codes[perm[j]]
+		}
+		srcCell := srcQ.CellKey(srcCodes...)
+		out.Counts[cell] = src.Counts[srcCell]
+		out.MaxEntityContribution[cell] = src.MaxEntityContribution[srcCell]
+		out.SecondEntityContribution[cell] = src.SecondEntityContribution[srcCell]
+		out.EntityCount[cell] = src.EntityCount[srcCell]
+	}
+	return out
+}
+
+// Marginal returns the (cached) true marginal for the attribute set, in
+// the given attribute order. The marginal is shared with the cache and
+// must be treated as read-only — it is the confidential truth, retained
+// for evaluation.
+func (p *Publisher) Marginal(attrs []string) (*table.Marginal, error) {
+	e, err := p.marginalFor(attrs)
+	if err != nil {
+		return nil, err
+	}
+	return e.m, nil
+}
+
+// PrefetchMarginals computes every not-yet-cached marginal among the
+// attribute sets in a single sharded pass over the table (the
+// incremental-view-maintenance move: pay one scan, answer many queries).
+func (p *Publisher) PrefetchMarginals(attrSets [][]string) error {
+	canons := make([][]string, 0, len(attrSets))
+	for _, attrs := range attrSets {
+		canon, err := p.canonicalAttrs(attrs)
+		if err != nil {
+			return err
+		}
+		canons = append(canons, canon)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cacheOff {
+		return nil
+	}
+	var missing []*table.Query
+	seen := make(map[string]bool)
+	for _, canon := range canons {
+		key := exactKey(canon)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := p.marginals[key]; ok {
+			continue
+		}
+		q, err := table.NewQuery(p.data.Schema(), canon...)
+		if err != nil {
+			return err
+		}
+		missing = append(missing, q)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	for i, m := range table.ComputeAll(p.data.WorkerFull, missing) {
+		q := missing[i]
+		p.marginals[exactKey(q.AttrNames())] = newMarginalEntry(q, m)
+		p.cacheMisses++
+	}
+	return nil
+}
+
+// SetMarginalCacheEnabled turns the marginal cache on or off (it is on
+// by default). Disabling also drops every cached entry, so a subsequent
+// enable starts cold.
+func (p *Publisher) SetMarginalCacheEnabled(enabled bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cacheOff = !enabled
+	if !enabled {
+		p.marginals = make(map[string]*marginalEntry)
+	}
+}
+
+// InvalidateMarginalCache drops every cached marginal (for callers that
+// mutate the underlying dataset between releases). Statistics persist.
+func (p *Publisher) InvalidateMarginalCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.marginals = make(map[string]*marginalEntry)
+}
+
+// MarginalCacheStats returns the cache's hit/miss counters.
+func (p *Publisher) MarginalCacheStats() CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return CacheStats{Hits: p.cacheHits, Misses: p.cacheMisses}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/dist"
@@ -86,7 +87,9 @@ type Release struct {
 	// Query is the compiled marginal query.
 	Query *table.Query
 	// Truth is the true marginal (confidential; retained for evaluation —
-	// a production deployment would not return it).
+	// a production deployment would not return it). It is shared with the
+	// publisher's marginal cache — and with every other release of the
+	// same attribute set — so it must be treated as read-only.
 	Truth *table.Marginal
 	// Noisy holds the released counts, indexed by cell key.
 	Noisy []float64
@@ -99,10 +102,20 @@ type Release struct {
 	Truncation *bipartite.TruncationResult
 }
 
-// Publisher answers release requests over one dataset.
+// Publisher answers release requests over one dataset. It is safe for
+// concurrent use: the truth for each marginal is computed once and served
+// from a cache (see cache.go), and budget accounting serializes inside
+// the Accountant.
 type Publisher struct {
 	data       *lodes.Dataset
 	accountant *privacy.Accountant
+
+	// mu guards the marginal cache.
+	mu          sync.Mutex
+	cacheOff    bool
+	marginals   map[string]*marginalEntry
+	cacheHits   int64
+	cacheMisses int64
 }
 
 // NewPublisher creates a publisher for the dataset.
@@ -110,7 +123,7 @@ func NewPublisher(d *lodes.Dataset) *Publisher {
 	if d == nil {
 		panic("core: nil dataset")
 	}
-	return &Publisher{data: d}
+	return &Publisher{data: d, marginals: make(map[string]*marginalEntry)}
 }
 
 // WithAccountant attaches a budget accountant; every subsequent release
@@ -177,18 +190,41 @@ func lossFor(req Request, def privacy.Definition, schema *table.Schema) (privacy
 	return privacy.MarginalLoss(cellLoss, d)
 }
 
-// ReleaseMarginal answers a marginal query under the request.
+// ReleaseMarginal answers a marginal query under the request. The truth
+// is served from the publisher's marginal cache (computed on first use);
+// the noise is drawn fresh from the given stream per cell.
 func (p *Publisher) ReleaseMarginal(req Request, s *dist.Stream) (*Release, error) {
-	q, err := table.NewQuery(p.data.Schema(), req.Attrs...)
+	rel, err := p.releaseUnaccounted(req, s)
 	if err != nil {
 		return nil, err
 	}
-	def := definitionFor(req.Mechanism, req.Attrs)
-	loss, err := lossFor(req, def, p.data.Schema())
+	if p.accountant != nil {
+		if err := p.accountant.Spend(rel.Loss); err != nil {
+			return nil, fmt.Errorf("core: release blocked: %w", err)
+		}
+	}
+	return rel, nil
+}
+
+// releaseUnaccounted builds a release without charging the accountant —
+// the shared core of ReleaseMarginal (which charges per release) and
+// ReleaseBatch (which charges the whole batch atomically).
+func (p *Publisher) releaseUnaccounted(req Request, s *dist.Stream) (*Release, error) {
+	loss, err := lossFor(req, definitionFor(req.Mechanism, req.Attrs), p.data.Schema())
 	if err != nil {
 		return nil, err
 	}
-	truth := table.Compute(p.data.WorkerFull, q)
+	return p.releaseWithLoss(req, loss, s)
+}
+
+// releaseWithLoss builds a release for a request whose loss the caller
+// has already derived (ReleaseBatch derives every loss once, upfront).
+func (p *Publisher) releaseWithLoss(req Request, loss privacy.Loss, s *dist.Stream) (*Release, error) {
+	entry, err := p.marginalFor(req.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	q, truth := entry.q, entry.m
 
 	rel := &Release{Query: q, Truth: truth, Loss: loss}
 	switch req.Mechanism {
@@ -209,19 +245,12 @@ func (p *Publisher) ReleaseMarginal(req Request, s *dist.Stream) (*Release, erro
 		if err != nil {
 			return nil, err
 		}
-		cells := CellInputs(truth)
-		noisy, err := mech.ReleaseCells(m, cells, s)
+		noisy, err := mech.ReleaseCells(m, entry.cells, s)
 		if err != nil {
 			return nil, err
 		}
 		rel.Noisy = noisy
 		rel.MechanismName = m.Name()
-	}
-
-	if p.accountant != nil {
-		if err := p.accountant.Spend(loss); err != nil {
-			return nil, fmt.Errorf("core: release blocked: %w", err)
-		}
 	}
 	return rel, nil
 }
@@ -255,11 +284,14 @@ func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.
 	if err != nil {
 		return 0, 0, privacy.Loss{}, err
 	}
-	marg := table.Compute(p.data.WorkerFull, q)
-	in := mech.CellInput{
-		Count:           float64(marg.Counts[cell]),
-		MaxContribution: marg.MaxEntityContribution[cell],
+	// One cell never justifies a fresh full-table scan: serve the cell's
+	// statistics from the publisher's marginal cache.
+	entry, err := p.marginalFor(req.Attrs)
+	if err != nil {
+		return 0, 0, privacy.Loss{}, err
 	}
+	marg := entry.m
+	in := entry.cells[cell]
 	v, err := m.ReleaseCell(in, s)
 	if err != nil {
 		return 0, 0, privacy.Loss{}, err

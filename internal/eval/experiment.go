@@ -19,15 +19,17 @@ import (
 // instantiated SDL baseline (whose factors are drawn once, like the
 // production system's time-invariant factors), caches the SDL release per
 // workload (the "current publication" every ratio is computed against),
-// and derives per-trial noise streams from a single seed.
+// and derives per-trial noise streams from a single seed. True marginals
+// are served by a core.Publisher, so the harness shares the engine's
+// marginal cache instead of keeping its own.
 type Harness struct {
 	Data   *lodes.Dataset
 	Trials int
 
+	pub      *core.Publisher
 	sdlSys   *sdl.System
 	seed     *dist.Stream
 	sdlCache map[string][]float64
-	margKeep map[string]*table.Marginal
 }
 
 // NewHarness builds a harness over the dataset with the given trial count.
@@ -42,31 +44,38 @@ func NewHarness(d *lodes.Dataset, seed *dist.Stream, trials int) (*Harness, erro
 	return &Harness{
 		Data:     d,
 		Trials:   trials,
+		pub:      core.NewPublisher(d),
 		sdlSys:   sys,
 		seed:     seed,
 		sdlCache: make(map[string][]float64),
-		margKeep: make(map[string]*table.Marginal),
 	}, nil
 }
 
 // SDL returns the harness's SDL system (for the attack example).
 func (h *Harness) SDL() *sdl.System { return h.sdlSys }
 
+// Publisher returns the harness's release engine (and with it the
+// marginal cache the figures share).
+func (h *Harness) Publisher() *core.Publisher { return h.pub }
+
 func attrsKey(attrs []string) string { return strings.Join(attrs, ",") }
 
 // Marginal returns the (cached) true marginal for the attribute set.
 func (h *Harness) Marginal(attrs []string) (*table.Marginal, error) {
-	key := attrsKey(attrs)
-	if m, ok := h.margKeep[key]; ok {
-		return m, nil
-	}
-	q, err := table.NewQuery(h.Data.Schema(), attrs...)
-	if err != nil {
-		return nil, err
-	}
-	m := table.Compute(h.Data.WorkerFull, q)
-	h.margKeep[key] = m
-	return m, nil
+	return h.pub.Marginal(attrs)
+}
+
+// Prefetch computes every not-yet-cached marginal among the attribute
+// sets in one pass over the dataset, so a run of several figures pays a
+// single table scan up front.
+func (h *Harness) Prefetch(attrSets ...[]string) error {
+	return h.pub.PrefetchMarginals(attrSets)
+}
+
+// PrefetchWorkloads prefetches the marginals behind every figure and
+// finding (Workloads 1–3 share two distinct attribute sets).
+func (h *Harness) PrefetchWorkloads() error {
+	return h.Prefetch(Workload1Attrs(), Workload2Attrs(), Workload3Attrs())
 }
 
 // SDLRelease returns the (cached) SDL publication of the attribute set.

@@ -20,6 +20,8 @@ package mech
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/dist"
 )
@@ -45,10 +47,26 @@ type CellMechanism interface {
 	ExpectedL1(in CellInput) float64
 }
 
+// parallelCellCutoff is the vector length below which ReleaseCells stays
+// sequential: goroutine startup costs more than drawing the noise.
+const parallelCellCutoff = 512
+
 // ReleaseCells applies a cell mechanism to a vector of cells, deriving a
 // per-cell stream from the given parent so results do not depend on
-// iteration order.
+// iteration order. Large vectors are released in parallel across
+// GOMAXPROCS workers; the per-cell streams make the output bit-identical
+// to the sequential path either way.
 func ReleaseCells(m CellMechanism, cells []CellInput, parent *dist.Stream) ([]float64, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(cells) < parallelCellCutoff {
+		workers = 1
+	}
+	return ReleaseCellsParallel(m, cells, parent, workers)
+}
+
+// ReleaseCellsSequential is the scalar release loop, retained as the
+// golden reference the parallel path is tested against.
+func ReleaseCellsSequential(m CellMechanism, cells []CellInput, parent *dist.Stream) ([]float64, error) {
 	out := make([]float64, len(cells))
 	for i, c := range cells {
 		v, err := m.ReleaseCell(c, parent.SplitIndex("cell", i))
@@ -56,6 +74,61 @@ func ReleaseCells(m CellMechanism, cells []CellInput, parent *dist.Stream) ([]fl
 			return nil, fmt.Errorf("mech: %s cell %d: %w", m.Name(), i, err)
 		}
 		out[i] = v
+	}
+	return out, nil
+}
+
+// ReleaseCellsParallel releases the cell vector using the given number of
+// worker goroutines over contiguous chunks. Cell i's noise always comes
+// from parent.SplitIndex("cell", i) — the same label family the
+// sequential loop uses — so the output is bit-identical at every worker
+// count; only wall-clock time changes. SplitIndex is a pure function of
+// the parent's identity, so sharing the parent across workers is safe.
+//
+// On error the failing cell with the smallest index is reported,
+// matching the sequential loop's first-error semantics.
+func ReleaseCellsParallel(m CellMechanism, cells []CellInput, parent *dist.Stream, workers int) ([]float64, error) {
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		return ReleaseCellsSequential(m, cells, parent)
+	}
+	out := make([]float64, len(cells))
+	chunk := (len(cells) + workers - 1) / workers
+	errCells := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		errCells[w] = -1
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				v, err := m.ReleaseCell(cells[i], parent.SplitIndex("cell", i))
+				if err != nil {
+					errCells[w] = i
+					errs[w] = err
+					return
+				}
+				out[i] = v
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	firstCell, firstErr := -1, error(nil)
+	for w := range errs {
+		if errs[w] != nil && (firstCell < 0 || errCells[w] < firstCell) {
+			firstCell, firstErr = errCells[w], errs[w]
+		}
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("mech: %s cell %d: %w", m.Name(), firstCell, firstErr)
 	}
 	return out, nil
 }

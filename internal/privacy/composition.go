@@ -3,6 +3,7 @@ package privacy
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Loss is a privacy-loss triple (α, ε, δ). δ = 0 for pure definitions.
@@ -147,15 +148,20 @@ func MarginalLoss(cellLoss Loss, workerDomainSize int) (Loss, error) {
 // Accountant tracks cumulative privacy loss across releases under
 // sequential composition, enforcing a total budget. The α and definition
 // are fixed at construction: mixing them has no composition semantics.
+//
+// An Accountant is safe for concurrent use: parallel releases charging
+// the same budget serialize on an internal mutex, so the spent total is
+// always the exact sequential composition of the successful charges.
 type Accountant struct {
-	def          Definition
-	alpha        float64
-	budgetEps    float64
-	budgetDelta  float64
-	spentEps     float64
-	spentDelta   float64
-	numReleases  int
-	exhaustedErr error
+	def         Definition
+	alpha       float64
+	budgetEps   float64
+	budgetDelta float64
+
+	mu          sync.Mutex
+	spentEps    float64
+	spentDelta  float64
+	numReleases int
 }
 
 // NewAccountant creates an accountant for the given definition, α, and
@@ -188,35 +194,58 @@ func Implies(a, b Definition) bool {
 // A loss under a definition that Implies the accountant's definition is
 // accepted (e.g. a strong ER-EE release against a weak ER-EE budget).
 func (a *Accountant) Spend(l Loss) error {
-	if !Implies(l.Def, a.def) || l.Alpha != a.alpha {
-		return fmt.Errorf("privacy: accountant is for %v(alpha=%g), got %v", a.def, a.alpha, l)
+	return a.SpendAll([]Loss{l})
+}
+
+// SpendAll atomically charges a batch of releases: either every loss fits
+// within the remaining budget and all are charged, or none is. Batched
+// release pipelines use this so that a failing batch leaves the budget
+// untouched instead of half-spent.
+func (a *Accountant) SpendAll(losses []Loss) error {
+	var sumEps, sumDelta float64
+	for _, l := range losses {
+		if !Implies(l.Def, a.def) || l.Alpha != a.alpha {
+			return fmt.Errorf("privacy: accountant is for %v(alpha=%g), got %v", a.def, a.alpha, l)
+		}
+		if err := l.Validate(); err != nil {
+			return err
+		}
+		sumEps += l.Eps
+		sumDelta += l.Delta
 	}
-	if err := l.Validate(); err != nil {
-		return err
-	}
-	if a.spentEps+l.Eps > a.budgetEps+1e-12 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spentEps+sumEps > a.budgetEps+1e-12 {
 		return fmt.Errorf("privacy: eps budget exhausted: spent %g + %g > %g",
-			a.spentEps, l.Eps, a.budgetEps)
+			a.spentEps, sumEps, a.budgetEps)
 	}
-	if a.spentDelta+l.Delta > a.budgetDelta+1e-15 {
+	if a.spentDelta+sumDelta > a.budgetDelta+1e-15 {
 		return fmt.Errorf("privacy: delta budget exhausted: spent %g + %g > %g",
-			a.spentDelta, l.Delta, a.budgetDelta)
+			a.spentDelta, sumDelta, a.budgetDelta)
 	}
-	a.spentEps += l.Eps
-	a.spentDelta += l.Delta
-	a.numReleases++
+	a.spentEps += sumEps
+	a.spentDelta += sumDelta
+	a.numReleases += len(losses)
 	return nil
 }
 
 // Spent returns the cumulative loss so far.
 func (a *Accountant) Spent() Loss {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return Loss{Def: a.def, Alpha: a.alpha, Eps: a.spentEps, Delta: a.spentDelta}
 }
 
 // Remaining returns the unspent (ε, δ) budget.
 func (a *Accountant) Remaining() (eps, delta float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return a.budgetEps - a.spentEps, a.budgetDelta - a.spentDelta
 }
 
 // Releases returns how many releases have been charged.
-func (a *Accountant) Releases() int { return a.numReleases }
+func (a *Accountant) Releases() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.numReleases
+}

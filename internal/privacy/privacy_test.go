@@ -2,6 +2,8 @@ package privacy
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -376,5 +378,65 @@ func TestAccountantAcceptsImpliedDefinition(t *testing.T) {
 	}
 	if err := s.Spend(Loss{Def: WeakEREE, Alpha: 0.1, Eps: 1}); err == nil {
 		t.Error("weak release accepted by strong accountant")
+	}
+}
+
+func TestAccountantConcurrentSpend(t *testing.T) {
+	// 8 goroutines × 16 spends of ε=1 against a budget of 100: exactly
+	// 100 spends must succeed and 28 must be rejected, and the spent
+	// total must be the exact sequential composition of the successes.
+	a, err := NewAccountant(StrongEREE, 0.1, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := Loss{Def: StrongEREE, Alpha: 0.1, Eps: 1}
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				if err := a.Spend(loss); err == nil {
+					accepted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if accepted.Load() != 100 {
+		t.Errorf("accepted %d spends, want exactly 100", accepted.Load())
+	}
+	if got := a.Spent().Eps; got != 100 {
+		t.Errorf("spent eps = %g, want 100", got)
+	}
+	if got := a.Releases(); got != 100 {
+		t.Errorf("releases = %d, want 100", got)
+	}
+}
+
+func TestAccountantSpendAllAtomic(t *testing.T) {
+	a, err := NewAccountant(StrongEREE, 0.1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Loss{Def: StrongEREE, Alpha: 0.1, Eps: 2}
+	// Batch of three ε=2 losses exceeds the budget of 5: nothing may be
+	// charged.
+	if err := a.SpendAll([]Loss{l, l, l}); err == nil {
+		t.Fatal("over-budget batch accepted")
+	}
+	if got := a.Spent().Eps; got != 0 {
+		t.Fatalf("failed batch left %g eps spent, want 0", got)
+	}
+	// A fitting batch charges everything.
+	if err := a.SpendAll([]Loss{l, l}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent().Eps; got != 4 {
+		t.Fatalf("spent eps = %g, want 4", got)
+	}
+	if got := a.Releases(); got != 2 {
+		t.Fatalf("releases = %d, want 2", got)
 	}
 }

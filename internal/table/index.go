@@ -1,0 +1,327 @@
+package table
+
+import (
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+)
+
+// Index is an entity-sorted view of a table, built once and reused across
+// marginal queries. Rows are pre-grouped by entity (establishment), so a
+// query evaluates as one pass over entity groups: within a group, the
+// rows' cell keys are sorted and each run of equal keys is exactly one
+// (cell, entity) contribution — the per-entity histogram value h(w, c)
+// from which the cell count, x_v (largest single-entity contribution),
+// second-largest contribution and distinct-entity count all fall out
+// without any hash map.
+//
+// Entity-less rows (entity −1) are each their own singleton group, with
+// synthetic IDs −1, −2, … assigned in row order so that the detailed
+// histogram is identical to the one the reference scalar engine produces.
+//
+// Group spans are sharded across workers at query time; each worker
+// accumulates partial per-cell statistics that are merged in a fixed
+// shard order, so the result is bit-identical at every worker count.
+type Index struct {
+	t *Table
+	// n is the row count the index was built at; a Table invalidates a
+	// cached index by comparing this against its current row count.
+	n int
+	// rows lists every row ID, grouped by entity.
+	rows []int32
+	// starts delimits the groups: group g spans
+	// rows[starts[g]:starts[g+1]].
+	starts []int32
+	// entities holds each group's entity ID (synthetic negatives for
+	// entity-less rows).
+	entities []int32
+	// maxGroup is the largest group size, for sizing per-worker scratch.
+	maxGroup int
+}
+
+// BuildIndex constructs the entity-sorted index for the table's current
+// rows. Most callers want Table.Index, which builds lazily and caches.
+func BuildIndex(t *Table) *Index {
+	n := t.NumRows()
+	numEnt := t.NumEntities()
+	// Counting sort over entity IDs. Entity-less rows are appended after
+	// the real groups, in row order, one singleton group each.
+	counts := make([]int32, numEnt)
+	anon := 0
+	for _, e := range t.entities {
+		if e < 0 {
+			anon++
+		} else {
+			counts[e]++
+		}
+	}
+	ix := &Index{t: t, n: n, rows: make([]int32, n)}
+	numGroups := anon
+	for _, c := range counts {
+		if c > 0 {
+			numGroups++
+		}
+	}
+	ix.starts = make([]int32, 0, numGroups+1)
+	ix.entities = make([]int32, 0, numGroups)
+	// offsets[e] is where entity e's rows begin in ix.rows.
+	offsets := make([]int32, numEnt)
+	var pos int32
+	for e, c := range counts {
+		if c == 0 {
+			continue
+		}
+		offsets[e] = pos
+		ix.starts = append(ix.starts, pos)
+		ix.entities = append(ix.entities, int32(e))
+		if int(c) > ix.maxGroup {
+			ix.maxGroup = int(c)
+		}
+		pos += c
+	}
+	anonPos := pos
+	var nextAnon int32 = -1
+	for row, e := range t.entities {
+		if e < 0 {
+			ix.rows[anonPos] = int32(row)
+			ix.starts = append(ix.starts, anonPos)
+			ix.entities = append(ix.entities, nextAnon)
+			nextAnon--
+			anonPos++
+			continue
+		}
+		ix.rows[offsets[e]] = int32(row)
+		offsets[e]++
+	}
+	if anon > 0 && ix.maxGroup == 0 {
+		ix.maxGroup = 1
+	}
+	ix.starts = append(ix.starts, int32(n))
+	return ix
+}
+
+// NumGroups returns the number of entity groups (singleton groups for
+// entity-less rows included).
+func (ix *Index) NumGroups() int { return len(ix.entities) }
+
+// partial is one worker's per-cell accumulator for one query.
+type partial struct {
+	counts   []int64
+	max      []int64
+	second   []int64
+	entities []int64
+	hist     []CellEntityCount
+}
+
+func newPartial(size int, detailed bool) *partial {
+	p := &partial{
+		counts:   make([]int64, size),
+		max:      make([]int64, size),
+		second:   make([]int64, size),
+		entities: make([]int64, size),
+	}
+	if detailed {
+		p.hist = make([]CellEntityCount, 0, size)
+	}
+	return p
+}
+
+// addRun folds one (cell, entity, count) contribution into the partial.
+func (p *partial) addRun(cell int, entity int32, c int64, detailed bool) {
+	p.counts[cell] += c
+	p.entities[cell]++
+	switch {
+	case c > p.max[cell]:
+		p.second[cell] = p.max[cell]
+		p.max[cell] = c
+	case c > p.second[cell]:
+		p.second[cell] = c
+	}
+	if detailed {
+		p.hist = append(p.hist, CellEntityCount{Cell: cell, Entity: entity, Count: c})
+	}
+}
+
+// merge folds another worker's partial into p. Sums are order-free; the
+// top-two contributions merge as the two largest of the four candidates.
+func (p *partial) merge(o *partial) {
+	for i := range p.counts {
+		p.counts[i] += o.counts[i]
+		p.entities[i] += o.entities[i]
+		hi, lo := o.max[i], o.second[i]
+		if hi > p.max[i] {
+			p.second[i] = max64(p.max[i], lo)
+			p.max[i] = hi
+		} else if hi > p.second[i] {
+			p.second[i] = hi
+		}
+		if lo > p.second[i] {
+			p.second[i] = lo
+		}
+	}
+	p.hist = append(p.hist, o.hist...)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// computeQueries evaluates the queries in one sharded pass over the
+// entity groups. All queries share the pass: each group's rows are
+// visited once per query by every worker that owns the group, so the
+// row data stays hot in cache across the query set.
+func (ix *Index) computeQueries(qs []*Query, detailed bool) ([]*Marginal, [][]CellEntityCount) {
+	for _, q := range qs {
+		if ix.t.Schema() != q.schema {
+			panic("table: query compiled against a different schema")
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > ix.NumGroups() {
+		workers = ix.NumGroups()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shards := ix.shardGroups(workers)
+	// partials[w][k] is worker w's accumulator for query k.
+	partials := make([][]*partial, len(shards))
+	var wg sync.WaitGroup
+	for w := range shards {
+		partials[w] = make([]*partial, len(qs))
+		for k, q := range qs {
+			partials[w][k] = newPartial(q.size, detailed)
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ix.scanShard(shards[w][0], shards[w][1], qs, partials[w], detailed)
+		}(w)
+	}
+	wg.Wait()
+
+	outM := make([]*Marginal, len(qs))
+	var outH [][]CellEntityCount
+	if detailed {
+		outH = make([][]CellEntityCount, len(qs))
+	}
+	for k, q := range qs {
+		// Merge shards in fixed order; shard 0's partial becomes the result.
+		acc := partials[0][k]
+		for w := 1; w < len(shards); w++ {
+			acc.merge(partials[w][k])
+		}
+		outM[k] = &Marginal{
+			Query:                    q,
+			Counts:                   acc.counts,
+			MaxEntityContribution:    acc.max,
+			SecondEntityContribution: acc.second,
+			EntityCount:              acc.entities,
+		}
+		if detailed {
+			hist := acc.hist
+			sort.Slice(hist, func(i, j int) bool {
+				if hist[i].Cell != hist[j].Cell {
+					return hist[i].Cell < hist[j].Cell
+				}
+				return hist[i].Entity < hist[j].Entity
+			})
+			outH[k] = hist
+		}
+	}
+	return outM, outH
+}
+
+// shardGroups splits the group range into contiguous spans of roughly
+// equal row weight. Returns [lo, hi) group spans.
+func (ix *Index) shardGroups(workers int) [][2]int {
+	numGroups := ix.NumGroups()
+	if workers <= 1 || numGroups <= 1 {
+		return [][2]int{{0, numGroups}}
+	}
+	target := (ix.n + workers - 1) / workers
+	var shards [][2]int
+	lo := 0
+	for lo < numGroups && len(shards) < workers-1 {
+		hi := lo
+		rows := 0
+		for hi < numGroups && rows < target {
+			rows += int(ix.starts[hi+1] - ix.starts[hi])
+			hi++
+		}
+		shards = append(shards, [2]int{lo, hi})
+		lo = hi
+	}
+	if lo < numGroups {
+		shards = append(shards, [2]int{lo, numGroups})
+	}
+	return shards
+}
+
+// scanShard accumulates the groups [gLo, gHi) into the per-query
+// partials. Within each group the rows' cell keys are sorted so that
+// each run of equal keys is one (cell, entity) histogram value.
+func (ix *Index) scanShard(gLo, gHi int, qs []*Query, ps []*partial, detailed bool) {
+	keys := make([]int, ix.maxGroup)
+	// Resolve each query's columns once; the inner loop then reads raw
+	// code slices instead of going through Table.Code's bounds checks.
+	qcols := make([][][]uint16, len(qs))
+	for k, q := range qs {
+		qcols[k] = make([][]uint16, len(q.attrs))
+		for i, a := range q.attrs {
+			qcols[k][i] = ix.t.cols[a]
+		}
+	}
+	for g := gLo; g < gHi; g++ {
+		lo, hi := ix.starts[g], ix.starts[g+1]
+		group := ix.rows[lo:hi]
+		entity := ix.entities[g]
+		for k, q := range qs {
+			cols := qcols[k]
+			ks := keys[:len(group)]
+			for i, row := range group {
+				key := 0
+				for j, col := range cols {
+					key = key*q.radices[j] + int(col[row])
+				}
+				ks[i] = key
+			}
+			if len(ks) > 1 {
+				slices.Sort(ks)
+			}
+			runStart := 0
+			for i := 1; i <= len(ks); i++ {
+				if i == len(ks) || ks[i] != ks[runStart] {
+					ps[k].addRun(ks[runStart], entity, int64(i-runStart), detailed)
+					runStart = i
+				}
+			}
+		}
+	}
+}
+
+// Compute evaluates one query over the index.
+func (ix *Index) Compute(q *Query) *Marginal {
+	ms, _ := ix.computeQueries([]*Query{q}, false)
+	return ms[0]
+}
+
+// ComputeAll evaluates many queries in one sharded pass over the index.
+func (ix *Index) ComputeAll(qs []*Query) []*Marginal {
+	if len(qs) == 0 {
+		return nil
+	}
+	ms, _ := ix.computeQueries(qs, false)
+	return ms
+}
+
+// ComputeDetailed evaluates one query and returns the per-entity
+// histogram sorted by (cell, entity).
+func (ix *Index) ComputeDetailed(q *Query) (*Marginal, []CellEntityCount) {
+	ms, hs := ix.computeQueries([]*Query{q}, true)
+	return ms[0], hs[0]
+}

@@ -176,10 +176,22 @@ type CellEntityCount struct {
 	Count  int64
 }
 
-// Compute evaluates the query over the table.
+// Compute evaluates the query over the table, using the table's
+// entity-sorted index (built lazily on first use and reused across
+// queries). The result is bit-identical to ComputeReference.
 func Compute(t *Table, q *Query) *Marginal {
-	m, _ := computeImpl(t, q, false)
-	return m
+	return t.Index().Compute(q)
+}
+
+// ComputeAll evaluates many queries in one sharded pass over the table's
+// entity-sorted index, so a workload of several marginals pays for a
+// single scan. Results are positionally aligned with the queries and
+// bit-identical to evaluating each query with Compute.
+func ComputeAll(t *Table, qs []*Query) []*Marginal {
+	if len(qs) == 0 {
+		return nil
+	}
+	return t.Index().ComputeAll(qs)
 }
 
 // ComputeDetailed evaluates the query and additionally returns the full
@@ -187,10 +199,25 @@ func Compute(t *Table, q *Query) *Marginal {
 // the SDL baseline perturbs and what the Section 5.2 attack demonstrations
 // inspect.
 func ComputeDetailed(t *Table, q *Query) (*Marginal, []CellEntityCount) {
-	return computeImpl(t, q, true)
+	return t.Index().ComputeDetailed(q)
 }
 
-func computeImpl(t *Table, q *Query, detailed bool) (*Marginal, []CellEntityCount) {
+// ComputeReference evaluates the query with the scalar hash-map group-by
+// engine: one pass over the rows into a per-(cell, entity) map. It is
+// retained as the differential-testing oracle for the indexed engine (and
+// for benchmarking the index against); production paths use Compute.
+func ComputeReference(t *Table, q *Query) *Marginal {
+	m, _ := computeReferenceImpl(t, q, false)
+	return m
+}
+
+// ComputeReferenceDetailed is ComputeReference with the per-entity
+// histogram, the oracle for ComputeDetailed.
+func ComputeReferenceDetailed(t *Table, q *Query) (*Marginal, []CellEntityCount) {
+	return computeReferenceImpl(t, q, true)
+}
+
+func computeReferenceImpl(t *Table, q *Query, detailed bool) (*Marginal, []CellEntityCount) {
 	if t.Schema() != q.schema {
 		panic("table: query compiled against a different schema")
 	}

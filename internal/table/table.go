@@ -1,6 +1,9 @@
 package table
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Table is a columnar table of coded records over a schema. Each column
 // stores uint16 value codes, which comfortably covers every categorical
@@ -19,6 +22,12 @@ type Table struct {
 	cols     [][]uint16
 	entities []int32
 	n        int
+
+	// idxMu guards idx, the lazily built entity-sorted index. The index
+	// records the row count it was built at; appending rows leaves it
+	// stale and Index rebuilds on next use.
+	idxMu sync.Mutex
+	idx   *Index
 }
 
 // New returns an empty table over the given schema.
@@ -127,6 +136,20 @@ func (t *Table) Column(attr int) []uint16 {
 // Entities returns the raw entity column. The returned slice is shared
 // with the table and must not be modified.
 func (t *Table) Entities() []int32 { return t.entities }
+
+// Index returns the table's entity-sorted index, building it on first
+// use and caching it. The cache is invalidated by appends (the index
+// remembers the row count it covers); concurrent readers are safe, but
+// appending concurrently with reads is not — same as every other Table
+// accessor.
+func (t *Table) Index() *Index {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.idx == nil || t.idx.n != t.n {
+		t.idx = BuildIndex(t)
+	}
+	return t.idx
+}
 
 func (t *Table) checkRow(row int) {
 	if row < 0 || row >= t.n {
