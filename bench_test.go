@@ -8,6 +8,7 @@ package eree
 // paper sweeps; cmd/experiments prints the full 20-trial series.
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -416,6 +417,153 @@ func BenchmarkReleaseCellsSequential(b *testing.B) {
 
 func BenchmarkReleaseCellsParallel(b *testing.B) {
 	benchReleaseCellsWith(b, mech.ReleaseCells)
+}
+
+// --- Paper-scale benchmarks (lodes.LargeConfig) ---
+//
+// These run the workload suite against the ~500k-establishment /
+// ~10M-job dataset — the magnitude of the paper's 3-state 2011 sample.
+// Generating that dataset takes tens of seconds, so the whole group is
+// gated behind EREE_LARGE_BENCH=1; scripts/bench.sh (the canonical
+// regeneration path for the BENCH JSON files) sets it, while the
+// compile-only CI bench job leaves it unset and skips.
+
+var (
+	benchLargeOnce sync.Once
+	benchLargeData *lodes.Dataset
+)
+
+func benchLargeDataset(b *testing.B) *lodes.Dataset {
+	b.Helper()
+	if os.Getenv("EREE_LARGE_BENCH") == "" {
+		b.Skip("paper-scale benchmark: set EREE_LARGE_BENCH=1 (scripts/bench.sh does)")
+	}
+	benchLargeOnce.Do(func() {
+		benchLargeData = lodes.MustGenerate(lodes.LargeConfig(), dist.NewStreamFromSeed(1))
+	})
+	return benchLargeData
+}
+
+// BenchmarkLargeScaleBuildIndex measures the one-time index build (the
+// counting sort over ~10M rows) at paper scale. Column materialization
+// is lazy — charged to the first query that touches each attribute —
+// so its cost shows up in the scan benchmarks' first iterations, not
+// here.
+func BenchmarkLargeScaleBuildIndex(b *testing.B) {
+	d := benchLargeDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if table.BuildIndex(d.WorkerFull).NumGroups() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkLargeScaleMarginalCompute measures the Workload 1 marginal
+// through the scatter kernel at paper scale (~10M rows per op).
+func BenchmarkLargeScaleMarginalCompute(b *testing.B) {
+	d := benchLargeDataset(b)
+	q := table.MustNewQuery(d.Schema(), eval.Workload1Attrs()...)
+	d.WorkerFull.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := table.Compute(d.WorkerFull, q)
+		if m.Total() == 0 {
+			b.Fatal("empty marginal")
+		}
+	}
+}
+
+// BenchmarkLargeScaleComputeAllWorkloads measures the single-scan
+// evaluation of the full workload suite (Workloads 1 and 2/3 share an
+// attribute set) at paper scale.
+func BenchmarkLargeScaleComputeAllWorkloads(b *testing.B) {
+	d := benchLargeDataset(b)
+	qs := []*table.Query{
+		table.MustNewQuery(d.Schema(), eval.Workload1Attrs()...),
+		table.MustNewQuery(d.Schema(), eval.Workload2Attrs()...),
+	}
+	d.WorkerFull.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms := table.ComputeAll(d.WorkerFull, qs)
+		if len(ms) != 2 || ms[0].Total() == 0 {
+			b.Fatal("bad bulk result")
+		}
+	}
+}
+
+// BenchmarkLargeScaleReleaseBatch measures the Workload 1 release grid
+// (three mechanisms × two ε) end-to-end at paper scale with a warm
+// marginal cache — the serving-path steady state.
+func BenchmarkLargeScaleReleaseBatch(b *testing.B) {
+	p := core.NewPublisher(benchLargeDataset(b))
+	attrs := eval.Workload1Attrs()
+	var reqs []core.Request
+	for _, eps := range []float64{1, 2} {
+		reqs = append(reqs,
+			core.Request{Attrs: attrs, Mechanism: core.MechLogLaplace, Alpha: 0.1, Eps: 2 * eps},
+			core.Request{Attrs: attrs, Mechanism: core.MechSmoothGamma, Alpha: 0.1, Eps: eps},
+			core.Request{Attrs: attrs, Mechanism: core.MechSmoothLaplace, Alpha: 0.1, Eps: eps, Delta: 0.05},
+		)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rels, err := p.ReleaseBatch(reqs, dist.NewStreamFromSeed(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rels) != len(reqs) {
+			b.Fatal("short batch")
+		}
+	}
+}
+
+// BenchmarkLargeScaleWorkload3Release measures the full worker ×
+// workplace marginal release (Workload 3, the d·ε regime) at paper
+// scale: tens of thousands of cells of smooth-sensitivity noise per op.
+func BenchmarkLargeScaleWorkload3Release(b *testing.B) {
+	p := core.NewPublisher(benchLargeDataset(b))
+	req := core.Request{
+		Attrs:     eval.Workload3Attrs(),
+		Mechanism: core.MechSmoothLaplace,
+		Alpha:     0.1, Eps: 16, Delta: 0.05,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeScaleSingleCells measures the Workload 2 regime (single
+// queries) at paper scale: per-cell releases served from the warm
+// marginal cache.
+func BenchmarkLargeScaleSingleCells(b *testing.B) {
+	p := core.NewPublisher(benchLargeDataset(b))
+	req := core.Request{
+		Attrs:     eval.Workload2Attrs(),
+		Mechanism: core.MechSmoothGamma,
+		Alpha:     0.1, Eps: 2,
+	}
+	m, err := p.Marginal(req.Attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cellValues []string
+	for cell := range m.Counts {
+		if m.Counts[cell] > 0 {
+			cellValues = m.Query.CellValues(cell)
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := p.ReleaseSingleCell(req, cellValues, dist.NewStreamFromSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSpearman measures the tie-aware rank correlation on

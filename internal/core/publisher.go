@@ -263,14 +263,8 @@ func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.
 	if req.Mechanism == MechTruncatedLaplace {
 		return 0, 0, privacy.Loss{}, fmt.Errorf("core: single-cell release not defined for truncated-laplace")
 	}
-	q, err := table.NewQuery(p.data.Schema(), req.Attrs...)
-	if err != nil {
-		return 0, 0, privacy.Loss{}, err
-	}
-	cell, err := q.CellKeyForValues(cellValues...)
-	if err != nil {
-		return 0, 0, privacy.Loss{}, err
-	}
+	// Cheap parameter validation first, so a malformed request is
+	// rejected before it can trigger (and cache) a full-table scan.
 	def := definitionFor(req.Mechanism, req.Attrs)
 	alpha := req.Alpha
 	if def == privacy.EdgeDP {
@@ -284,9 +278,15 @@ func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.
 	if err != nil {
 		return 0, 0, privacy.Loss{}, err
 	}
-	// One cell never justifies a fresh full-table scan: serve the cell's
-	// statistics from the publisher's marginal cache.
+	// One cell never justifies a fresh full-table scan (or even a fresh
+	// query compilation): serve the cell's statistics from the
+	// publisher's marginal cache, whose entry carries the compiled query
+	// in the request's attribute order.
 	entry, err := p.marginalFor(req.Attrs)
+	if err != nil {
+		return 0, 0, privacy.Loss{}, err
+	}
+	cell, err := entry.q.CellKeyForValues(cellValues...)
 	if err != nil {
 		return 0, 0, privacy.Loss{}, err
 	}

@@ -34,6 +34,16 @@ func (g GapUniform) Sample(s *Stream) float64 {
 	return 1 + mag
 }
 
+// Fill draws len(dst) factors into the caller-owned buffer, consuming
+// the stream exactly as len(dst) scalar Sample calls would (see
+// Laplace.Fill for the contract). The SDL system draws one factor per
+// establishment through this path.
+func (g GapUniform) Fill(dst []float64, s *Stream) {
+	for i := range dst {
+		dst[i] = g.Sample(s)
+	}
+}
+
 // Contains reports whether f lies in the band the distribution samples
 // from, up to floating-point round-off in |f − 1| (1 − 0.1 rounds to a
 // value whose distance from 1 is slightly below 0.1).

@@ -121,5 +121,14 @@ func (g GenCauchy) Sample(s *Stream) float64 {
 	return g.Quantile(s.float64Open())
 }
 
+// Fill draws len(dst) variates into the caller-owned buffer, consuming
+// the stream exactly as len(dst) scalar Sample calls would (see
+// Laplace.Fill for the contract).
+func (g GenCauchy) Fill(dst []float64, s *Stream) {
+	for i := range dst {
+		dst[i] = g.Sample(s)
+	}
+}
+
 // MeanAbs returns E|Z| = 1/√2.
 func (GenCauchy) MeanAbs() float64 { return 1 / math.Sqrt2 }

@@ -29,6 +29,16 @@ func (l Laplace) Sample(s *Stream) float64 {
 	return l.Quantile(s.float64Open())
 }
 
+// Fill draws len(dst) variates into the caller-owned buffer, consuming
+// the stream exactly as len(dst) scalar Sample calls would: dst[i] holds
+// the (i+1)-th draw, bit for bit. Batch callers (the release pipeline)
+// rely on this equivalence for determinism against the scalar path.
+func (l Laplace) Fill(dst []float64, s *Stream) {
+	for i := range dst {
+		dst[i] = l.Sample(s)
+	}
+}
+
 // PDF returns the density at x.
 func (l Laplace) PDF(x float64) float64 {
 	return math.Exp(-math.Abs(x)/l.B) / (2 * l.B)

@@ -134,3 +134,19 @@ func (s *Stream) SplitIndex(label string, i int) *Stream {
 	}
 	return newStream(deriveKey(s.base, label, uint64(i)+1))
 }
+
+// SplitIndexInto is SplitIndex writing the child into a caller-owned
+// Stream instead of allocating one, for hot loops that derive a stream
+// per cell. The child's identity and draw sequence are exactly those of
+// SplitIndex(label, i); any previous state in dst (position, cached
+// Box–Muller spare) is overwritten, as if dst were freshly created.
+func (s *Stream) SplitIndexInto(dst *Stream, label string, i int) {
+	if i < 0 {
+		panic("dist: SplitIndexInto requires a non-negative index")
+	}
+	key := deriveKey(s.base, label, uint64(i)+1)
+	dst.base = key
+	dst.state = key
+	dst.spare = 0
+	dst.hasSpare = false
+}

@@ -55,6 +55,23 @@ func TestConfig() Config {
 	return c
 }
 
+// LargeConfig returns the paper-scale configuration: ~500k
+// establishments and, at the default mean of ~20.7 jobs per
+// establishment, on the order of 10 million jobs — the magnitude of the
+// paper's 3-state 2011 LODES sample. The place count grows with the
+// establishment count so the per-place establishment density (and with
+// it the prevalence of sparse single-establishment cells) stays
+// comparable to the default configuration. This is the workload the
+// scan-kernel benchmarks (BenchmarkLargeScale*, BENCH_scan_kernel.json)
+// run the full release suite against; generating it takes tens of
+// seconds, so nothing on the test path uses it.
+func LargeConfig() Config {
+	c := DefaultConfig()
+	c.NumPlaces = 120
+	c.NumEstablishments = 500_000
+	return c
+}
+
 // Validate returns an error describing the first invalid field, if any.
 func (c Config) Validate() error {
 	if c.NumPlaces < 4 {

@@ -70,6 +70,24 @@ func TestGenerateScale(t *testing.T) {
 	}
 }
 
+func TestLargeConfigValid(t *testing.T) {
+	cfg := LargeConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's 3-state 2011 sample has 527k establishments; the large
+	// configuration must be at that magnitude, and the place domain must
+	// still fit the uint16 code columns with room to spare.
+	if cfg.NumEstablishments < 400_000 {
+		t.Errorf("NumEstablishments = %d, want paper scale (>= 400k)", cfg.NumEstablishments)
+	}
+	if cfg.NumPlaces > 10_000 {
+		t.Errorf("NumPlaces = %d too large for the code columns", cfg.NumPlaces)
+	}
+	// Generating the large dataset takes tens of seconds, so it happens
+	// only in the scan-kernel benchmarks, never here.
+}
+
 func TestGenerateRightSkewed(t *testing.T) {
 	d := genTest(t, 5)
 	sizes := make([]int, 0, d.NumEstablishments())

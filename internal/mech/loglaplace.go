@@ -68,6 +68,21 @@ func (m LogLaplace) ReleaseCell(in CellInput, s *dist.Stream) (float64, error) {
 	return math.Exp(math.Log(in.Count+gamma)+eta) - gamma, nil
 }
 
+// releaseCellRange is the batch path: γ, λ and the log-space Laplace are
+// hoisted out of the cell loop and the noise is batch-sampled from the
+// per-cell stream family — bit-identical to per-cell ReleaseCell.
+func (m LogLaplace) releaseCellRange(out []float64, cells []CellInput, parent *dist.Stream, base int, noise []float64) error {
+	if !(m.Alpha > 0) || !(m.Eps > 0) {
+		return fmt.Errorf("mech: LogLaplace not initialized (alpha=%v eps=%v)", m.Alpha, m.Eps)
+	}
+	gamma := m.Gamma()
+	dist.FillSplit(noise, dist.NewLaplace(m.Lambda()), parent, "cell", base)
+	for i := range out {
+		out[i] = math.Exp(math.Log(cells[i].Count+gamma)+noise[i]) - gamma
+	}
+	return nil
+}
+
 // Bias returns E[ñ] − n for a true count n (from Lemma 8.2):
 // (n+γ)·λ²/(1−λ²) when λ < 1, +Inf otherwise. The mechanism
 // overestimates in expectation because e^η is convex.

@@ -48,7 +48,7 @@ type CellMechanism interface {
 }
 
 // parallelCellCutoff is the vector length below which ReleaseCells stays
-// sequential: goroutine startup costs more than drawing the noise.
+// single-chunk: goroutine startup costs more than drawing the noise.
 const parallelCellCutoff = 512
 
 // ReleaseCells applies a cell mechanism to a vector of cells, deriving a
@@ -65,7 +65,7 @@ func ReleaseCells(m CellMechanism, cells []CellInput, parent *dist.Stream) ([]fl
 }
 
 // ReleaseCellsSequential is the scalar release loop, retained as the
-// golden reference the parallel path is tested against.
+// golden reference the batched chunk pipeline is tested against.
 func ReleaseCellsSequential(m CellMechanism, cells []CellInput, parent *dist.Stream) ([]float64, error) {
 	out := make([]float64, len(cells))
 	for i, c := range cells {
@@ -78,6 +78,63 @@ func ReleaseCellsSequential(m CellMechanism, cells []CellInput, parent *dist.Str
 	return out, nil
 }
 
+// cellBatcher is implemented by mechanisms that can release a contiguous
+// run of cells into a caller-owned buffer with hoisted construction and
+// batch-sampled noise. Contract: out and cells are equal-length chunk
+// views, base is the chunk's offset in the full vector (cell j of the
+// chunk draws from parent.SplitIndex("cell", base+j)), and noise is a
+// caller-owned scratch of len(out) the implementation may overwrite.
+// The result must be bit-identical to calling ReleaseCell per cell; a
+// returned error must be one every cell of the chunk would return (the
+// built-in mechanisms only fail on cell-independent parameter checks).
+type cellBatcher interface {
+	releaseCellRange(out []float64, cells []CellInput, parent *dist.Stream, base int, noise []float64) error
+}
+
+// releaseChunk releases cells[lo:hi] into out[lo:hi], dispatching to the
+// mechanism's batch path when it has one and to the scalar per-cell loop
+// otherwise. It returns the index of the first failing cell, or −1.
+// noise is a caller-owned scratch of at least hi−lo floats.
+func releaseChunk(m CellMechanism, cells []CellInput, out []float64, parent *dist.Stream, lo, hi int, noise []float64) (int, error) {
+	switch mm := m.(type) {
+	case cellBatcher:
+		if err := mm.releaseCellRange(out[lo:hi], cells[lo:hi], parent, lo, noise[:hi-lo]); err != nil {
+			return lo, err
+		}
+		return -1, nil
+	case Clamped:
+		fail, err := releaseChunk(mm.Inner, cells, out, parent, lo, hi, noise)
+		if err != nil {
+			return fail, err
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = clampNonNegative(out[i])
+		}
+		return -1, nil
+	case Rounded:
+		fail, err := releaseChunk(mm.Inner, cells, out, parent, lo, hi, noise)
+		if err != nil {
+			return fail, err
+		}
+		for i := lo; i < hi; i++ {
+			out[i] = float64(int64(clampNonNegative(out[i]) + 0.5))
+		}
+		return -1, nil
+	default:
+		// Unknown mechanism: the scalar loop, with a freshly allocated
+		// stream per cell — a third-party ReleaseCell may legally retain
+		// the stream it is handed.
+		for i := lo; i < hi; i++ {
+			v, err := m.ReleaseCell(cells[i], parent.SplitIndex("cell", i))
+			if err != nil {
+				return i, err
+			}
+			out[i] = v
+		}
+		return -1, nil
+	}
+}
+
 // ReleaseCellsParallel releases the cell vector using the given number of
 // worker goroutines over contiguous chunks. Cell i's noise always comes
 // from parent.SplitIndex("cell", i) — the same label family the
@@ -85,16 +142,25 @@ func ReleaseCellsSequential(m CellMechanism, cells []CellInput, parent *dist.Str
 // count; only wall-clock time changes. SplitIndex is a pure function of
 // the parent's identity, so sharing the parent across workers is safe.
 //
+// Each chunk runs the mechanism's batch path (hoisted construction,
+// noise drawn through dist.FillSplit into a per-chunk buffer), so the
+// steady-state release allocates one output vector and one scratch
+// buffer per chunk — never per cell.
+//
 // On error the failing cell with the smallest index is reported,
 // matching the sequential loop's first-error semantics.
 func ReleaseCellsParallel(m CellMechanism, cells []CellInput, parent *dist.Stream, workers int) ([]float64, error) {
 	if workers > len(cells) {
 		workers = len(cells)
 	}
-	if workers <= 1 {
-		return ReleaseCellsSequential(m, cells, parent)
-	}
 	out := make([]float64, len(cells))
+	if workers <= 1 {
+		fail, err := releaseChunk(m, cells, out, parent, 0, len(cells), make([]float64, len(cells)))
+		if err != nil {
+			return nil, fmt.Errorf("mech: %s cell %d: %w", m.Name(), fail, err)
+		}
+		return out, nil
+	}
 	chunk := (len(cells) + workers - 1) / workers
 	errCells := make([]int, workers)
 	errs := make([]error, workers)
@@ -109,14 +175,10 @@ func ReleaseCellsParallel(m CellMechanism, cells []CellInput, parent *dist.Strea
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				v, err := m.ReleaseCell(cells[i], parent.SplitIndex("cell", i))
-				if err != nil {
-					errCells[w] = i
-					errs[w] = err
-					return
-				}
-				out[i] = v
+			fail, err := releaseChunk(m, cells, out, parent, lo, hi, make([]float64, hi-lo))
+			if err != nil {
+				errCells[w] = fail
+				errs[w] = err
 			}
 		}(w, lo, hi)
 	}
@@ -175,6 +237,19 @@ func (m PureLaplace) ReleaseCell(in CellInput, s *dist.Stream) (float64, error) 
 // ExpectedL1 returns the exact expected L1 error, Sensitivity/ε.
 func (m PureLaplace) ExpectedL1(CellInput) float64 {
 	return m.Sensitivity / m.Eps
+}
+
+// releaseCellRange is the batch path: one Laplace distribution for the
+// whole chunk, noise batch-sampled from the per-cell stream family.
+func (m PureLaplace) releaseCellRange(out []float64, cells []CellInput, parent *dist.Stream, base int, noise []float64) error {
+	if !(m.Eps > 0) || !(m.Sensitivity > 0) {
+		return fmt.Errorf("mech: Laplace mechanism not initialized (eps=%v sens=%v)", m.Eps, m.Sensitivity)
+	}
+	dist.FillSplit(noise, dist.NewLaplace(m.Sensitivity/m.Eps), parent, "cell", base)
+	for i := range out {
+		out[i] = cells[i].Count + noise[i]
+	}
+	return nil
 }
 
 // NewEdgeLaplace returns the edge-differential-privacy baseline:

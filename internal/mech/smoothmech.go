@@ -54,6 +54,26 @@ func (m SmoothGamma) ReleaseCell(in CellInput, s *dist.Stream) (float64, error) 
 	return smooth.Release(in.Count, sens, m.split, m.noise, s), nil
 }
 
+// releaseCellRange is the batch path: the validity check runs once for
+// the chunk (smooth-sensitivity boundedness depends only on α and b,
+// never on the cell), the generalized-Cauchy noise is batch-sampled
+// from the per-cell stream family, and each cell scales it by its own
+// smooth sensitivity — bit-identical to per-cell ReleaseCell.
+func (m SmoothGamma) releaseCellRange(out []float64, cells []CellInput, parent *dist.Stream, base int, noise []float64) error {
+	if !(m.split.A > 0) {
+		return fmt.Errorf("mech: SmoothGamma not initialized; use NewSmoothGamma")
+	}
+	if _, err := smooth.Sensitivity(0, m.Alpha, m.split.B); err != nil {
+		return err
+	}
+	dist.FillSplit(noise, dist.GenCauchy{}, parent, "cell", base)
+	for i := range out {
+		sens := smooth.LocalSensitivity(cells[i].MaxContribution, m.Alpha)
+		out[i] = cells[i].Count + sens/m.split.A*noise[i]
+	}
+	return nil
+}
+
 // ExpectedL1 returns the exact expected L1 error for the cell:
 // S*/a · E|η| = max(x_v·α, 1)·5/ε₁ · (1/√2).
 func (m SmoothGamma) ExpectedL1(in CellInput) float64 {
@@ -135,6 +155,24 @@ func (m SmoothLaplace) ReleaseCell(in CellInput, s *dist.Stream) (float64, error
 		return 0, err
 	}
 	return smooth.Release(in.Count, sens, m.split, m.noise, s), nil
+}
+
+// releaseCellRange is the batch path for Algorithm 3; see
+// SmoothGamma.releaseCellRange — identical structure with unit Laplace
+// noise.
+func (m SmoothLaplace) releaseCellRange(out []float64, cells []CellInput, parent *dist.Stream, base int, noise []float64) error {
+	if !(m.split.A > 0) {
+		return fmt.Errorf("mech: SmoothLaplace not initialized; use NewSmoothLaplace")
+	}
+	if _, err := smooth.Sensitivity(0, m.Alpha, m.split.B); err != nil {
+		return err
+	}
+	dist.FillSplit(noise, dist.NewLaplace(1), parent, "cell", base)
+	for i := range out {
+		sens := smooth.LocalSensitivity(cells[i].MaxContribution, m.Alpha)
+		out[i] = cells[i].Count + sens/m.split.A*noise[i]
+	}
+	return nil
 }
 
 // ExpectedL1 returns the exact expected L1 error for the cell:

@@ -53,11 +53,14 @@ func (m TruncatedLaplace) ReleaseMarginal(t *table.Table, q *table.Query, s *dis
 		return nil, nil, err
 	}
 	truncated := table.Compute(res.Kept, q)
+	// Batch-sample the per-cell noise into the output, then shift by the
+	// truncated counts: cell c still draws from SplitIndex("trunc-cell", c),
+	// so the release is bit-identical to the scalar loop this replaces.
 	noisy := make([]float64, q.NumCells())
 	scale := bipartite.SensitivityAfterTruncation(m.Theta) / m.Eps
-	lap := dist.NewLaplace(scale)
+	dist.FillSplit(noisy, dist.NewLaplace(scale), s, "trunc-cell", 0)
 	for cell := range noisy {
-		noisy[cell] = float64(truncated.Counts[cell]) + lap.Sample(s.SplitIndex("trunc-cell", cell))
+		noisy[cell] = float64(truncated.Counts[cell]) + noisy[cell]
 	}
 	return noisy, res, nil
 }

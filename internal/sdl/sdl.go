@@ -71,12 +71,12 @@ func NewSystem(cfg Config, numEstablishments int, s *dist.Stream) (*System, erro
 	if numEstablishments < 0 {
 		return nil, fmt.Errorf("sdl: negative establishment count %d", numEstablishments)
 	}
+	// Batch-drawn, one factor per establishment; dist.Fill consumes the
+	// stream exactly as the scalar loop it replaces, so systems built at
+	// any code version agree bit for bit.
 	g := dist.NewGapUniform(cfg.S, cfg.T)
 	factors := make([]float64, numEstablishments)
-	fs := s.Split("sdl-factors")
-	for i := range factors {
-		factors[i] = g.Sample(fs)
-	}
+	g.Fill(factors, s.Split("sdl-factors"))
 	return &System{cfg: cfg, factors: factors}, nil
 }
 

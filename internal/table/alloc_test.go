@@ -1,0 +1,96 @@
+package table
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Steady-state allocation pins for the pooled scan state (DESIGN.md §6).
+// A query's only inherent allocations are its results: the Marginal, its
+// four statistic vectors, the result slice, and the per-call query/
+// column views — the documented constants below. Everything else
+// (scatter scratch, touched list, per-worker partials) comes from the
+// index's pool. The tests run single-shard (GOMAXPROCS 1) so the counts
+// don't depend on the host's core count; a regression that reintroduces
+// per-query or per-row allocation blows far past these bounds.
+const (
+	// computeSteadyAllocs bounds Index.Compute: 1 Marginal + 4 result
+	// vectors + 1 result slice + 2 column views + shard/state slices.
+	computeSteadyAllocs = 12
+	// computeAllPerQueryAllocs bounds the per-query part of ComputeAll
+	// (Marginal + 4 vectors + column view), computeAllBaseAllocs the
+	// query-independent part.
+	computeAllPerQueryAllocs = 6
+	computeAllBaseAllocs     = 6
+)
+
+func singleShard(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed by the race detector")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func TestComputeSteadyStateAllocs(t *testing.T) {
+	singleShard(t)
+	rng := rand.New(rand.NewSource(42))
+	tab := randomTable(t, rng, 2000)
+	q := MustNewQuery(tab.Schema(), "place", "industry")
+	ix := tab.Index()
+	ix.Compute(q) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		if ix.Compute(q) == nil {
+			t.Fatal("nil marginal")
+		}
+	})
+	if allocs > computeSteadyAllocs {
+		t.Fatalf("Index.Compute steady state allocates %v per op, documented bound is %d (pooling regressed?)",
+			allocs, computeSteadyAllocs)
+	}
+}
+
+func TestComputeAllSteadyStateAllocs(t *testing.T) {
+	singleShard(t)
+	rng := rand.New(rand.NewSource(43))
+	tab := randomTable(t, rng, 2000)
+	qs := []*Query{
+		MustNewQuery(tab.Schema(), "place"),
+		MustNewQuery(tab.Schema(), "place", "industry"),
+		MustNewQuery(tab.Schema(), "sex", "industry"),
+	}
+	ix := tab.Index()
+	ix.ComputeAll(qs) // warm the pool
+	bound := float64(computeAllBaseAllocs + computeAllPerQueryAllocs*len(qs))
+	allocs := testing.AllocsPerRun(50, func() {
+		if len(ix.ComputeAll(qs)) != len(qs) {
+			t.Fatal("short result")
+		}
+	})
+	if allocs > bound {
+		t.Fatalf("Index.ComputeAll steady state allocates %v per op for %d queries, documented bound is %v",
+			allocs, len(qs), bound)
+	}
+}
+
+// TestComputeAllocsScaleWithResultsNotRows is the sharper form of the
+// pin: doubling the row count must not change the steady-state
+// allocation count at all — allocations are a function of the result
+// shape only.
+func TestComputeAllocsScaleWithResultsNotRows(t *testing.T) {
+	singleShard(t)
+	rng := rand.New(rand.NewSource(44))
+	measure := func(rows int) float64 {
+		tab := randomTable(t, rng, rows)
+		q := MustNewQuery(tab.Schema(), "place", "industry")
+		ix := tab.Index()
+		ix.Compute(q)
+		return testing.AllocsPerRun(20, func() { ix.Compute(q) })
+	}
+	small, large := measure(500), measure(4000)
+	if small != large {
+		t.Fatalf("steady-state allocs depend on row count: %v at 500 rows vs %v at 4000", small, large)
+	}
+}

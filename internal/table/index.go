@@ -2,7 +2,6 @@ package table
 
 import (
 	"runtime"
-	"slices"
 	"sort"
 	"sync"
 )
@@ -10,11 +9,13 @@ import (
 // Index is an entity-sorted view of a table, built once and reused across
 // marginal queries. Rows are pre-grouped by entity (establishment), so a
 // query evaluates as one pass over entity groups: within a group, the
-// rows' cell keys are sorted and each run of equal keys is exactly one
-// (cell, entity) contribution — the per-entity histogram value h(w, c)
-// from which the cell count, x_v (largest single-entity contribution),
-// second-largest contribution and distinct-entity count all fall out
-// without any hash map.
+// rows' cell keys are scattered into a dense per-worker accumulator
+// (scratch[key]++ plus a touched-cell list), and each touched cell is
+// exactly one (cell, entity) contribution — the per-entity histogram
+// value h(w, c) from which the cell count, x_v (largest single-entity
+// contribution), second-largest contribution and distinct-entity count
+// all fall out without any hash map or per-group sort. See DESIGN.md §6
+// for the scatter-accumulator layout and the touched-list reset trick.
 //
 // Entity-less rows (entity −1) are each their own singleton group, with
 // synthetic IDs −1, −2, … assigned in row order so that the detailed
@@ -23,6 +24,9 @@ import (
 // Group spans are sharded across workers at query time; each worker
 // accumulates partial per-cell statistics that are merged in a fixed
 // shard order, so the result is bit-identical at every worker count.
+// Per-worker scan state (accumulators, scatter scratch, touched lists)
+// is pooled on the index, so steady-state queries allocate only their
+// result vectors.
 type Index struct {
 	t *Table
 	// n is the row count the index was built at; a Table invalidates a
@@ -36,8 +40,24 @@ type Index struct {
 	// entities holds each group's entity ID (synthetic negatives for
 	// entity-less rows).
 	entities []int32
+	// cols are the table's code columns re-materialized in index row
+	// order (cols[a][p] == t.cols[a][rows[p]]), so the scan kernel reads
+	// every column strictly sequentially instead of gathering through
+	// the row permutation. Materialization is lazy, per column, on the
+	// first query that touches the attribute (guarded by colsMu): a
+	// throwaway index — the node-DP baseline computes one marginal over
+	// a freshly truncated table per release — only pays the gather for
+	// the columns it actually queries.
+	colsMu sync.Mutex
+	cols   [][]uint16
 	// maxGroup is the largest group size, for sizing per-worker scratch.
 	maxGroup int
+
+	// scratch pools *scanScratch values across queries. Pool invariant:
+	// a scratch's cells array is all-zero while in the pool (every scan
+	// resets exactly the entries it touched), so reuse never needs an
+	// O(size) clear of the scatter array.
+	scratch sync.Pool
 }
 
 // BuildIndex constructs the entity-sorted index for the table's current
@@ -98,7 +118,27 @@ func BuildIndex(t *Table) *Index {
 		ix.maxGroup = 1
 	}
 	ix.starts = append(ix.starts, int32(n))
+	ix.cols = make([][]uint16, len(t.cols))
 	return ix
+}
+
+// col returns attribute a's code column in index row order,
+// materializing it on first use. The one-time gather through the row
+// permutation (at most doubling the column's uint16 storage) is what
+// lets every subsequent scan of the attribute read strictly
+// sequentially — the dominant cost of the kernel.
+func (ix *Index) col(a int) []uint16 {
+	ix.colsMu.Lock()
+	defer ix.colsMu.Unlock()
+	if ix.cols[a] == nil {
+		src := ix.t.cols[a]
+		re := make([]uint16, ix.n)
+		for p, row := range ix.rows {
+			re[p] = src[row]
+		}
+		ix.cols[a] = re
+	}
+	return ix.cols[a]
 }
 
 // NumGroups returns the number of entity groups (singleton groups for
@@ -114,17 +154,36 @@ type partial struct {
 	hist     []CellEntityCount
 }
 
-func newPartial(size int, detailed bool) *partial {
-	p := &partial{
-		counts:   make([]int64, size),
-		max:      make([]int64, size),
-		second:   make([]int64, size),
-		entities: make([]int64, size),
-	}
+// reset prepares a (possibly reused) partial for a query of the given
+// size. Accumulator arrays are grown or zeroed; the detailed histogram,
+// which grows with the number of (cell, entity) runs — bounded by the
+// shard's row count, not by the cell count — is sized from rowsHint on
+// first detailed use and keeps its capacity across reuses. The
+// non-detailed path carries no histogram at all.
+func (p *partial) reset(size int, detailed bool, rowsHint int) {
+	p.counts = resizeZeroed(p.counts, size)
+	p.max = resizeZeroed(p.max, size)
+	p.second = resizeZeroed(p.second, size)
+	p.entities = resizeZeroed(p.entities, size)
 	if detailed {
-		p.hist = make([]CellEntityCount, 0, size)
+		if p.hist == nil {
+			p.hist = make([]CellEntityCount, 0, rowsHint)
+		}
+		p.hist = p.hist[:0]
+	} else {
+		p.hist = nil
 	}
-	return p
+}
+
+// resizeZeroed returns an all-zero int64 slice of the given length,
+// reusing buf's storage when it is large enough.
+func resizeZeroed(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // addRun folds one (cell, entity, count) contribution into the partial.
@@ -170,14 +229,79 @@ func max64(a, b int64) int64 {
 	return b
 }
 
+// scanScratch is one worker's pooled scan state: the scatter accumulator
+// and touched list of the sort-free kernel, plus the per-query partials.
+// Ownership rule: a scratch is checked out of the index's pool for the
+// duration of one shard scan (plus the fixed-order merge for shard 0's
+// scratch) and returned before computeQueries returns; nothing that
+// escapes to the caller may alias its storage — results are copied out.
+type scanScratch struct {
+	// cells is the scatter array, indexed by cell key. All-zero outside
+	// the group currently being folded (see the Index.scratch invariant).
+	cells []int64
+	// touched records which cells the current (group, query) hit, so the
+	// reset after folding is O(touched), not O(cells).
+	touched []int
+	// ps[k] accumulates query k's statistics for this worker's shard.
+	ps []*partial
+}
+
+// checkout prepares a scratch for len(qs) queries of scatter width
+// maxSize over a shard of rows rows.
+func (sc *scanScratch) checkout(qs []*Query, maxSize int, detailed bool, rows, maxGroup int) {
+	if cap(sc.cells) < maxSize {
+		sc.cells = make([]int64, maxSize) // fresh ⇒ all-zero, preserving the pool invariant
+	} else {
+		sc.cells = sc.cells[:maxSize]
+	}
+	if cap(sc.touched) < maxGroup {
+		sc.touched = make([]int, maxGroup)
+	} else {
+		sc.touched = sc.touched[:maxGroup]
+	}
+	for len(sc.ps) < len(qs) {
+		sc.ps = append(sc.ps, &partial{})
+	}
+	sc.ps = sc.ps[:len(qs)]
+	for k, q := range qs {
+		sc.ps[k].reset(q.size, detailed, rows)
+	}
+}
+
+// getScratch checks a scratch out of the pool (or creates one).
+func (ix *Index) getScratch(qs []*Query, maxSize int, detailed bool, rows int) *scanScratch {
+	sc, _ := ix.scratch.Get().(*scanScratch)
+	if sc == nil {
+		sc = &scanScratch{}
+	}
+	sc.checkout(qs, maxSize, detailed, rows, ix.maxGroup)
+	return sc
+}
+
 // computeQueries evaluates the queries in one sharded pass over the
-// entity groups. All queries share the pass: each group's rows are
-// visited once per query by every worker that owns the group, so the
-// row data stays hot in cache across the query set.
+// entity groups. All queries share the pass: a worker evaluates every
+// query over its shard (streaming each query's materialized columns
+// sequentially) before the fixed-order merge, so a workload of several
+// marginals pays one shard assignment and one scratch checkout.
 func (ix *Index) computeQueries(qs []*Query, detailed bool) ([]*Marginal, [][]CellEntityCount) {
+	maxSize := 0
 	for _, q := range qs {
 		if ix.t.Schema() != q.schema {
 			panic("table: query compiled against a different schema")
+		}
+		if q.size > maxSize {
+			maxSize = q.size
+		}
+	}
+	// Resolve each query's columns once, against the index-ordered
+	// materialization (built lazily per attribute), so the scan reads
+	// raw code slices sequentially. The resolved views are read-only
+	// and shared by every worker.
+	qcols := make([][][]uint16, len(qs))
+	for k, q := range qs {
+		qcols[k] = make([][]uint16, len(q.attrs))
+		for i, a := range q.attrs {
+			qcols[k][i] = ix.col(a)
 		}
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -188,42 +312,49 @@ func (ix *Index) computeQueries(qs []*Query, detailed bool) ([]*Marginal, [][]Ce
 		workers = 1
 	}
 	shards := ix.shardGroups(workers)
-	// partials[w][k] is worker w's accumulator for query k.
-	partials := make([][]*partial, len(shards))
-	var wg sync.WaitGroup
-	for w := range shards {
-		partials[w] = make([]*partial, len(qs))
-		for k, q := range qs {
-			partials[w][k] = newPartial(q.size, detailed)
+	states := make([]*scanScratch, len(shards))
+	if len(shards) == 1 {
+		// Single shard: scan inline — no goroutine, no synchronization.
+		states[0] = ix.getScratch(qs, maxSize, detailed, ix.shardRows(shards[0]))
+		ix.scanShard(shards[0][0], shards[0][1], qs, qcols, states[0], detailed)
+	} else {
+		var wg sync.WaitGroup
+		for w := range shards {
+			states[w] = ix.getScratch(qs, maxSize, detailed, ix.shardRows(shards[w]))
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ix.scanShard(shards[w][0], shards[w][1], qs, qcols, states[w], detailed)
+			}(w)
 		}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ix.scanShard(shards[w][0], shards[w][1], qs, partials[w], detailed)
-		}(w)
+		wg.Wait()
 	}
-	wg.Wait()
 
+	// Merge shards in fixed order into shard 0's accumulators, then copy
+	// the results out so every pooled buffer can be returned.
+	acc := states[0]
+	for w := 1; w < len(states); w++ {
+		for k := range qs {
+			acc.ps[k].merge(states[w].ps[k])
+		}
+		ix.scratch.Put(states[w])
+	}
 	outM := make([]*Marginal, len(qs))
 	var outH [][]CellEntityCount
 	if detailed {
 		outH = make([][]CellEntityCount, len(qs))
 	}
 	for k, q := range qs {
-		// Merge shards in fixed order; shard 0's partial becomes the result.
-		acc := partials[0][k]
-		for w := 1; w < len(shards); w++ {
-			acc.merge(partials[w][k])
-		}
+		p := acc.ps[k]
 		outM[k] = &Marginal{
 			Query:                    q,
-			Counts:                   acc.counts,
-			MaxEntityContribution:    acc.max,
-			SecondEntityContribution: acc.second,
-			EntityCount:              acc.entities,
+			Counts:                   append([]int64(nil), p.counts...),
+			MaxEntityContribution:    append([]int64(nil), p.max...),
+			SecondEntityContribution: append([]int64(nil), p.second...),
+			EntityCount:              append([]int64(nil), p.entities...),
 		}
 		if detailed {
-			hist := acc.hist
+			hist := append([]CellEntityCount(nil), p.hist...)
 			sort.Slice(hist, func(i, j int) bool {
 				if hist[i].Cell != hist[j].Cell {
 					return hist[i].Cell < hist[j].Cell
@@ -233,7 +364,13 @@ func (ix *Index) computeQueries(qs []*Query, detailed bool) ([]*Marginal, [][]Ce
 			outH[k] = hist
 		}
 	}
+	ix.scratch.Put(acc)
 	return outM, outH
+}
+
+// shardRows returns the number of rows the group span covers.
+func (ix *Index) shardRows(shard [2]int) int {
+	return int(ix.starts[shard[1]] - ix.starts[shard[0]])
 }
 
 // shardGroups splits the group range into contiguous spans of roughly
@@ -262,51 +399,94 @@ func (ix *Index) shardGroups(workers int) [][2]int {
 	return shards
 }
 
-// scanShard accumulates the groups [gLo, gHi) into the per-query
-// partials. Within each group the rows' cell keys are sorted so that
-// each run of equal keys is one (cell, entity) histogram value.
-func (ix *Index) scanShard(gLo, gHi int, qs []*Query, ps []*partial, detailed bool) {
-	keys := make([]int, ix.maxGroup)
-	// Resolve each query's columns once; the inner loop then reads raw
-	// code slices instead of going through Table.Code's bounds checks.
-	qcols := make([][][]uint16, len(qs))
+// scanShard accumulates the groups [gLo, gHi) into the scratch's
+// per-query partials with the sort-free scatter kernel: each group is a
+// single O(g) pass that counts cell keys into the scatch array, records
+// first touches, then folds and resets exactly the touched cells. Fold
+// order is first-touch order — sums, top-two tracking and entity counts
+// are order-free, and the detailed histogram is sorted afterwards, so
+// the results are identical to the sorted-runs kernel this replaces.
+func (ix *Index) scanShard(gLo, gHi int, qs []*Query, qcols [][][]uint16, sc *scanScratch, detailed bool) {
+	cells, touched := sc.cells, sc.touched
 	for k, q := range qs {
-		qcols[k] = make([][]uint16, len(q.attrs))
-		for i, a := range q.attrs {
-			qcols[k][i] = ix.t.cols[a]
-		}
-	}
-	for g := gLo; g < gHi; g++ {
-		lo, hi := ix.starts[g], ix.starts[g+1]
-		group := ix.rows[lo:hi]
-		entity := ix.entities[g]
-		for k, q := range qs {
-			cols := qcols[k]
-			ks := keys[:len(group)]
-			for i, row := range group {
-				key := 0
-				for j, col := range cols {
-					key = key*q.radices[j] + int(col[row])
-				}
-				ks[i] = key
+		cols := qcols[k]
+		p := sc.ps[k]
+		for g := gLo; g < gHi; g++ {
+			lo, hi := int(ix.starts[g]), int(ix.starts[g+1])
+			entity := ix.entities[g]
+			if hi-lo == 1 {
+				// Singleton group (entity-less rows, one-worker shops):
+				// one run of count 1, no scatter needed.
+				p.addRun(keyAt(cols, q.radices, lo), entity, 1, detailed)
+				continue
 			}
-			if len(ks) > 1 {
-				slices.Sort(ks)
-			}
-			runStart := 0
-			for i := 1; i <= len(ks); i++ {
-				if i == len(ks) || ks[i] != ks[runStart] {
-					ps[k].addRun(ks[runStart], entity, int64(i-runStart), detailed)
-					runStart = i
-				}
+			nt := scatterGroup(cells, touched, cols, q.radices, lo, hi)
+			for _, key := range touched[:nt] {
+				p.addRun(key, entity, cells[key], detailed)
+				cells[key] = 0
 			}
 		}
 	}
 }
 
+// keyAt computes the cell key of index position p (mixed-radix over the
+// query's columns).
+func keyAt(cols [][]uint16, radices []int, p int) int {
+	key := 0
+	for j, col := range cols {
+		key = key*radices[j] + int(col[p])
+	}
+	return key
+}
+
+// scatterGroup counts the cell keys of index positions [lo, hi) into the
+// scatter array, recording each first touch, and returns the number of
+// touched cells. The loops are specialized by query arity so the
+// per-row key computation is fully unrolled for the common marginal
+// shapes (the 0-ary body folds the whole group into cell 0 directly).
+func scatterGroup(cells []int64, touched []int, cols [][]uint16, radices []int, lo, hi int) int {
+	nt := 0
+	note := func(key int) {
+		if cells[key] == 0 {
+			touched[nt] = key
+			nt++
+		}
+		cells[key]++
+	}
+	switch len(cols) {
+	case 0:
+		cells[0] = int64(hi - lo)
+		touched[0] = 0
+		return 1
+	case 1:
+		c0 := cols[0][lo:hi]
+		for i := range c0 {
+			note(int(c0[i]))
+		}
+	case 2:
+		r1 := radices[1]
+		c0, c1 := cols[0][lo:hi], cols[1][lo:hi]
+		for i := range c0 {
+			note(int(c0[i])*r1 + int(c1[i]))
+		}
+	case 3:
+		r1, r2 := radices[1], radices[2]
+		c0, c1, c2 := cols[0][lo:hi], cols[1][lo:hi], cols[2][lo:hi]
+		for i := range c0 {
+			note((int(c0[i])*r1+int(c1[i]))*r2 + int(c2[i]))
+		}
+	default:
+		for p := lo; p < hi; p++ {
+			note(keyAt(cols, radices, p))
+		}
+	}
+	return nt
+}
+
 // Compute evaluates one query over the index.
 func (ix *Index) Compute(q *Query) *Marginal {
-	ms, _ := ix.computeQueries([]*Query{q}, false)
+	qs := [1]*Query{q}
+	ms, _ := ix.computeQueries(qs[:], false)
 	return ms[0]
 }
 
@@ -322,6 +502,7 @@ func (ix *Index) ComputeAll(qs []*Query) []*Marginal {
 // ComputeDetailed evaluates one query and returns the per-entity
 // histogram sorted by (cell, entity).
 func (ix *Index) ComputeDetailed(q *Query) (*Marginal, []CellEntityCount) {
-	ms, hs := ix.computeQueries([]*Query{q}, true)
+	qs := [1]*Query{q}
+	ms, hs := ix.computeQueries(qs[:], true)
 	return ms[0], hs[0]
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package table
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation (and sync.Pool's behavior under it) perturbs
+// allocation counts, so the AllocsPerRun pins skip themselves.
+const raceEnabled = true

@@ -1,0 +1,173 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests of the sort-free scatter kernel against the scalar
+// hash-map oracle, over adversarial table shapes the uniform random
+// generator in index_test.go rarely produces: all-anonymous tables,
+// a single giant entity, empty marginals, and skewed entity-size mixes.
+
+// wideSchema has a larger cell space than testSchema so some marginals
+// stay mostly empty.
+func wideSchema() *Schema {
+	places := make([]string, 40)
+	for i := range places {
+		places[i] = fmt.Sprintf("p%02d", i)
+	}
+	inds := make([]string, 12)
+	for i := range inds {
+		inds[i] = fmt.Sprintf("i%02d", i)
+	}
+	return NewSchema(
+		NewDomain("place", places...),
+		NewDomain("industry", inds...),
+		NewDomain("sex", "M", "F"),
+		NewDomain("edu", "a", "b", "c", "d"),
+	)
+}
+
+// shapedTable builds a table whose entity structure follows the named
+// adversarial shape.
+func shapedTable(rng *rand.Rand, s *Schema, shape string, rows int) *Table {
+	tab := New(s)
+	appendRandom := func(entity int32) {
+		codes := make([]int, s.NumAttrs())
+		for a := range codes {
+			codes[a] = rng.Intn(s.Attr(a).Size())
+		}
+		tab.AppendRow(entity, codes...)
+	}
+	for i := 0; i < rows; i++ {
+		var entity int32
+		switch shape {
+		case "all-anonymous":
+			entity = -1
+		case "single-giant":
+			entity = 0
+		case "giant-plus-dust":
+			// One entity owns ~half the rows; the rest are singletons.
+			if rng.Intn(2) == 0 {
+				entity = 0
+			} else {
+				entity = int32(1 + i)
+			}
+		case "few-heavy":
+			entity = int32(rng.Intn(3))
+		case "mixed":
+			entity = int32(rng.Intn(rows/4 + 1))
+			if rng.Intn(8) == 0 {
+				entity = -1
+			}
+		default:
+			panic("unknown shape " + shape)
+		}
+		appendRandom(entity)
+	}
+	return tab
+}
+
+// randomAttrSubset returns a random subset of the schema's attribute
+// names in random order (possibly empty: the q∅ marginal).
+func randomAttrSubset(rng *rand.Rand, s *Schema) []string {
+	var names []string
+	for a := 0; a < s.NumAttrs(); a++ {
+		if rng.Intn(2) == 0 {
+			names = append(names, s.Attr(a).Name)
+		}
+	}
+	rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	return names
+}
+
+// TestScatterKernelPropertyDifferential is the satellite property test:
+// random tables × random attribute subsets, every statistic (counts,
+// x_v, second contribution, entity counts) and the detailed histogram
+// must match the scalar oracle exactly.
+func TestScatterKernelPropertyDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	shapes := []string{"all-anonymous", "single-giant", "giant-plus-dust", "few-heavy", "mixed"}
+	for _, s := range []*Schema{testSchema(), wideSchema()} {
+		for _, shape := range shapes {
+			for _, rows := range []int{0, 1, 2, 33, 700} {
+				tab := shapedTable(rng, s, shape, rows)
+				for trial := 0; trial < 4; trial++ {
+					names := randomAttrSubset(rng, s)
+					q := MustNewQuery(s, names...)
+					label := fmt.Sprintf("shape=%s rows=%d attrs=%v", shape, rows, names)
+					gotM, gotH := ComputeDetailed(tab, q)
+					wantM, wantH := ComputeReferenceDetailed(tab, q)
+					marginalsEqual(t, gotM, wantM, label)
+					if len(gotH) != len(wantH) {
+						t.Fatalf("%s: histogram length %d, want %d", label, len(gotH), len(wantH))
+					}
+					for i := range gotH {
+						if gotH[i] != wantH[i] {
+							t.Fatalf("%s: histogram[%d] = %+v, want %+v", label, i, gotH[i], wantH[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScatterKernelEmptyMarginal pins the empty-marginal edge: a query
+// whose cells are all zero (no rows land anywhere near them).
+func TestScatterKernelEmptyMarginal(t *testing.T) {
+	s := wideSchema()
+	tab := New(s)
+	// Every row in place p00, industry i00: the (place, industry)
+	// marginal has exactly one populated cell, everything else empty.
+	for i := 0; i < 50; i++ {
+		tab.AppendRow(int32(i%3), 0, 0, i%2, i%4)
+	}
+	q := MustNewQuery(s, "place", "industry")
+	marginalsEqual(t, Compute(tab, q), ComputeReference(tab, q), "one-hot")
+	if got := Compute(tab, q).NonZeroCells(); got != 1 {
+		t.Fatalf("NonZeroCells = %d, want 1", got)
+	}
+}
+
+// FuzzScatterKernelDifferential drives the kernel from raw bytes: each
+// byte pair becomes (entity selector, row codes), and the query is
+// chosen from the low bits of the first byte. The invariant is always
+// the same — scatter kernel == scalar oracle, bit for bit.
+func FuzzScatterKernelDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x80, 0x80, 0x80, 0x80, 0x01, 0x02})
+	f.Add([]byte{0x13, 0x37, 0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00, 0x00, 0x42})
+	queries := [][]string{{}, {"place"}, {"sex"}, {"place", "industry"}, {"industry", "place", "sex"}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := testSchema()
+		tab := New(s)
+		for i := 0; i+1 < len(data); i += 2 {
+			ent := int32(data[i]%7) - 1 // −1 (anonymous) through 5
+			c := int(data[i+1])
+			tab.AppendRow(ent,
+				c%s.Attr(0).Size(),
+				(c/4)%s.Attr(1).Size(),
+				(c/8)%s.Attr(2).Size())
+		}
+		qsel := 0
+		if len(data) > 0 {
+			qsel = int(data[0]) % len(queries)
+		}
+		q := MustNewQuery(s, queries[qsel]...)
+		gotM, gotH := ComputeDetailed(tab, q)
+		wantM, wantH := ComputeReferenceDetailed(tab, q)
+		marginalsEqual(t, gotM, wantM, "fuzz")
+		if len(gotH) != len(wantH) {
+			t.Fatalf("histogram length %d, want %d", len(gotH), len(wantH))
+		}
+		for i := range gotH {
+			if gotH[i] != wantH[i] {
+				t.Fatalf("histogram[%d] = %+v, want %+v", i, gotH[i], wantH[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Canonical benchmark regeneration for BENCH_baseline.json and
+# BENCH_scan_kernel.json. Both JSON files' numbers come from this
+# script's flags — never from ad-hoc invocations — so recorded runs stay
+# comparable across PRs:
+#
+#   micro suite:        go test -run '^$' -bench . -benchtime 2s .
+#   paper-scale suite:  EREE_LARGE_BENCH=1 go test -run '^$' \
+#                         -bench BenchmarkLargeScale -benchtime 20x .
+#
+# Usage: scripts/bench.sh [output-file]
+#
+# The paper-scale suite generates the lodes.LargeConfig() dataset (~500k
+# establishments, ~10M jobs) once per process — expect tens of seconds
+# of setup before the first LargeScale benchmark reports. After a run,
+# copy the ns/op numbers into the JSON files by hand; the CI gate
+# (scripts/benchgate) compares future runs against the committed
+# "gate" section of BENCH_scan_kernel.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench_output.txt}"
+
+echo "== micro suite (-benchtime 2s) ==" | tee "$out"
+go test -run '^$' -bench . -benchtime 2s -timeout 60m . | tee -a "$out"
+
+echo "== paper-scale suite (EREE_LARGE_BENCH=1, -benchtime 20x) ==" | tee -a "$out"
+EREE_LARGE_BENCH=1 go test -run '^$' -bench BenchmarkLargeScale -benchtime 20x -timeout 60m . | tee -a "$out"
+
+echo
+echo "Wrote $out. Update BENCH_baseline.json / BENCH_scan_kernel.json from it."

@@ -1,0 +1,133 @@
+// Command benchgate compares `go test -bench` output against the
+// committed reference numbers in a BENCH JSON file and fails when a
+// gated benchmark regresses beyond the tolerance factor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'MarginalCompute$|ReleaseBatch$' . > bench.txt
+//	go run ./scripts/benchgate -baseline BENCH_scan_kernel.json -output bench.txt
+//
+// The baseline file's "gate" object maps benchmark names to reference
+// ns/op. The gate is deliberately tolerant (default 1.5×): shared CI
+// runners are noisy, and the point is to catch order-of-magnitude
+// regressions (a reintroduced per-cell allocation, a lost fast path),
+// not single-digit drift. CI skips the gate when the commit message
+// contains [skip-bench-gate].
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	Gate map[string]float64 `json:"gate"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_scan_kernel.json", "BENCH JSON file with a gate section")
+	outputPath := flag.String("output", "-", "go test -bench output to check ('-' for stdin)")
+	factor := flag.Float64("factor", 1.5, "maximum allowed ns/op ratio vs the reference")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parse %s: %v", *baselinePath, err)
+	}
+	if len(base.Gate) == 0 {
+		fatal("%s has no gate section", *baselinePath)
+	}
+
+	var in io.Reader = os.Stdin
+	if *outputPath != "-" {
+		f, err := os.Open(*outputPath)
+		if err != nil {
+			fatal("open bench output: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBenchOutput(in)
+	if err != nil {
+		fatal("parse bench output: %v", err)
+	}
+
+	failed := false
+	for name, ref := range base.Gate {
+		got, ok := measured[name]
+		if !ok {
+			fmt.Printf("FAIL %s: not found in bench output (benchmark rotted or filter too narrow)\n", name)
+			failed = true
+			continue
+		}
+		ratio := got / ref
+		status := "ok"
+		if ratio > *factor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-4s %s: %.0f ns/op vs reference %.0f (%.2fx, limit %.2fx)\n",
+			status, name, got, ref, ratio, *factor)
+	}
+	if failed {
+		fmt.Println("benchmark gate failed; if the regression is intended, rerun scripts/bench.sh,")
+		fmt.Println("update the gate numbers, or tag the commit message with [skip-bench-gate]")
+		os.Exit(1)
+	}
+}
+
+// parseBenchOutput extracts ns/op per benchmark from testing's output
+// (lines like "BenchmarkFoo-4   123   4567 ns/op ..."). The -N
+// GOMAXPROCS suffix is stripped; multiple samples of one benchmark
+// (-count > 1) keep the fastest, which is the noise-robust choice for a
+// regression gate.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var nsOp float64
+		found := false
+		for i := 2; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+				}
+				nsOp, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := out[name]; !ok || nsOp < prev {
+			out[name] = nsOp
+		}
+	}
+	return out, sc.Err()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
