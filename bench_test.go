@@ -10,6 +10,7 @@ package eree
 import (
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -362,6 +363,105 @@ func BenchmarkPublisherMarginalUncached(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPublisherMarginalConcurrent measures cached serving
+// throughput under concurrency: b.RunParallel workers all releasing the
+// same warm Workload 1 marginal. The truth comes off the sharded
+// copy-on-write cache (one atomic load, no lock), so throughput scales
+// with GOMAXPROCS instead of flatlining on a shared mutex; on a
+// single-core host the number reads as the sequential cached cost plus
+// scheduler overhead (see BENCH_release_path.json's environment note).
+func BenchmarkPublisherMarginalConcurrent(b *testing.B) {
+	p := core.NewPublisher(benchDataset(b))
+	req := core.Request{
+		Attrs:     []string{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership},
+		Mechanism: core.MechSmoothLaplace,
+		Alpha:     0.1, Eps: 2, Delta: 0.05,
+	}
+	if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(0)); err != nil {
+		b.Fatal(err) // warm the cache: the benchmark is the serving steady state
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(seq.Add(1))); err != nil {
+				// b.Fatal is not legal off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkPublisherSingleCellConcurrent measures the Workload 2
+// serving shape (single queries) under concurrency — the pure
+// cache-read regime where a shared mutex would dominate the
+// microsecond-scale per-op work and flatline throughput.
+func BenchmarkPublisherSingleCellConcurrent(b *testing.B) {
+	p := core.NewPublisher(benchDataset(b))
+	req := core.Request{
+		Attrs:     []string{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership},
+		Mechanism: core.MechSmoothGamma,
+		Alpha:     0.1, Eps: 2,
+	}
+	m, err := p.Marginal(req.Attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cellValues []string
+	for cell := range m.Counts {
+		if m.Counts[cell] > 0 {
+			cellValues = m.Query.CellValues(cell)
+			break
+		}
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, _, err := p.ReleaseSingleCell(req, cellValues, dist.NewStreamFromSeed(seq.Add(1))); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkReleaseBatchConcurrent measures concurrent batch serving:
+// each RunParallel iteration is a full 6-request grid batch over the
+// warm cache, the shape a figure-regeneration fleet or a multi-tenant
+// deployment drives.
+func BenchmarkReleaseBatchConcurrent(b *testing.B) {
+	p := core.NewPublisher(benchDataset(b))
+	attrs := []string{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership}
+	var reqs []core.Request
+	for _, eps := range []float64{1, 2} {
+		reqs = append(reqs,
+			core.Request{Attrs: attrs, Mechanism: core.MechLogLaplace, Alpha: 0.1, Eps: 2 * eps},
+			core.Request{Attrs: attrs, Mechanism: core.MechSmoothGamma, Alpha: 0.1, Eps: eps},
+			core.Request{Attrs: attrs, Mechanism: core.MechSmoothLaplace, Alpha: 0.1, Eps: eps, Delta: 0.05},
+		)
+	}
+	if _, err := p.ReleaseBatch(reqs, dist.NewStreamFromSeed(0)); err != nil {
+		b.Fatal(err)
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rels, err := p.ReleaseBatch(reqs, dist.NewStreamFromSeed(seq.Add(1)))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(rels) != len(reqs) {
+				b.Error("short batch")
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkReleaseBatch measures a 6-request batch (three mechanisms ×

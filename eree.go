@@ -108,11 +108,14 @@ func WorkplaceAttrs() []string { return lodes.WorkplaceAttrs() }
 func WorkerAttrs() []string { return lodes.WorkerAttrs() }
 
 // Publisher answers marginal release requests over one dataset. The truth
-// for each marginal is computed once — via an entity-sorted columnar
-// index over the dataset — and served from a concurrency-safe cache, so
-// repeated releases of the same query (different mechanisms, parameters
-// or trials) pay only for noise. Beyond ReleaseMarginal and
-// ReleaseSingleCell, a Publisher offers:
+// for each marginal is computed at most once — via an entity-sorted
+// columnar index over the dataset, with concurrent first requests
+// singleflighted onto one scan — and served from a sharded
+// copy-on-write cache whose hit path takes no lock, so repeated
+// releases of the same query (different mechanisms, parameters or
+// trials) pay only for noise and concurrent serving throughput scales
+// with GOMAXPROCS. Beyond ReleaseMarginal and ReleaseSingleCell, a
+// Publisher offers:
 //
 //   - ReleaseBatch: answer many requests at once — missing marginals are
 //     computed in a single pass over the data, noise is drawn in

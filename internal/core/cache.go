@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/mech"
 	"repro/internal/table"
@@ -22,10 +25,25 @@ import (
 // on attribute order, so a non-canonical request is served by remapping
 // the canonical entry's cells — a permutation of mixed-radix digits,
 // O(cells) instead of O(rows).
+//
+// Concurrency: the cache is built for read-mostly serving traffic.
+// Committed entries live in copy-on-write maps sharded by key hash and
+// published through atomic pointers, so the steady-state hit path is a
+// single atomic load plus a map lookup — no mutex, no contended cache
+// line, throughput scales with GOMAXPROCS. Writes (rare: one per
+// distinct marginal over the publisher's lifetime) clone the shard's map
+// under its mutex. Misses go through a per-key singleflight: the first
+// requester of an uncached marginal becomes the scan's leader, and every
+// concurrent requester of the same key waits on the leader's result
+// instead of scanning again — N concurrent misses cost exactly one pass
+// over the table (the stampede test pins this under the race detector).
 
 // CacheStats reports marginal-cache effectiveness. A hit means a release
-// skipped the full-table scan (whether served directly or by remapping a
-// canonical entry).
+// skipped the full-table scan (whether served directly, by remapping a
+// canonical entry, or by waiting on a scan another request had already
+// started); Misses counts marginals that had to be computed — one table
+// scan each on the point-miss path, while PrefetchMarginals computes
+// all of its misses in a single shared pass.
 type CacheStats struct {
 	Hits   int64
 	Misses int64
@@ -41,6 +59,228 @@ type marginalEntry struct {
 
 func newMarginalEntry(q *table.Query, m *table.Marginal) *marginalEntry {
 	return &marginalEntry{q: q, m: m, cells: CellInputs(m)}
+}
+
+// marginalCacheShards is the number of copy-on-write shards. A small
+// power of two: the shard count only has to keep writers (first-time
+// computes) from colliding, because readers never take a lock at all.
+const marginalCacheShards = 16
+
+// marginalCache is the sharded, singleflighted store behind the
+// publisher's truth lookups.
+type marginalCache struct {
+	off    atomic.Bool
+	hits   atomic.Int64
+	misses atomic.Int64
+	// gen is the invalidation generation: clear() bumps it before
+	// dropping the committed maps (and re-enabling the cache bumps it
+	// again), and any commit — a finished scan or a derived remap — goes
+	// through only if the generation it started under is still current
+	// and the cache is on. Without this, a scan or remap in flight
+	// across an InvalidateMarginalCache or SetMarginalCacheEnabled call
+	// would commit a pre-invalidation truth into the post-invalidation
+	// cache and serve it forever.
+	gen    atomic.Uint64
+	shards [marginalCacheShards]cacheShard
+}
+
+// cacheShard holds the committed entries for one hash slice of the key
+// space plus the in-flight scans for keys not yet committed.
+type cacheShard struct {
+	// entries is the committed map, replaced wholesale on every write
+	// (copy-on-write). Readers Load it and look up without locking; the
+	// map value is never mutated after Store.
+	entries atomic.Pointer[map[string]*marginalEntry]
+	// mu serializes writers and guards inflight.
+	mu       sync.Mutex
+	inflight map[string]*inflightScan
+}
+
+// inflightScan is one leader's pending compute; followers block on done.
+// gen is the invalidation generation the scan was registered under: a
+// would-be follower whose current generation differs must not consume
+// this result (the scan may have read pre-invalidation data).
+type inflightScan struct {
+	done chan struct{}
+	gen  uint64
+	e    *marginalEntry
+	err  error
+}
+
+func newMarginalCache() *marginalCache {
+	c := &marginalCache{}
+	for i := range c.shards {
+		empty := make(map[string]*marginalEntry)
+		c.shards[i].entries.Store(&empty)
+		c.shards[i].inflight = make(map[string]*inflightScan)
+	}
+	return c
+}
+
+// shardOf hashes the key (FNV-1a, inlined so the hot path allocates
+// nothing) onto a shard.
+func (c *marginalCache) shardOf(key string) *cacheShard {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	return &c.shards[h%marginalCacheShards]
+}
+
+// lookup returns the committed entry for the key, if any: one atomic
+// load and a map read, safe under any concurrency.
+func (c *marginalCache) lookup(key string) (*marginalEntry, bool) {
+	e, ok := (*c.shardOf(key).entries.Load())[key]
+	return e, ok
+}
+
+// commitLocked publishes an entry into the shard's committed map. The
+// caller holds sh.mu. Existing entries are kept (first writer wins), so
+// every reader of a key observes one shared *marginalEntry forever.
+func (sh *cacheShard) commitLocked(key string, e *marginalEntry) *marginalEntry {
+	old := *sh.entries.Load()
+	if prev, ok := old[key]; ok {
+		return prev
+	}
+	next := make(map[string]*marginalEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = e
+	sh.entries.Store(&next)
+	return e
+}
+
+// errScanAborted is handed to singleflight followers whose leader died
+// without producing a result or an error (a panic inside the scan); the
+// key itself stays retryable.
+var errScanAborted = errors.New("core: marginal scan aborted")
+
+// registerFlight claims the key's singleflight slot under the shard
+// lock and snapshots the invalidation generation the scan starts under.
+// The caller must finishFlight exactly once afterwards.
+func (c *marginalCache) registerFlight(sh *cacheShard, key string) (*inflightScan, uint64) {
+	fl := &inflightScan{done: make(chan struct{}), gen: c.gen.Load()}
+	sh.inflight[key] = fl
+	return fl, fl.gen
+}
+
+// finishFlight completes a registered flight: commits its result (if
+// the scan succeeded and no invalidation intervened), counts the scan,
+// unregisters the flight, and releases followers. It reports whether
+// the flight produced a usable entry. Call it via defer so a panicking
+// scan cannot leave followers blocked on a never-closed channel — a
+// flight finished with neither a result nor an error marks itself
+// aborted instead.
+func (c *marginalCache) finishFlight(key string, fl *inflightScan, gen uint64) (fresh bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if fl.err == nil && fl.e == nil {
+		fl.err = errScanAborted
+	}
+	if fl.err == nil {
+		if c.commitAllowed(gen) {
+			fl.e = sh.commitLocked(key, fl.e)
+		}
+		// Misses count computed marginals, committed or not.
+		c.misses.Add(1)
+		fresh = true
+	}
+	// Unregister only if this flight still owns the slot — a flight
+	// superseded after an invalidation must not tear down its
+	// replacement.
+	if sh.inflight[key] == fl {
+		delete(sh.inflight, key)
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	return fresh
+}
+
+// commitAllowed reports whether a result obtained under the given
+// generation may enter the committed maps: the generation must still be
+// current and the cache must be on. The off check closes the disable
+// race (a scan that started before SetMarginalCacheEnabled(false) must
+// not commit into the cleared cache), and the generation bump on
+// re-enable closes its tail (a straggler from the disabled window must
+// not commit after the cache comes back on).
+func (c *marginalCache) commitAllowed(gen uint64) bool {
+	return c.gen.Load() == gen && !c.off.Load()
+}
+
+// getOrCompute returns the entry for the key, running compute at most
+// once across all concurrent callers (per-key singleflight). fresh
+// reports whether this call's compute produced the entry — i.e. whether
+// this caller paid for a table scan. A scan that completes successfully
+// increments the miss counter (misses count scans, nothing else).
+func (c *marginalCache) getOrCompute(key string, compute func() (*marginalEntry, error)) (e *marginalEntry, fresh bool, err error) {
+	sh := c.shardOf(key)
+	if e, ok := (*sh.entries.Load())[key]; ok {
+		return e, false, nil
+	}
+	sh.mu.Lock()
+	if e, ok := (*sh.entries.Load())[key]; ok {
+		// Committed between the optimistic read and the lock.
+		sh.mu.Unlock()
+		return e, false, nil
+	}
+	if fl, ok := sh.inflight[key]; ok && fl.gen == c.gen.Load() {
+		// Another goroutine is already scanning for this key: follow it.
+		sh.mu.Unlock()
+		<-fl.done
+		return fl.e, false, fl.err
+	}
+	// Either no flight, or a flight that predates an invalidation —
+	// whose result reflects data this request (which began after the
+	// invalidation) must not see. Register (or replace: registerFlight
+	// overwrites the slot, and a superseded flight only unregisters
+	// itself if it still owns it) and lead the scan for the current
+	// generation, so concurrent post-invalidation requesters follow this
+	// one instead of stampeding.
+	fl, gen := c.registerFlight(sh, key)
+	sh.mu.Unlock()
+
+	defer func() {
+		fresh = c.finishFlight(key, fl, gen)
+		e, err = fl.e, fl.err
+	}()
+	fl.e, fl.err = compute()
+	return
+}
+
+// insertDerived commits a remapped entry (no scan involved) whose
+// source canonical truth was obtained under the given generation —
+// unless the cache has been invalidated or disabled since, in which
+// case the derived truth is served to this caller but not cached. The
+// generation check (not a source-pointer check) is what makes this
+// sound against clear()'s shard-by-shard sweep: the canonical shard may
+// not have been swept yet when this shard already has been.
+func (c *marginalCache) insertDerived(key string, e *marginalEntry, gen uint64) *marginalEntry {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !c.commitAllowed(gen) {
+		return e
+	}
+	return sh.commitLocked(key, e)
+}
+
+// clear drops every committed entry. The generation bump comes first so
+// any scan still in flight sees it at commit time and leaves its
+// pre-invalidation truth out of the fresh maps.
+func (c *marginalCache) clear() {
+	c.gen.Add(1)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		empty := make(map[string]*marginalEntry)
+		sh.entries.Store(&empty)
+		sh.mu.Unlock()
+	}
 }
 
 // exactKey identifies an attribute list in request order.
@@ -62,60 +302,66 @@ func (p *Publisher) canonicalAttrs(attrs []string) ([]string, error) {
 	return out, nil
 }
 
+// computeEntry runs the full-table scan for an attribute list.
+func (p *Publisher) computeEntry(attrs []string) (*marginalEntry, error) {
+	q, err := table.NewQuery(p.data.Schema(), attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return newMarginalEntry(q, table.Compute(p.data.WorkerFull, q)), nil
+}
+
 // marginalFor returns the cached truth for the attribute set, computing
 // and caching it on first use. The returned entry is shared: its query,
 // marginal and cell inputs must be treated as read-only.
 //
-// The cache mutex is held across the compute, so concurrent requests for
-// the same marginal trigger exactly one table scan (the scan itself
-// parallelizes internally via the table index).
+// Concurrent requests for the same uncached marginal trigger exactly one
+// table scan — the per-key singleflight makes every other requester a
+// follower of the first (the scan itself still parallelizes internally
+// via the table index). Requests for cached marginals never touch a
+// lock.
 func (p *Publisher) marginalFor(attrs []string) (*marginalEntry, error) {
 	canon, err := p.canonicalAttrs(attrs)
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.marginalForLocked(attrs, canon)
-}
-
-func (p *Publisher) marginalForLocked(attrs, canon []string) (*marginalEntry, error) {
-	if p.cacheOff {
-		q, err := table.NewQuery(p.data.Schema(), attrs...)
-		if err != nil {
-			return nil, err
-		}
-		return newMarginalEntry(q, table.Compute(p.data.WorkerFull, q)), nil
+	c := p.cache
+	if c.off.Load() {
+		return p.computeEntry(attrs)
 	}
 	key := exactKey(attrs)
-	if e, ok := p.marginals[key]; ok {
-		p.cacheHits++
+	if e, ok := c.lookup(key); ok {
+		c.hits.Add(1)
 		return e, nil
 	}
+	// Snapshot the generation before obtaining the canonical truth: a
+	// derived remap may only be cached if no invalidation intervened
+	// between here and its commit.
+	gen := c.gen.Load()
 	canonKey := exactKey(canon)
-	canonEntry, haveCanon := p.marginals[canonKey]
-	if !haveCanon {
-		q, err := table.NewQuery(p.data.Schema(), canon...)
-		if err != nil {
-			return nil, err
-		}
-		canonEntry = newMarginalEntry(q, table.Compute(p.data.WorkerFull, q))
-		p.marginals[canonKey] = canonEntry
-		p.cacheMisses++
-	} else if key != canonKey {
-		// Truth reused, only the cell numbering changes: count as a hit.
-		p.cacheHits++
+	canonEntry, fresh, err := c.getOrCompute(canonKey, func() (*marginalEntry, error) {
+		return p.computeEntry(canon)
+	})
+	if err != nil {
+		return nil, err
 	}
 	if key == canonKey {
+		if !fresh {
+			// Raced with a concurrent scan (or its committed result) and
+			// skipped our own: a hit.
+			c.hits.Add(1)
+		}
 		return canonEntry, nil
+	}
+	if !fresh {
+		// Truth reused, only the cell numbering changes: count as a hit.
+		c.hits.Add(1)
 	}
 	q, err := table.NewQuery(p.data.Schema(), attrs...)
 	if err != nil {
 		return nil, err
 	}
-	e := newMarginalEntry(q, remapMarginal(canonEntry.m, q))
-	p.marginals[key] = e
-	return e, nil
+	return c.insertDerived(key, newMarginalEntry(q, remapMarginal(canonEntry.m, q)), gen), nil
 }
 
 // remapMarginal re-expresses a marginal under a query over the same
@@ -173,6 +419,13 @@ func (p *Publisher) Marginal(attrs []string) (*table.Marginal, error) {
 // PrefetchMarginals computes every not-yet-cached marginal among the
 // attribute sets in a single sharded pass over the table (the
 // incremental-view-maintenance move: pay one scan, answer many queries).
+//
+// The prefetched keys are registered as in-flight scans for the duration
+// of the pass, so point lookups arriving mid-prefetch wait for its
+// result instead of scanning on their own. Two overlapping prefetches
+// can still each run a pass (the second skips every key the first
+// already claimed); the committed results are identical truths either
+// way.
 func (p *Publisher) PrefetchMarginals(attrSets [][]string) error {
 	canons := make([][]string, 0, len(attrSets))
 	for _, attrs := range attrSets {
@@ -182,62 +435,99 @@ func (p *Publisher) PrefetchMarginals(attrSets [][]string) error {
 		}
 		canons = append(canons, canon)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cacheOff {
+	c := p.cache
+	if c.off.Load() {
 		return nil
 	}
 	var missing []*table.Query
+	var flights []*inflightScan
+	var keys []string
+	var gens []uint64
 	seen := make(map[string]bool)
+	// Every registered flight is finished exactly once — on success, on
+	// error, and on a panic inside the scan (followers of an unfinished
+	// flight would block forever).
+	finished := 0
+	defer func() {
+		for i := finished; i < len(flights); i++ {
+			c.finishFlight(keys[i], flights[i], gens[i])
+		}
+	}()
 	for _, canon := range canons {
 		key := exactKey(canon)
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		if _, ok := p.marginals[key]; ok {
+		sh := c.shardOf(key)
+		sh.mu.Lock()
+		if _, ok := (*sh.entries.Load())[key]; ok {
+			sh.mu.Unlock()
+			continue
+		}
+		if fl, ok := sh.inflight[key]; ok && fl.gen == c.gen.Load() {
+			// Another scan (point miss or concurrent prefetch) already owns
+			// this key; it will commit the identical truth. (A flight from
+			// before an invalidation will not commit; registerFlight below
+			// replaces it.)
+			sh.mu.Unlock()
 			continue
 		}
 		q, err := table.NewQuery(p.data.Schema(), canon...)
 		if err != nil {
+			sh.mu.Unlock()
+			for _, fl := range flights {
+				fl.err = err
+			}
 			return err
 		}
+		fl, gen := c.registerFlight(sh, key)
+		sh.mu.Unlock()
 		missing = append(missing, q)
+		flights = append(flights, fl)
+		keys = append(keys, key)
+		gens = append(gens, gen)
 	}
 	if len(missing) == 0 {
 		return nil
 	}
 	for i, m := range table.ComputeAll(p.data.WorkerFull, missing) {
-		q := missing[i]
-		p.marginals[exactKey(q.AttrNames())] = newMarginalEntry(q, m)
-		p.cacheMisses++
+		flights[i].e = newMarginalEntry(missing[i], m)
+		c.finishFlight(keys[i], flights[i], gens[i])
+		finished++
 	}
 	return nil
 }
 
 // SetMarginalCacheEnabled turns the marginal cache on or off (it is on
 // by default). Disabling also drops every cached entry, so a subsequent
-// enable starts cold.
+// enable starts cold; the generation bump on the off→on transition
+// keeps any straggler from the disabled window (a commit racing the
+// disable) from warming it behind the caller's back. Enabling an
+// already-enabled cache is a no-op, as it always was.
 func (p *Publisher) SetMarginalCacheEnabled(enabled bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.cacheOff = !enabled
 	if !enabled {
-		p.marginals = make(map[string]*marginalEntry)
+		p.cache.off.Store(true)
+		p.cache.clear()
+		return
 	}
+	if !p.cache.off.Load() {
+		return
+	}
+	// Bump before flipping on: a straggler commit must observe either
+	// the off flag or a newer generation, never the enabled cache at its
+	// own generation.
+	p.cache.gen.Add(1)
+	p.cache.off.Store(false)
 }
 
 // InvalidateMarginalCache drops every cached marginal (for callers that
 // mutate the underlying dataset between releases). Statistics persist.
 func (p *Publisher) InvalidateMarginalCache() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.marginals = make(map[string]*marginalEntry)
+	p.cache.clear()
 }
 
 // MarginalCacheStats returns the cache's hit/miss counters.
 func (p *Publisher) MarginalCacheStats() CacheStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return CacheStats{Hits: p.cacheHits, Misses: p.cacheMisses}
+	return CacheStats{Hits: p.cache.hits.Load(), Misses: p.cache.misses.Load()}
 }

@@ -8,7 +8,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/dist"
@@ -103,19 +102,14 @@ type Release struct {
 }
 
 // Publisher answers release requests over one dataset. It is safe for
-// concurrent use: the truth for each marginal is computed once and served
-// from a cache (see cache.go), and budget accounting serializes inside
-// the Accountant.
+// concurrent use: the truth for each marginal is computed at most once
+// (concurrent first requests singleflight onto one scan) and served from
+// a sharded copy-on-write cache whose hit path takes no lock at all (see
+// cache.go), and budget accounting serializes inside the Accountant.
 type Publisher struct {
 	data       *lodes.Dataset
 	accountant *privacy.Accountant
-
-	// mu guards the marginal cache.
-	mu          sync.Mutex
-	cacheOff    bool
-	marginals   map[string]*marginalEntry
-	cacheHits   int64
-	cacheMisses int64
+	cache      *marginalCache
 }
 
 // NewPublisher creates a publisher for the dataset.
@@ -123,7 +117,7 @@ func NewPublisher(d *lodes.Dataset) *Publisher {
 	if d == nil {
 		panic("core: nil dataset")
 	}
-	return &Publisher{data: d, marginals: make(map[string]*marginalEntry)}
+	return &Publisher{data: d, cache: newMarginalCache()}
 }
 
 // WithAccountant attaches a budget accountant; every subsequent release

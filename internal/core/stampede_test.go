@@ -1,0 +1,294 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lodes"
+)
+
+// TestMarginalCacheStampedeSingleScan is the cache-stampede contract:
+// many goroutines hitting one uncached marginal at once must trigger
+// exactly one underlying table scan — the first requester leads, every
+// other follows the in-flight result — and, given the same noise
+// stream, produce bit-identical releases. Run under -race in CI, this
+// also proves the sharded copy-on-write read path publishes entries
+// safely.
+func TestMarginalCacheStampedeSingleScan(t *testing.T) {
+	const goroutines = 48 // ≥ 32: well past any shard or scheduler width
+
+	p := testPublisher(t, 41)
+	req := Request{Attrs: workload1Attrs(), Mechanism: MechSmoothLaplace, Alpha: 0.1, Eps: 2, Delta: 0.05}
+
+	start := make(chan struct{})
+	rels := make([]*Release, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			// Same seed everywhere: identical requests must yield identical
+			// releases no matter who led the scan.
+			rels[g], errs[g] = p.ReleaseMarginal(req, dist.NewStreamFromSeed(7))
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	stats := p.MarginalCacheStats()
+	if stats.Misses != 1 {
+		t.Fatalf("%d concurrent misses ran %d table scans, want exactly 1 (stampede)", goroutines, stats.Misses)
+	}
+	if stats.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d (every follower skipped the scan)", stats.Hits, goroutines-1)
+	}
+	for g := 1; g < goroutines; g++ {
+		if rels[g].Truth != rels[0].Truth {
+			t.Fatalf("goroutine %d received a different truth object: the scan result was not shared", g)
+		}
+		for i := range rels[g].Noisy {
+			if rels[g].Noisy[i] != rels[0].Noisy[i] {
+				t.Fatalf("goroutine %d cell %d: %v != %v (releases not identical)", g, i, rels[g].Noisy[i], rels[0].Noisy[i])
+			}
+		}
+	}
+}
+
+// TestInvalidateDuringScanDoesNotResurrect pins the invalidation
+// contract under concurrency: a scan that is in flight when
+// InvalidateMarginalCache runs must not commit its (now pre-mutation)
+// truth into the fresh cache. The interleaving is forced by invoking
+// the invalidation from inside the compute callback itself.
+func TestInvalidateDuringScanDoesNotResurrect(t *testing.T) {
+	p := testPublisher(t, 43)
+	key := exactKey(workload1Attrs())
+
+	e, fresh, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+		p.InvalidateMarginalCache() // the dataset "mutated" mid-scan
+		return p.computeEntry(workload1Attrs())
+	})
+	if err != nil || e == nil {
+		t.Fatalf("getOrCompute: %v, %v", e, err)
+	}
+	if !fresh {
+		t.Fatal("leader's own scan not reported fresh")
+	}
+	if _, ok := p.cache.lookup(key); ok {
+		t.Fatal("a scan spanning InvalidateMarginalCache committed its stale truth into the fresh cache")
+	}
+	// The key stays serviceable: the next request runs a fresh scan and
+	// commits normally.
+	if _, err := p.Marginal(workload1Attrs()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.cache.lookup(key); !ok {
+		t.Fatal("post-invalidation scan did not commit")
+	}
+}
+
+// TestPostInvalidationRequestDoesNotFollowStaleFlight: a request that
+// begins after InvalidateMarginalCache must not be served by a scan
+// that was already in flight when the invalidation ran — it scans for
+// itself and commits the fresh truth.
+func TestPostInvalidationRequestDoesNotFollowStaleFlight(t *testing.T) {
+	p := testPublisher(t, 46)
+	key := exactKey(workload1Attrs())
+
+	staleEntry, err := p.computeEntry(workload1Attrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+			close(leaderIn)
+			<-release
+			return staleEntry, nil // stands in for pre-mutation truth
+		})
+	}()
+	<-leaderIn
+	p.InvalidateMarginalCache()
+
+	// This request begins strictly after the invalidation: it must not
+	// receive staleEntry even though the leader's flight is still open.
+	e, fresh, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+		return p.computeEntry(workload1Attrs())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == staleEntry {
+		t.Fatal("post-invalidation request was served by the pre-invalidation flight")
+	}
+	if !fresh {
+		t.Fatal("post-invalidation request did not run its own scan")
+	}
+	close(release)
+	<-leaderDone
+	if got, ok := p.cache.lookup(key); !ok || got == staleEntry {
+		t.Fatalf("committed entry after the dust settles = (%v, %v), want the fresh truth", got, ok)
+	}
+}
+
+// TestDisableRaceStaysCold pins the disable contract against scans that
+// race SetMarginalCacheEnabled: a scan that observed the cache on but
+// commits while it is off (the racer read off==false just before the
+// disable landed), and a straggler whose commit lands only after a
+// re-enable, must both stay out of the cache — "a subsequent enable
+// starts cold" even under concurrency.
+func TestDisableRaceStaysCold(t *testing.T) {
+	p := testPublisher(t, 45)
+	key := exactKey(workload1Attrs())
+
+	// Disable lands mid-scan: the flight predates the disable.
+	if _, _, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+		p.SetMarginalCacheEnabled(false)
+		return p.computeEntry(workload1Attrs())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.cache.lookup(key); ok {
+		t.Fatal("scan spanning a disable committed into the cleared cache")
+	}
+
+	// Racer registered after the disable (it read off==false just before):
+	// its commit while off must be blocked by the off check.
+	if _, _, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+		return p.computeEntry(workload1Attrs())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.cache.lookup(key); ok {
+		t.Fatal("scan committed while the cache was disabled")
+	}
+
+	// Straggler whose commit lands after the re-enable: blocked by the
+	// generation bump on enable.
+	if _, _, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+		p.SetMarginalCacheEnabled(true)
+		return p.computeEntry(workload1Attrs())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.cache.lookup(key); ok {
+		t.Fatal("disabled-window straggler warmed the re-enabled cache")
+	}
+
+	// The enabled cache works normally from here.
+	if _, err := p.Marginal(workload1Attrs()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.cache.lookup(key); !ok {
+		t.Fatal("post-enable scan did not commit")
+	}
+
+	// Enabling an already-enabled cache is a no-op: the warm entry
+	// survives and the generation does not move (a bump here would
+	// doom every in-flight scan's commit for no reason).
+	gen := p.cache.gen.Load()
+	p.SetMarginalCacheEnabled(true)
+	if _, ok := p.cache.lookup(key); !ok {
+		t.Fatal("redundant enable dropped the warm cache")
+	}
+	if got := p.cache.gen.Load(); got != gen {
+		t.Fatalf("redundant enable moved the generation %d -> %d", gen, got)
+	}
+}
+
+// TestScanPanicReleasesFollowers pins the singleflight's panic safety: a
+// leader whose compute panics must unregister the flight and release
+// followers with an error instead of wedging the key forever.
+func TestScanPanicReleasesFollowers(t *testing.T) {
+	p := testPublisher(t, 44)
+	key := exactKey(workload1Attrs())
+
+	follower := make(chan error, 1)
+	inScan := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+			close(inScan)
+			panic("synthetic scan failure")
+		})
+	}()
+	go func() {
+		<-inScan
+		_, _, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+			// By the time a second compute can start, the flight table must
+			// be clean again; computing normally proves the key recovered.
+			return p.computeEntry(workload1Attrs())
+		})
+		follower <- err
+	}()
+	// The follower either joined the doomed flight (errScanAborted) or
+	// arrived after cleanup and ran its own successful scan; both are
+	// correct — hanging forever is the bug this test exists to catch.
+	err := <-follower
+	if err != nil && !errors.Is(err, errScanAborted) {
+		t.Fatalf("follower error = %v, want nil or errScanAborted", err)
+	}
+	if _, err := p.Marginal(workload1Attrs()); err != nil {
+		t.Fatalf("key did not recover after a panicking scan: %v", err)
+	}
+}
+
+// TestMarginalCacheStampedeMixedOrders: a stampede that names the same
+// attribute set in two different orders still costs one scan — the
+// non-canonical requests follow the canonical flight and remap its
+// cells.
+func TestMarginalCacheStampedeMixedOrders(t *testing.T) {
+	const goroutines = 32
+
+	p := testPublisher(t, 42)
+	orders := [][]string{
+		{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership},
+		{lodes.AttrOwnership, lodes.AttrIndustry, lodes.AttrPlace},
+	}
+
+	start := make(chan struct{})
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			_, errs[g] = p.Marginal(orders[g%2])
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if stats := p.MarginalCacheStats(); stats.Misses != 1 {
+		t.Fatalf("mixed-order stampede ran %d table scans, want exactly 1", stats.Misses)
+	}
+	// Both orders must agree cell-for-cell after the remap.
+	a, err := p.Marginal(orders[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Marginal(orders[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != b.Total() {
+		t.Fatalf("totals differ across orders: %d vs %d", a.Total(), b.Total())
+	}
+}

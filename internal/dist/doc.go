@@ -28,6 +28,15 @@
 // independent of each other and of the parent's own draw sequence; the
 // golden-vector tests pin both properties.
 //
+// Sampler versioning: the mapping from uniform bits to a sampler's
+// variates is part of the contract, and changing it is a versioned
+// event recorded in the golden vectors. The current generalized-Cauchy
+// sampler is v2 (PR 4: table-seeded quantile inversion, survival-
+// function series cutoff at z = 12); its draws can differ from v1 in
+// the last ulp, so the v1 golden vector was retired with a DESIGN.md §7
+// contract note. All other samplers remain v1, bit-identical to their
+// first release.
+//
 // # Samplers
 //
 // Noise distributions (Laplace, GenCauchy) expose Sample together with

@@ -26,9 +26,9 @@ func (GenCauchy) PDF(z float64) float64 {
 //
 //	F(z) = √2/8·ln((z²+√2z+1)/(z²−√2z+1)) + √2/4·(atan(√2z+1)+atan(√2z−1)).
 //
-// Far in the tails the closed form loses to cancellation (and z⁴
-// overflows), so beyond |z| = 10⁴ the asymptotic series tail is used
-// instead; the result is always clamped into [0, 1].
+// In the tails the closed form loses to cancellation (and far out z⁴
+// overflows), so beyond |z| = 12 the asymptotic series is used instead
+// (see sf); the result is always clamped into [0, 1].
 func (g GenCauchy) CDF(z float64) float64 {
 	if z >= 0 {
 		return 1 - g.sf(z)
@@ -40,13 +40,21 @@ func (g GenCauchy) CDF(z float64) float64 {
 // without subtracting nearly-equal quantities so it stays accurate
 // (and in [0, 0.5]) arbitrarily far into the tail.
 func (GenCauchy) sf(z float64) float64 {
-	if z > 1e4 {
-		// 1−CDF(z) = (√2/π)·(1/(3z³) − 1/(7z⁷) + 1/(11z¹¹) − …). By
-		// z = 10⁴ the closed form's ~10⁻¹⁶ absolute cancellation error
-		// already swamps the ~10⁻¹³ tail, while the two-term series is
-		// exact to a relative 3/(11z⁸) ≈ 10⁻³³.
+	if z > 12 {
+		// 1−CDF(z) = (√2/π)·(1/(3z³) − 1/(7z⁷) + 1/(11z¹¹) − 1/(15z¹⁵) + …).
+		// The truncation error of the four-term series is a relative
+		// 3/(19z¹⁶) < 10⁻¹⁷ at z = 12, so the series is correctly rounded
+		// from here on out — whereas the closed form's cancellation error
+		// grows like z³ relative to the shrinking tail (by z = 10⁴ it
+		// reaches ~10⁻⁵ relative, which used to make extreme quantiles
+		// ill-determined at the ulp level). Far out, the z⁷/z¹¹/z¹⁵ powers
+		// overflow to +Inf and their terms vanish, which is exactly the
+		// right limit.
 		z3 := z * z * z
-		return gcNorm * (1/(3*z3) - 1/(7*z3*z3*z))
+		z7 := z3 * z3 * z
+		z11 := z7 * z3 * z
+		z15 := z11 * z3 * z
+		return gcNorm * (1/(3*z3) - 1/(7*z7) + 1/(11*z11) - 1/(15*z15))
 	}
 	z2 := z * z
 	r2z := math.Sqrt2 * z
@@ -72,11 +80,12 @@ func (GenCauchy) sf(z float64) float64 {
 	return s
 }
 
-// Quantile returns the p-quantile for p in (0, 1), by Newton inversion
-// of the closed-form survival function inside a guaranteed bracket.
-// Both halves invert against the tail probability directly (for
-// p >= 0.5 the subtraction 1−p is exact in floating point), so extreme
-// quantiles never suffer cancellation or produce infinities.
+// Quantile returns the p-quantile for p in (0, 1), by table-seeded
+// Newton inversion of the closed-form survival function (see
+// gencauchy_table.go). Both halves invert against the tail probability
+// directly (for p >= 0.5 the subtraction 1−p is exact in floating
+// point), so extreme quantiles never suffer cancellation or produce
+// infinities.
 func (g GenCauchy) Quantile(p float64) float64 {
 	if !(p > 0 && p < 1) {
 		panic(fmt.Sprintf("dist: GenCauchy quantile requires p in (0,1), got %v", p))
@@ -90,11 +99,23 @@ func (g GenCauchy) Quantile(p float64) float64 {
 	return g.quantileTail(1 - p)
 }
 
-// quantileTail returns the z > 0 with P(Z > z) = tail, for tail in
-// (0, 0.5).
-func (g GenCauchy) quantileTail(tail float64) float64 {
+// quantileTailBracketed is the cold inversion path: Newton inside a
+// guaranteed bracket from a crude cube-root starting point. It is the
+// reference the quantile table is built from (and differentially tested
+// against), and the fallback for the corner the polish cannot certify.
+func (g GenCauchy) quantileTailBracketed(tail float64) float64 {
 	// Tail bound P(Z > z) < (√2/π)/(3z³) makes this an upper bracket.
-	lo, hi := 0.0, math.Cbrt(gcNorm/(3*tail))+1
+	hi := math.Cbrt(gcNorm / (3 * tail))
+	if math.IsInf(hi, 1) {
+		// Subnormal tails overflow the quotient; rescale. (The guard — not
+		// an unconditional rewrite — keeps the bracket, and with it every
+		// iterate, bit-identical for all non-overflowing tails. Note sf's
+		// own z³ overflow still caps how deep this search can truly
+		// resolve, ~8.4e-310; the series branch of the fast path owns the
+		// regime below that, this just keeps the bracket finite.)
+		hi = math.Cbrt(gcNorm/3) / math.Cbrt(tail)
+	}
+	lo, hi := 0.0, hi+1
 	z := hi / 2
 	for i := 0; i < 64; i++ {
 		f := tail - g.sf(z) // increasing in z, like a CDF residual

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"math"
+	"sync"
+)
+
+// Table-accelerated quantile inversion for GenCauchy (sampler v2).
+//
+// The cold path (quantileTailBracketed) inverts the survival function by
+// a bracketed Newton search from a crude starting point — typically
+// 8–12 sf/PDF evaluations, each paying a log and one or two atans. The
+// hot path below replaces the search with a precomputed monotone
+// quantile table: a cubic Hermite interpolant of z(tail) per binade of
+// the tail probability, accurate to ~1e-9 relative, from which a single
+// polished Newton step lands within an ulp of the true root. Beyond the
+// table floor (tail < 2⁻⁶⁴, i.e. z > 10⁶) the closed-form asymptotic
+// series of the survival function is already exact to well below an
+// ulp, so the seed comes from inverting the series directly.
+//
+// Layout: tails in [2⁻⁶⁴, 0.5) span 63 binades. math.Frexp writes
+// tail = f·2^exp with f ∈ [0.5, 1); binade b = −exp−1 ∈ [0, 62] holds
+// gcTableKnots+1 knots uniform in f, each storing the quantile z and
+// the derivative dz/df = −2^exp/pdf(z) (the survival function's inverse
+// function theorem), so the interpolant is C¹ and needs no bracket.
+// Total: 63 × 33 = 2079 knots (~33 KB), built lazily on first use from
+// the cold path.
+
+const (
+	// gcTableKnots is the number of Hermite intervals per binade.
+	gcTableKnots = 32
+	// gcTableBinades covers tail ∈ [2⁻⁶⁴, 0.5): frexp exponents −1 … −63.
+	gcTableBinades = 63
+	// gcTableFloor is the smallest tail the table covers; below it the
+	// asymptotic-series seed is exact to below an ulp.
+	gcTableFloor = 0x1p-64
+)
+
+type gcQuantileTable struct {
+	// z and d hold the quantile and dz/df at knot j of binade b, flattened
+	// as b*(gcTableKnots+1)+j.
+	z [gcTableBinades * (gcTableKnots + 1)]float64
+	d [gcTableBinades * (gcTableKnots + 1)]float64
+}
+
+var (
+	gcTableOnce sync.Once
+	gcTablePtr  *gcQuantileTable
+)
+
+// gcTable returns the lazily built quantile table.
+func gcTable() *gcQuantileTable {
+	gcTableOnce.Do(func() {
+		t := new(gcQuantileTable)
+		var g GenCauchy
+		for b := 0; b < gcTableBinades; b++ {
+			exp := -b - 1 // frexp exponent of this binade
+			scale := math.Ldexp(1, exp)
+			for j := 0; j <= gcTableKnots; j++ {
+				f := 0.5 + float64(j)/(2*gcTableKnots)
+				tail := f * scale
+				z := g.quantileTailBracketed(tail)
+				k := b*(gcTableKnots+1) + j
+				t.z[k] = z
+				// dz/df = (dz/dtail)·(dtail/df) = −2^exp / pdf(z).
+				t.d[k] = -scale / g.PDF(z)
+			}
+		}
+		gcTablePtr = t
+	})
+	return gcTablePtr
+}
+
+// quantileTail returns the z > 0 with P(Z > z) = tail, for tail in
+// (0, 0.5): the table-seeded fast path, with the bracketed search as a
+// fallback for anything the polish cannot certify.
+func (g GenCauchy) quantileTail(tail float64) float64 {
+	if tail < gcTableFloor {
+		// Beyond the table: invert the leading term of the series
+		// SF(z) = (√2/π)·(1/(3z³) − …), rescaled as a quotient of cube
+		// roots so subnormal tails cannot overflow the intermediate
+		// (gcNorm/(3·tail) exceeds MaxFloat64 for tail < ~8.4e-310, which
+		// used to surface as a −Inf quantile). At the table floor
+		// z ≈ 1.4e6 the next-term relative correction 1/(7z⁴) ≈ 4e-26 is
+		// already far below float64 resolution and only shrinks deeper
+		// in, so this seed IS the quantile to within arithmetic rounding.
+		// No polish follows: the closed forms degrade out here (z³
+		// overflows sf and z⁴ the density) long before the series
+		// truncation could matter.
+		return math.Cbrt(gcNorm/3) / math.Cbrt(tail)
+	}
+	f, exp := math.Frexp(tail)
+	b := -exp - 1
+	j := int((f - 0.5) * (2 * gcTableKnots))
+	if j >= gcTableKnots {
+		j = gcTableKnots - 1 // f rounding at the binade's top knot
+	}
+	t := gcTable()
+	k := b*(gcTableKnots+1) + j
+	z0, z1 := t.z[k], t.z[k+1]
+	d0, d1 := t.d[k], t.d[k+1]
+	const h = 1.0 / (2 * gcTableKnots) // knot spacing in f
+	u := (f - (0.5 + float64(j)*h)) / h
+	// Cubic Hermite basis in u ∈ [0, 1].
+	u2 := u * u
+	um := 1 - u
+	um2 := um * um
+	z := (1+2*u)*um2*z0 + h*u*um2*d0 + u2*(3-2*u)*z1 - h*u2*um*d1
+	// One Newton polish against the closed-form survival function: the
+	// seed is within ~1e-9 relative, so the quadratically convergent step
+	// lands within the evaluation noise of sf itself (≤ an ulp or two).
+	fz := tail - g.sf(z)
+	next := z - fz/g.PDF(z)
+	if !(next > 0) || math.IsInf(next, 0) || math.IsNaN(next) {
+		// The polish left the admissible region (only reachable when tail
+		// is within an ulp of 0.5 and z underflows toward 0): the bracketed
+		// search still owns that corner.
+		return g.quantileTailBracketed(tail)
+	}
+	// A large relative step means the seed was out of polish range
+	// (cannot happen for a healthy table; cheap insurance against it).
+	if d := next - z; d > 1e-6*next || d < -1e-6*next {
+		return g.quantileTailBracketed(tail)
+	}
+	return next
+}

@@ -33,9 +33,20 @@ func (l Laplace) Sample(s *Stream) float64 {
 // the stream exactly as len(dst) scalar Sample calls would: dst[i] holds
 // the (i+1)-th draw, bit for bit. Batch callers (the release pipeline)
 // rely on this equivalence for determinism against the scalar path.
+//
+// The loop body is the quantile formula with the scale load and the
+// in-range check hoisted out of the per-draw path; the expressions are
+// exactly Quantile's, so the bit-for-bit contract holds by construction
+// (TestFillMatchesScalar pins it).
 func (l Laplace) Fill(dst []float64, s *Stream) {
+	b := l.B
 	for i := range dst {
-		dst[i] = l.Sample(s)
+		p := s.float64Open()
+		if p < 0.5 {
+			dst[i] = b * math.Log(2*p)
+		} else {
+			dst[i] = -b * math.Log(2*(1-p))
+		}
 	}
 }
 

@@ -58,7 +58,10 @@ func (m SmoothGamma) ReleaseCell(in CellInput, s *dist.Stream) (float64, error) 
 // the chunk (smooth-sensitivity boundedness depends only on α and b,
 // never on the cell), the generalized-Cauchy noise is batch-sampled
 // from the per-cell stream family, and each cell scales it by its own
-// smooth sensitivity — bit-identical to per-cell ReleaseCell.
+// smooth sensitivity — bit-identical to per-cell ReleaseCell. The
+// invariant reciprocal 1/a is hoisted out of the cell loop; the scalar
+// smooth.Release combines its scale the same reciprocal-first way, so
+// hoisting does not change a single bit of output.
 func (m SmoothGamma) releaseCellRange(out []float64, cells []CellInput, parent *dist.Stream, base int, noise []float64) error {
 	if !(m.split.A > 0) {
 		return fmt.Errorf("mech: SmoothGamma not initialized; use NewSmoothGamma")
@@ -67,11 +70,28 @@ func (m SmoothGamma) releaseCellRange(out []float64, cells []CellInput, parent *
 		return err
 	}
 	dist.FillSplit(noise, dist.GenCauchy{}, parent, "cell", base)
-	for i := range out {
-		sens := smooth.LocalSensitivity(cells[i].MaxContribution, m.Alpha)
-		out[i] = cells[i].Count + sens/m.split.A*noise[i]
-	}
+	smoothScaleCells(out, cells, noise, m.Alpha, 1/m.split.A)
 	return nil
+}
+
+// smoothScaleCells is the per-cell tail both smooth batch paths share:
+// the inlined local sensitivity max(x_v·α, 1) — with the scalar path's
+// negative-x_v panic relayed, so corrupt input fails as loudly as
+// ReleaseCell — and the reciprocal-first scale-and-add whose operation
+// order smooth.Release mirrors exactly (the bit-identity contract
+// lives here, in one place).
+func smoothScaleCells(out []float64, cells []CellInput, noise []float64, alpha, invA float64) {
+	for i := range out {
+		xv := cells[i].MaxContribution
+		if xv < 0 {
+			smooth.LocalSensitivity(xv, alpha) // panics on negative x_v
+		}
+		sens := float64(xv) * alpha
+		if sens < 1 {
+			sens = 1
+		}
+		out[i] = cells[i].Count + sens*invA*noise[i]
+	}
 }
 
 // ExpectedL1 returns the exact expected L1 error for the cell:
@@ -158,8 +178,8 @@ func (m SmoothLaplace) ReleaseCell(in CellInput, s *dist.Stream) (float64, error
 }
 
 // releaseCellRange is the batch path for Algorithm 3; see
-// SmoothGamma.releaseCellRange — identical structure with unit Laplace
-// noise.
+// SmoothGamma.releaseCellRange — identical structure (hoisted 1/a,
+// inlined local sensitivity) with unit Laplace noise.
 func (m SmoothLaplace) releaseCellRange(out []float64, cells []CellInput, parent *dist.Stream, base int, noise []float64) error {
 	if !(m.split.A > 0) {
 		return fmt.Errorf("mech: SmoothLaplace not initialized; use NewSmoothLaplace")
@@ -168,10 +188,7 @@ func (m SmoothLaplace) releaseCellRange(out []float64, cells []CellInput, parent
 		return err
 	}
 	dist.FillSplit(noise, dist.NewLaplace(1), parent, "cell", base)
-	for i := range out {
-		sens := smooth.LocalSensitivity(cells[i].MaxContribution, m.Alpha)
-		out[i] = cells[i].Count + sens/m.split.A*noise[i]
-	}
+	smoothScaleCells(out, cells, noise, m.Alpha, 1/m.split.A)
 	return nil
 }
 

@@ -230,6 +230,12 @@ func MinEpsilonLaplace(alpha, delta float64) float64 {
 // Release applies the generic mechanism of Theorem 8.4 to one count:
 // M(x) = q(x) + S(x)/a · Z, where S(x) is a b-smooth upper bound on local
 // sensitivity and Z is drawn from the admissible distribution.
+//
+// The scale is combined as S(x)·(1/a)·Z — multiplication by the
+// reciprocal rather than division — so the batch release pipeline can
+// hoist the invariant 1/a out of its per-cell loop and still produce
+// output bit-identical to this scalar reference (the two forms differ
+// in the last ulp, so both sides must use the same one).
 func Release(count float64, smoothSens float64, split Split, noise Admissible, s *dist.Stream) float64 {
 	if !(smoothSens >= 0) {
 		panic(fmt.Sprintf("smooth: negative smooth sensitivity %v", smoothSens))
@@ -237,13 +243,16 @@ func Release(count float64, smoothSens float64, split Split, noise Admissible, s
 	if !(split.A > 0) {
 		panic(fmt.Sprintf("smooth: sliding bound a must be positive, got %v", split.A))
 	}
-	return count + smoothSens/split.A*noise.Sample(s)
+	invA := 1 / split.A
+	return count + smoothSens*invA*noise.Sample(s)
 }
 
 // ExpectedL1 returns the expected L1 error of the generic mechanism for a
 // cell with the given smooth sensitivity: S(x)/a · E|Z|. For the
 // generalized-Cauchy noise this instantiates the paper's Lemma 8.8 bound
-// O(x_v·α/ε + 1/ε); for Laplace it instantiates Lemma 9.3.
+// O(x_v·α/ε + 1/ε); for Laplace it instantiates Lemma 9.3. The scale is
+// combined reciprocal-first, matching Release.
 func ExpectedL1(smoothSens float64, split Split, noise Admissible) float64 {
-	return smoothSens / split.A * noise.MeanAbs()
+	invA := 1 / split.A
+	return smoothSens * invA * noise.MeanAbs()
 }

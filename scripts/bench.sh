@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Canonical benchmark regeneration for BENCH_baseline.json and
-# BENCH_scan_kernel.json. Both JSON files' numbers come from this
-# script's flags — never from ad-hoc invocations — so recorded runs stay
-# comparable across PRs:
+# Canonical benchmark regeneration for BENCH_baseline.json,
+# BENCH_scan_kernel.json and BENCH_release_path.json. The JSON files'
+# numbers come from this script's flags — never from ad-hoc invocations
+# — so recorded runs stay comparable across PRs:
 #
 #   micro suite:        go test -run '^$' -bench . -benchtime 2s .
 #   paper-scale suite:  EREE_LARGE_BENCH=1 go test -run '^$' \
@@ -14,8 +14,15 @@
 # establishments, ~10M jobs) once per process — expect tens of seconds
 # of setup before the first LargeScale benchmark reports. After a run,
 # copy the ns/op numbers into the JSON files by hand; the CI gate
-# (scripts/benchgate) compares future runs against the committed
-# "gate" section of BENCH_scan_kernel.json.
+# (scripts/benchgate) compares future runs against the committed "gate"
+# sections of BENCH_scan_kernel.json and BENCH_release_path.json.
+#
+# Recording-host caveat: the *Concurrent benchmarks (b.RunParallel) and
+# the sequential-vs-parallel release pair are meaningful only relative
+# to the recording host's core count. BENCH_release_path.json's
+# environment block states the host's GOMAXPROCS; when re-recording on
+# a host with a different core count, update that block (or keep its
+# single-core caveat) rather than mixing numbers across hosts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,4 +35,4 @@ echo "== paper-scale suite (EREE_LARGE_BENCH=1, -benchtime 20x) ==" | tee -a "$o
 EREE_LARGE_BENCH=1 go test -run '^$' -bench BenchmarkLargeScale -benchtime 20x -timeout 60m . | tee -a "$out"
 
 echo
-echo "Wrote $out. Update BENCH_baseline.json / BENCH_scan_kernel.json from it."
+echo "Wrote $out. Update BENCH_baseline.json / BENCH_scan_kernel.json / BENCH_release_path.json from it."

@@ -1,15 +1,17 @@
 // Command benchgate compares `go test -bench` output against the
-// committed reference numbers in a BENCH JSON file and fails when a
-// gated benchmark regresses beyond the tolerance factor.
+// committed reference numbers in one or more BENCH JSON files and fails
+// when a gated benchmark regresses beyond the tolerance factor.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'MarginalCompute$|ReleaseBatch$' . > bench.txt
-//	go run ./scripts/benchgate -baseline BENCH_scan_kernel.json -output bench.txt
+//	go test -run '^$' -bench 'MarginalCompute$|ReleaseCellsSequential$' . > bench.txt
+//	go run ./scripts/benchgate -baseline BENCH_scan_kernel.json,BENCH_release_path.json -output bench.txt
 //
-// The baseline file's "gate" object maps benchmark names to reference
-// ns/op. The gate is deliberately tolerant (default 1.5×): shared CI
-// runners are noisy, and the point is to catch order-of-magnitude
+// Each baseline file's "gate" object maps benchmark names to reference
+// ns/op; -baseline takes a comma-separated list and the gates are
+// merged (a benchmark gated in two files must satisfy the stricter
+// reference). The gate is deliberately tolerant (default 1.5×): shared
+// CI runners are noisy, and the point is to catch order-of-magnitude
 // regressions (a reintroduced per-cell allocation, a lost fast path),
 // not single-digit drift. CI skips the gate when the commit message
 // contains [skip-bench-gate].
@@ -31,21 +33,29 @@ type baseline struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_scan_kernel.json", "BENCH JSON file with a gate section")
+	baselinePath := flag.String("baseline", "BENCH_scan_kernel.json", "comma-separated BENCH JSON files, each with a gate section")
 	outputPath := flag.String("output", "-", "go test -bench output to check ('-' for stdin)")
 	factor := flag.Float64("factor", 1.5, "maximum allowed ns/op ratio vs the reference")
 	flag.Parse()
 
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fatal("read baseline: %v", err)
-	}
-	var base baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fatal("parse %s: %v", *baselinePath, err)
-	}
-	if len(base.Gate) == 0 {
-		fatal("%s has no gate section", *baselinePath)
+	base := baseline{Gate: make(map[string]float64)}
+	for _, path := range strings.Split(*baselinePath, ",") {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fatal("read baseline: %v", err)
+		}
+		var b baseline
+		if err := json.Unmarshal(raw, &b); err != nil {
+			fatal("parse %s: %v", path, err)
+		}
+		if len(b.Gate) == 0 {
+			fatal("%s has no gate section", path)
+		}
+		for name, ref := range b.Gate {
+			if prev, ok := base.Gate[name]; !ok || ref < prev {
+				base.Gate[name] = ref
+			}
+		}
 	}
 
 	var in io.Reader = os.Stdin
