@@ -519,6 +519,192 @@ func BenchmarkReleaseCellsParallel(b *testing.B) {
 	benchReleaseCellsWith(b, mech.ReleaseCells)
 }
 
+// --- Versioned-dataset benchmarks: quarterly deltas and epoch serving ---
+
+// benchQuarters is the fixed chain length of the advance benchmarks:
+// every op replays the same deterministic pregenerated chain, so ns/op
+// does not drift with b.N and stays comparable across runs (the CI
+// gate depends on that).
+const benchQuarters = 8
+
+var (
+	benchDeltaOnce  sync.Once
+	benchDeltaData  *lodes.Dataset
+	benchDeltaChain []*lodes.Delta
+)
+
+// benchDeltaSetup generates the experiment-scale snapshot (~20k
+// establishments, ~0.4M jobs) and a deterministic chain of
+// benchQuarters default quarterly deltas against it, shared by the
+// advance benchmarks.
+func benchDeltaSetup(b *testing.B) (*lodes.Dataset, []*lodes.Delta) {
+	b.Helper()
+	benchDeltaOnce.Do(func() {
+		benchDeltaData = lodes.MustGenerate(lodes.DefaultConfig(), dist.NewStreamFromSeed(1))
+		cur := benchDeltaData
+		for q := 0; q < benchQuarters; q++ {
+			dl, err := lodes.GenerateDelta(cur, lodes.DefaultDeltaConfig(), dist.NewStreamFromSeed(int64(2+q)))
+			if err != nil {
+				panic(err)
+			}
+			benchDeltaChain = append(benchDeltaChain, dl)
+			if cur, err = cur.ApplyDelta(dl); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return benchDeltaData, benchDeltaChain
+}
+
+func benchDeltaWorkloads() [][]string {
+	return [][]string{eval.Workload1Attrs(), eval.Workload2Attrs()}
+}
+
+// BenchmarkAdvanceIncremental measures absorbing the pregenerated
+// 8-quarter delta chain through the incremental maintenance path: per
+// quarter, Publisher.Advance — ApplyDelta (span-wise snapshot
+// construction), MergeIndex (O(groups) group-boundary merge, no
+// counting sort, no column gather), short-circuit selective
+// invalidation — followed by re-warming the two workload marginals.
+// Compare BenchmarkAdvanceRebuild, which replays the identical chain
+// and ends every quarter in the same warm state via a from-scratch
+// index build, so the difference is exactly what incremental
+// maintenance saves. This is the benchmark the CI gate tracks
+// (BENCH_incremental.json).
+func BenchmarkAdvanceIncremental(b *testing.B) {
+	d, chain := benchDeltaSetup(b)
+	w := benchDeltaWorkloads()
+	d.WorkerFull.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPublisher(d)
+		if err := p.PrefetchMarginals(w); err != nil {
+			b.Fatal(err)
+		}
+		for _, dl := range chain {
+			if err := p.Advance(dl); err != nil {
+				b.Fatal(err)
+			}
+			if err := p.PrefetchMarginals(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if p.Epoch() != benchQuarters {
+			b.Fatal("chain did not advance")
+		}
+	}
+}
+
+// BenchmarkAdvanceRebuild is the counterfactual: the identical chain
+// absorbed by rebuilding everything per quarter — ApplyDelta, a full
+// BuildIndex rescan of the successor (counting sort plus per-attribute
+// column gathers on first query), a cold publisher, and the same
+// two-marginal prefetch.
+func BenchmarkAdvanceRebuild(b *testing.B) {
+	d, chain := benchDeltaSetup(b)
+	w := benchDeltaWorkloads()
+	d.WorkerFull.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := d
+		p := core.NewPublisher(cur)
+		if err := p.PrefetchMarginals(w); err != nil {
+			b.Fatal(err)
+		}
+		for _, dl := range chain {
+			var err error
+			if cur, err = cur.ApplyDelta(dl); err != nil {
+				b.Fatal(err)
+			}
+			cur.WorkerFull.AdoptIndex(table.BuildIndex(cur.WorkerFull))
+			p = core.NewPublisher(cur)
+			if err := p.PrefetchMarginals(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMergeIndexIncremental isolates the index-maintenance kernel:
+// deriving the successor's entity-sorted index from the base layout
+// plus the delta's touched set. Compare BenchmarkBuildIndex (the full
+// counting-sort build at the same scale is the TestConfig variant;
+// this one runs at experiment scale, so compare the ratio, not the
+// absolute).
+func BenchmarkMergeIndexIncremental(b *testing.B) {
+	d, chain := benchDeltaSetup(b)
+	dl := chain[0]
+	next, err := d.ApplyDelta(dl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, rows := dl.Touched(d)
+	base := d.WorkerFull.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := table.MergeIndex(base, next.WorkerFull, ids, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReleaseDuringAdvance measures serving latency while the
+// publisher continuously absorbs quarterly deltas in the background —
+// the serve-during-update regime the epoch-snapshot design exists for.
+// Releases that land just after an advance pay the evicted marginal's
+// rescan; the benchmark reports how many advances completed so the mix
+// is visible. (Background updates make per-op noise inherent; the
+// number is not gated.)
+func BenchmarkReleaseDuringAdvance(b *testing.B) {
+	d, _ := benchDeltaSetup(b)
+	p := core.NewPublisher(d)
+	_ = d.WorkerFull.Index()
+	req := core.Request{
+		Attrs:     eval.Workload1Attrs(),
+		Mechanism: core.MechSmoothLaplace,
+		Alpha:     0.1, Eps: 2, Delta: 0.05,
+	}
+	if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(0)); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var advances atomic.Int64
+	go func() {
+		defer close(done)
+		seed := int64(100)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			dl, err := lodes.GenerateDelta(p.Dataset(), lodes.DefaultDeltaConfig(), dist.NewStreamFromSeed(seed))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := p.Advance(dl); err != nil {
+				b.Error(err)
+				return
+			}
+			advances.Add(1)
+			seed++
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(int64(i))); err != nil {
+			b.Error(err)
+			break
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	b.ReportMetric(float64(advances.Load()), "advances")
+}
+
 // --- Paper-scale benchmarks (lodes.LargeConfig) ---
 //
 // These run the workload suite against the ~500k-establishment /

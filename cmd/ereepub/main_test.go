@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunEndToEnd is the command's smoke test: flag parsing and one
+// full release over the in-memory TestDataConfig snapshot.
+func TestRunEndToEnd(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-attrs", "industry,ownership",
+		"-mech", "smooth-gamma",
+		"-alpha", "0.1", "-eps", "2",
+		"-seed", "7", "-truth", "-top", "5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"mechanism: smooth-gamma(alpha=0.1,eps=2)",
+		"privacy loss:",
+		"epoch: 0",
+		"(true ",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if n := strings.Count(got, "industry="); n == 0 || n > 5 {
+		t.Errorf("want 1..5 cell rows, got %d:\n%s", n, got)
+	}
+}
+
+// TestRunQuarters drives the versioned path: two quarterly advances,
+// then a release from epoch 2, with per-epoch cache statistics.
+func TestRunQuarters(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-attrs", "place,industry,ownership",
+		"-mech", "log-laplace",
+		"-alpha", "0.1", "-eps", "2",
+		"-quarters", "2", "-deltaseed", "3",
+		"-top", "3", "-stats",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"quarter 1:",
+		"quarter 2:",
+		"-> epoch 2",
+		"epoch: 2",
+		"epoch 2 cache:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunRejectsBadFlags: unknown mechanisms and attributes surface as
+// errors, not panics or releases.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mech", "nonsense"}, &out); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	if err := run([]string{"-attrs", "favorite-color"}, &out); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+// TestRunTruncatedLaplace covers the marginal-level baseline path,
+// which bypasses the cell-mechanism pipeline.
+func TestRunTruncatedLaplace(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-mech", "truncated-laplace", "-eps", "2", "-theta", "50", "-top", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "truncation: removed") {
+		t.Errorf("truncated-laplace output missing truncation summary:\n%s", out.String())
+	}
+}

@@ -84,6 +84,40 @@ func Generate(cfg DataConfig, seed int64) (*Dataset, error) {
 	return lodes.Generate(cfg, dist.NewStreamFromSeed(seed))
 }
 
+// Versioned datasets: a snapshot is one epoch of a longitudinally
+// updatable object. A Delta is one quarter of change — establishment
+// Births and Deaths, per-establishment Hires and Separations (each new
+// job a JobRecord) — applied with ApplyDelta (a new snapshot; the base
+// is untouched) or absorbed by a serving Publisher with Advance.
+type (
+	Delta       = lodes.Delta
+	DeltaConfig = lodes.DeltaConfig
+	Birth       = lodes.Birth
+	Hire        = lodes.Hire
+	Separation  = lodes.Separation
+	JobRecord   = lodes.JobRecord
+)
+
+// DefaultDeltaConfig returns the quarterly churn configuration (~2%
+// establishment births and deaths, ±10%-scale employment shocks).
+func DefaultDeltaConfig() DeltaConfig { return lodes.DefaultDeltaConfig() }
+
+// GenerateDelta draws one deterministic quarter of churn for the
+// snapshot. The same snapshot, configuration and seed always produce
+// the same delta.
+func GenerateDelta(d *Dataset, cfg DeltaConfig, seed int64) (*Delta, error) {
+	return lodes.GenerateDelta(d, cfg, dist.NewStreamFromSeed(seed))
+}
+
+// ApplyDelta absorbs a quarterly delta into a new epoch snapshot
+// (Epoch+1, shared schema and place metadata); the base dataset is not
+// modified. Publishers absorb deltas with Publisher.Advance instead,
+// which also maintains the columnar index incrementally and selectively
+// invalidates the marginal cache.
+func ApplyDelta(d *Dataset, delta *Delta) (*Dataset, error) {
+	return d.ApplyDelta(delta)
+}
+
 // LoadCSV loads a dataset previously written with Dataset.WriteCSV.
 func LoadCSV(dir string) (*Dataset, error) { return lodes.ReadCSV(dir) }
 
@@ -107,24 +141,35 @@ func WorkplaceAttrs() []string { return lodes.WorkplaceAttrs() }
 // WorkerAttrs lists the worker-side attributes (the paper's V_I).
 func WorkerAttrs() []string { return lodes.WorkerAttrs() }
 
-// Publisher answers marginal release requests over one dataset. The truth
-// for each marginal is computed at most once — via an entity-sorted
-// columnar index over the dataset, with concurrent first requests
-// singleflighted onto one scan — and served from a sharded
-// copy-on-write cache whose hit path takes no lock, so repeated
-// releases of the same query (different mechanisms, parameters or
-// trials) pay only for noise and concurrent serving throughput scales
-// with GOMAXPROCS. Beyond ReleaseMarginal and ReleaseSingleCell, a
-// Publisher offers:
+// Publisher answers marginal release requests over one versioned
+// dataset. The truth for each marginal is computed at most once per
+// epoch — via an entity-sorted columnar index over the dataset, with
+// concurrent first requests singleflighted onto one scan — and served
+// from a sharded copy-on-write cache whose hit path takes no lock, so
+// repeated releases of the same query (different mechanisms, parameters
+// or trials) pay only for noise and concurrent serving throughput
+// scales with GOMAXPROCS. Beyond ReleaseMarginal and ReleaseSingleCell,
+// a Publisher offers:
 //
 //   - ReleaseBatch: answer many requests at once — missing marginals are
 //     computed in a single pass over the data, noise is drawn in
 //     parallel, and an attached Accountant is charged atomically (an
 //     over-budget batch spends nothing);
+//   - Advance: absorb a quarterly Delta without stalling serving. The
+//     successor snapshot is built aside (the columnar index maintained
+//     incrementally per touched establishment group, cached marginals
+//     the delta provably left unchanged carried over, the rest
+//     selectively invalidated) and installed atomically; releases in
+//     flight stay pinned to the snapshot they started on, and
+//     Release.Epoch (and Publisher.Epoch) report which epoch served
+//     them. An attached Accountant's ledger advances too
+//     (Accountant.SpendByEpoch) — privacy budget composes sequentially
+//     across epochs, an update never refreshes it;
 //   - PrefetchMarginals: warm the cache for a set of queries with one
 //     table scan;
-//   - MarginalCacheStats, SetMarginalCacheEnabled and
-//     InvalidateMarginalCache: observe and control the cache.
+//   - MarginalCacheStats, CacheStatsByEpoch, SetMarginalCacheEnabled
+//     and InvalidateMarginalCache: observe and control the cache,
+//     per epoch.
 //
 // Because truth is cached, Release.Truth (and the result of
 // Publisher.Marginal) is shared across releases of the same attribute
@@ -140,9 +185,16 @@ type (
 	Release = core.Release
 )
 
-// CacheStats reports the publisher's marginal-cache effectiveness: a hit
-// is a release that skipped the full-table scan.
+// CacheStats reports one epoch's marginal-cache effectiveness: a hit is
+// a release that skipped the full-table scan, an eviction a cached
+// marginal dropped by selective invalidation at an Advance (or an
+// explicit invalidation). Counters are per-epoch; see
+// Publisher.CacheStatsByEpoch for the full history.
 type CacheStats = core.CacheStats
+
+// EpochSpend is one epoch's entry in an Accountant's spend-by-epoch
+// ledger.
+type EpochSpend = privacy.EpochSpend
 
 // MechanismKind selects a release mechanism.
 type MechanismKind = core.MechanismKind

@@ -315,3 +315,72 @@ func TestPublicBatchAndCache(t *testing.T) {
 		t.Error("bulk marginals disagree with single-query computation")
 	}
 }
+
+// TestPublicVersionedDatasetFlow drives the versioning surface the way
+// a downstream user would: generate a snapshot, release, absorb two
+// quarterly deltas (one via ApplyDelta, one via Publisher.Advance), and
+// check epoch visibility end to end — releases, cache statistics and
+// the accountant's spend-by-epoch ledger.
+func TestPublicVersionedDatasetFlow(t *testing.T) {
+	data, err := Generate(TestDataConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dataset-level: ApplyDelta produces a fresh epoch, sharing schema.
+	dl, err := GenerateDelta(data, DefaultDeltaConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := ApplyDelta(data, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch != 1 || data.Epoch != 0 {
+		t.Fatalf("epochs = (%d, %d), want (1, 0)", next.Epoch, data.Epoch)
+	}
+
+	// Publisher-level: serve, advance, serve again.
+	acct, err := NewAccountant(StrongEREE, 0.1, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := NewPublisher(data).WithAccountant(acct)
+	req := Request{Attrs: WorkplaceAttrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}
+	rel0, err := pub.ReleaseMarginal(req, NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel0.Epoch != 0 {
+		t.Errorf("pre-advance release epoch = %d", rel0.Epoch)
+	}
+	if err := pub.Advance(dl); err != nil {
+		t.Fatal(err)
+	}
+	if pub.Epoch() != 1 {
+		t.Fatalf("Epoch = %d after one advance", pub.Epoch())
+	}
+	rel1, err := pub.ReleaseMarginal(req, NewStream(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel1.Epoch != 1 {
+		t.Errorf("post-advance release epoch = %d", rel1.Epoch)
+	}
+	// The publisher's epoch-1 truth equals the independently applied
+	// delta's snapshot.
+	if got, want := rel1.Truth.Total(), int64(next.NumJobs()); got != want {
+		t.Errorf("epoch-1 truth total = %d, want %d", got, want)
+	}
+	hist := pub.CacheStatsByEpoch()
+	if len(hist) != 2 || hist[0].Epoch != 0 || hist[1].Epoch != 1 {
+		t.Fatalf("CacheStatsByEpoch = %+v, want epochs 0 and 1", hist)
+	}
+	ledger := acct.SpendByEpoch()
+	if len(ledger) != 2 || ledger[0].Releases != 1 || ledger[1].Releases != 1 {
+		t.Fatalf("SpendByEpoch = %+v, want one release per epoch", ledger)
+	}
+	if spent := acct.Spent(); spent.Eps != 4 {
+		t.Errorf("spent eps = %g, want 4 (sequential composition across epochs)", spent.Eps)
+	}
+}

@@ -27,6 +27,10 @@ func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, er
 	if len(reqs) == 0 {
 		return nil, nil
 	}
+	// Pin the epoch snapshot once for the whole batch: every request's
+	// truth, index scan and noise input come from the same epoch, even
+	// if an Advance lands mid-batch.
+	sn := p.snap.Load()
 	// Derive every request's loss once, upfront: it depends only on the
 	// request, and with an accountant attached it lets an over-budget
 	// batch fail fast before paying for scans and noise. The atomic
@@ -35,7 +39,7 @@ func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, er
 	// also reject.
 	losses := make([]privacy.Loss, len(reqs))
 	for i, req := range reqs {
-		loss, err := lossFor(req, definitionFor(req.Mechanism, req.Attrs), p.data.Schema())
+		loss, err := lossFor(req, definitionFor(req.Mechanism, req.Attrs), sn.data.Schema())
 		if err != nil {
 			return nil, fmt.Errorf("core: batch request %d: %w", i, err)
 		}
@@ -58,11 +62,11 @@ func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, er
 	// request's batch position attached.
 	attrSets := make([][]string, 0, len(reqs))
 	for _, req := range reqs {
-		if _, err := p.canonicalAttrs(req.Attrs); err == nil {
+		if _, err := sn.canonicalAttrs(req.Attrs); err == nil {
 			attrSets = append(attrSets, req.Attrs)
 		}
 	}
-	if err := p.PrefetchMarginals(attrSets); err != nil {
+	if err := sn.prefetchMarginals(attrSets); err != nil {
 		return nil, err
 	}
 
@@ -78,7 +82,7 @@ func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, er
 	}
 	if workers <= 1 {
 		for i, req := range reqs {
-			rels[i], errs[i] = p.releaseWithLoss(req, losses[i], s.SplitIndex("batch", i))
+			rels[i], errs[i] = p.releaseWithLoss(sn, req, losses[i], s.SplitIndex("batch", i))
 		}
 	} else {
 		var next atomic.Int64
@@ -92,7 +96,7 @@ func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, er
 					if i >= len(reqs) {
 						return
 					}
-					rels[i], errs[i] = p.releaseWithLoss(reqs[i], losses[i], s.SplitIndex("batch", i))
+					rels[i], errs[i] = p.releaseWithLoss(sn, reqs[i], losses[i], s.SplitIndex("batch", i))
 				}
 			}()
 		}

@@ -38,15 +38,48 @@ import (
 // instead of scanning again — N concurrent misses cost exactly one pass
 // over the table (the stampede test pins this under the race detector).
 
-// CacheStats reports marginal-cache effectiveness. A hit means a release
-// skipped the full-table scan (whether served directly, by remapping a
-// canonical entry, or by waiting on a scan another request had already
-// started); Misses counts marginals that had to be computed — one table
-// scan each on the point-miss path, while PrefetchMarginals computes
-// all of its misses in a single shared pass.
+// CacheStats reports one epoch's marginal-cache effectiveness. A hit
+// means a release skipped the full-table scan (whether served directly,
+// by remapping a canonical entry, by waiting on a scan another request
+// had already started, or from an entry carried over an epoch bump);
+// Misses counts marginals that had to be computed — one table scan each
+// on the point-miss path, while PrefetchMarginals computes all of its
+// misses in a single shared pass. Evictions counts cached marginals
+// dropped from the epoch's cache: at the Advance that created the epoch
+// (entries whose affected-cell set was nonempty — the observable face
+// of selective invalidation), plus any explicit InvalidateMarginalCache
+// or cache-disable sweeps during the epoch.
+//
+// Counters are per-epoch: each Advance starts a fresh set (see
+// Publisher.CacheStatsByEpoch), so hit rates are attributable to the
+// epoch that served them rather than smeared across the dataset's
+// lifetime.
 type CacheStats struct {
-	Hits   int64
-	Misses int64
+	Epoch     int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// cacheCounters is one epoch's live counter set. The publisher keeps a
+// reference per epoch (CacheStatsByEpoch) while the cache itself
+// updates it; releases pinned to an old snapshot keep counting against
+// their own epoch after newer ones exist.
+type cacheCounters struct {
+	epoch     int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// view snapshots the counters.
+func (cc *cacheCounters) view() CacheStats {
+	return CacheStats{
+		Epoch:     cc.epoch,
+		Hits:      cc.hits.Load(),
+		Misses:    cc.misses.Load(),
+		Evictions: cc.evictions.Load(),
+	}
 }
 
 // marginalEntry is one cached truth: the compiled query, its marginal,
@@ -69,9 +102,8 @@ const marginalCacheShards = 16
 // marginalCache is the sharded, singleflighted store behind the
 // publisher's truth lookups.
 type marginalCache struct {
-	off    atomic.Bool
-	hits   atomic.Int64
-	misses atomic.Int64
+	off   atomic.Bool
+	stats *cacheCounters
 	// gen is the invalidation generation: clear() bumps it before
 	// dropping the committed maps (and re-enabling the cache bumps it
 	// again), and any commit — a finished scan or a derived remap — goes
@@ -107,8 +139,8 @@ type inflightScan struct {
 	err  error
 }
 
-func newMarginalCache() *marginalCache {
-	c := &marginalCache{}
+func newMarginalCache(epoch int) *marginalCache {
+	c := &marginalCache{stats: &cacheCounters{epoch: epoch}}
 	for i := range c.shards {
 		empty := make(map[string]*marginalEntry)
 		c.shards[i].entries.Store(&empty)
@@ -187,7 +219,7 @@ func (c *marginalCache) finishFlight(key string, fl *inflightScan, gen uint64) (
 			fl.e = sh.commitLocked(key, fl.e)
 		}
 		// Misses count computed marginals, committed or not.
-		c.misses.Add(1)
+		c.stats.misses.Add(1)
 		fresh = true
 	}
 	// Unregister only if this flight still owns the slot — a flight
@@ -269,16 +301,44 @@ func (c *marginalCache) insertDerived(key string, e *marginalEntry, gen uint64) 
 	return sh.commitLocked(key, e)
 }
 
-// clear drops every committed entry. The generation bump comes first so
-// any scan still in flight sees it at commit time and leaves its
-// pre-invalidation truth out of the fresh maps.
+// clear drops every committed entry, counting the dropped entries as
+// evictions. The generation bump comes first so any scan still in
+// flight sees it at commit time and leaves its pre-invalidation truth
+// out of the fresh maps.
 func (c *marginalCache) clear() {
 	c.gen.Add(1)
+	var dropped int64
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		dropped += int64(len(*sh.entries.Load()))
 		empty := make(map[string]*marginalEntry)
 		sh.entries.Store(&empty)
+		sh.mu.Unlock()
+	}
+	c.stats.evictions.Add(dropped)
+}
+
+// committed returns every committed entry across the shards — the
+// Advance path enumerates them to decide which truths survive the
+// epoch bump.
+func (c *marginalCache) committed() map[string]*marginalEntry {
+	out := make(map[string]*marginalEntry)
+	for i := range c.shards {
+		for k, v := range *c.shards[i].entries.Load() {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// seed pre-populates the cache with entries carried over from the
+// previous epoch. Called on a cache not yet published to any reader.
+func (c *marginalCache) seed(entries map[string]*marginalEntry) {
+	for key, e := range entries {
+		sh := c.shardOf(key)
+		sh.mu.Lock()
+		sh.commitLocked(key, e)
 		sh.mu.Unlock()
 	}
 }
@@ -288,8 +348,8 @@ func exactKey(attrs []string) string { return strings.Join(attrs, "\x1f") }
 
 // canonicalAttrs returns the attribute names sorted in schema order —
 // the cache's canonical form — or an error for unknown names.
-func (p *Publisher) canonicalAttrs(attrs []string) ([]string, error) {
-	schema := p.data.Schema()
+func (sn *epochSnapshot) canonicalAttrs(attrs []string) ([]string, error) {
+	schema := sn.data.Schema()
 	idx, err := schema.Resolve(attrs)
 	if err != nil {
 		return nil, err
@@ -303,12 +363,12 @@ func (p *Publisher) canonicalAttrs(attrs []string) ([]string, error) {
 }
 
 // computeEntry runs the full-table scan for an attribute list.
-func (p *Publisher) computeEntry(attrs []string) (*marginalEntry, error) {
-	q, err := table.NewQuery(p.data.Schema(), attrs...)
+func (sn *epochSnapshot) computeEntry(attrs []string) (*marginalEntry, error) {
+	q, err := table.NewQuery(sn.data.Schema(), attrs...)
 	if err != nil {
 		return nil, err
 	}
-	return newMarginalEntry(q, table.Compute(p.data.WorkerFull, q)), nil
+	return newMarginalEntry(q, table.Compute(sn.data.WorkerFull, q)), nil
 }
 
 // marginalFor returns the cached truth for the attribute set, computing
@@ -320,18 +380,18 @@ func (p *Publisher) computeEntry(attrs []string) (*marginalEntry, error) {
 // follower of the first (the scan itself still parallelizes internally
 // via the table index). Requests for cached marginals never touch a
 // lock.
-func (p *Publisher) marginalFor(attrs []string) (*marginalEntry, error) {
-	canon, err := p.canonicalAttrs(attrs)
+func (sn *epochSnapshot) marginalFor(attrs []string) (*marginalEntry, error) {
+	canon, err := sn.canonicalAttrs(attrs)
 	if err != nil {
 		return nil, err
 	}
-	c := p.cache
+	c := sn.cache
 	if c.off.Load() {
-		return p.computeEntry(attrs)
+		return sn.computeEntry(attrs)
 	}
 	key := exactKey(attrs)
 	if e, ok := c.lookup(key); ok {
-		c.hits.Add(1)
+		c.stats.hits.Add(1)
 		return e, nil
 	}
 	// Snapshot the generation before obtaining the canonical truth: a
@@ -340,7 +400,7 @@ func (p *Publisher) marginalFor(attrs []string) (*marginalEntry, error) {
 	gen := c.gen.Load()
 	canonKey := exactKey(canon)
 	canonEntry, fresh, err := c.getOrCompute(canonKey, func() (*marginalEntry, error) {
-		return p.computeEntry(canon)
+		return sn.computeEntry(canon)
 	})
 	if err != nil {
 		return nil, err
@@ -349,15 +409,15 @@ func (p *Publisher) marginalFor(attrs []string) (*marginalEntry, error) {
 		if !fresh {
 			// Raced with a concurrent scan (or its committed result) and
 			// skipped our own: a hit.
-			c.hits.Add(1)
+			c.stats.hits.Add(1)
 		}
 		return canonEntry, nil
 	}
 	if !fresh {
 		// Truth reused, only the cell numbering changes: count as a hit.
-		c.hits.Add(1)
+		c.stats.hits.Add(1)
 	}
-	q, err := table.NewQuery(p.data.Schema(), attrs...)
+	q, err := table.NewQuery(sn.data.Schema(), attrs...)
 	if err != nil {
 		return nil, err
 	}
@@ -404,12 +464,12 @@ func remapMarginal(src *table.Marginal, dst *table.Query) *table.Marginal {
 	return out
 }
 
-// Marginal returns the (cached) true marginal for the attribute set, in
-// the given attribute order. The marginal is shared with the cache and
-// must be treated as read-only — it is the confidential truth, retained
-// for evaluation.
+// Marginal returns the (cached) true marginal for the attribute set on
+// the current epoch, in the given attribute order. The marginal is
+// shared with the cache and must be treated as read-only — it is the
+// confidential truth, retained for evaluation.
 func (p *Publisher) Marginal(attrs []string) (*table.Marginal, error) {
-	e, err := p.marginalFor(attrs)
+	e, err := p.snap.Load().marginalFor(attrs)
 	if err != nil {
 		return nil, err
 	}
@@ -427,15 +487,21 @@ func (p *Publisher) Marginal(attrs []string) (*table.Marginal, error) {
 // already claimed); the committed results are identical truths either
 // way.
 func (p *Publisher) PrefetchMarginals(attrSets [][]string) error {
+	return p.snap.Load().prefetchMarginals(attrSets)
+}
+
+// prefetchMarginals is PrefetchMarginals pinned to one snapshot (the
+// batch path pins once for losses, prefetch and noise together).
+func (sn *epochSnapshot) prefetchMarginals(attrSets [][]string) error {
 	canons := make([][]string, 0, len(attrSets))
 	for _, attrs := range attrSets {
-		canon, err := p.canonicalAttrs(attrs)
+		canon, err := sn.canonicalAttrs(attrs)
 		if err != nil {
 			return err
 		}
 		canons = append(canons, canon)
 	}
-	c := p.cache
+	c := sn.cache
 	if c.off.Load() {
 		return nil
 	}
@@ -473,7 +539,7 @@ func (p *Publisher) PrefetchMarginals(attrSets [][]string) error {
 			sh.mu.Unlock()
 			continue
 		}
-		q, err := table.NewQuery(p.data.Schema(), canon...)
+		q, err := table.NewQuery(sn.data.Schema(), canon...)
 		if err != nil {
 			sh.mu.Unlock()
 			for _, fl := range flights {
@@ -491,7 +557,7 @@ func (p *Publisher) PrefetchMarginals(attrSets [][]string) error {
 	if len(missing) == 0 {
 		return nil
 	}
-	for i, m := range table.ComputeAll(p.data.WorkerFull, missing) {
+	for i, m := range table.ComputeAll(sn.data.WorkerFull, missing) {
 		flights[i].e = newMarginalEntry(missing[i], m)
 		c.finishFlight(keys[i], flights[i], gens[i])
 		finished++
@@ -500,34 +566,60 @@ func (p *Publisher) PrefetchMarginals(attrSets [][]string) error {
 }
 
 // SetMarginalCacheEnabled turns the marginal cache on or off (it is on
-// by default). Disabling also drops every cached entry, so a subsequent
-// enable starts cold; the generation bump on the off→on transition
-// keeps any straggler from the disabled window (a commit racing the
-// disable) from warming it behind the caller's back. Enabling an
-// already-enabled cache is a no-op, as it always was.
+// by default); the setting survives epoch advances. Disabling also
+// drops every cached entry, so a subsequent enable starts cold; the
+// generation bump on the off→on transition keeps any straggler from
+// the disabled window (a commit racing the disable) from warming it
+// behind the caller's back. Enabling an already-enabled cache is a
+// no-op, as it always was.
 func (p *Publisher) SetMarginalCacheEnabled(enabled bool) {
+	// Serialized with Advance so the toggle lands on a stable current
+	// snapshot (Advance copies the off flag into the successor's cache).
+	p.advanceMu.Lock()
+	defer p.advanceMu.Unlock()
+	c := p.snap.Load().cache
 	if !enabled {
-		p.cache.off.Store(true)
-		p.cache.clear()
+		c.off.Store(true)
+		c.clear()
 		return
 	}
-	if !p.cache.off.Load() {
+	if !c.off.Load() {
 		return
 	}
 	// Bump before flipping on: a straggler commit must observe either
 	// the off flag or a newer generation, never the enabled cache at its
 	// own generation.
-	p.cache.gen.Add(1)
-	p.cache.off.Store(false)
+	c.gen.Add(1)
+	c.off.Store(false)
 }
 
-// InvalidateMarginalCache drops every cached marginal (for callers that
-// mutate the underlying dataset between releases). Statistics persist.
+// InvalidateMarginalCache drops every cached marginal of the current
+// epoch unconditionally (the blunt instrument; Advance does this
+// selectively). Statistics persist — dropped entries count as the
+// epoch's evictions. Serialized with Advance so an invalidation cannot
+// race the carry-over sweep: without the lock, entries enumerated by
+// survivingEntries before the clear could be seeded into the successor
+// epoch's cache, silently undoing the invalidation.
 func (p *Publisher) InvalidateMarginalCache() {
-	p.cache.clear()
+	p.advanceMu.Lock()
+	defer p.advanceMu.Unlock()
+	p.snap.Load().cache.clear()
 }
 
-// MarginalCacheStats returns the cache's hit/miss counters.
+// MarginalCacheStats returns the current epoch's cache counters.
 func (p *Publisher) MarginalCacheStats() CacheStats {
-	return CacheStats{Hits: p.cache.hits.Load(), Misses: p.cache.misses.Load()}
+	return p.snap.Load().cache.stats.view()
+}
+
+// CacheStatsByEpoch returns every epoch's cache counters, oldest
+// first. Counters of earlier epochs are still live while releases
+// pinned to their snapshots are in flight.
+func (p *Publisher) CacheStatsByEpoch() []CacheStats {
+	p.historyMu.Lock()
+	defer p.historyMu.Unlock()
+	out := make([]CacheStats, len(p.history))
+	for i, cc := range p.history {
+		out[i] = cc.view()
+	}
+	return out
 }

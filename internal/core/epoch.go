@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lodes"
+	"repro/internal/table"
+)
+
+// Epoch-snapshot serving: the versioned-dataset side of the publisher.
+//
+// One epochSnapshot bundles everything a release reads — the dataset,
+// its entity-sorted index, and the marginal cache holding that epoch's
+// truths — so pinning the snapshot pointer at the top of a release
+// path is all the isolation a reader needs. Advance builds the
+// successor off to the side (incremental index maintenance, selective
+// cache carry-over) and installs it with one atomic store; in-flight
+// releases keep their pinned snapshot until they finish, and nothing
+// ever blocks on an update.
+
+// epochSnapshot is one immutable epoch of the versioned dataset: the
+// data, its index (inside the table), and the marginal cache whose
+// entries are truths of exactly this epoch.
+type epochSnapshot struct {
+	epoch int
+	data  *lodes.Dataset
+	cache *marginalCache
+}
+
+// Advance absorbs one quarterly delta: it applies the delta to the
+// current snapshot's dataset, maintains the entity-sorted index
+// incrementally (table.MergeIndex — O(establishment groups), no
+// counting sort, no column gather), selectively invalidates the
+// marginal cache, and installs the successor snapshot. Releases in
+// flight keep serving from their pinned snapshot; releases that start
+// after Advance returns see the new epoch. Advances serialize with
+// each other.
+//
+// Selective invalidation: a cached marginal survives the epoch bump
+// exactly when its affected-cell set (table.AffectedCells over the
+// delta's touched establishments) is empty — then the truth is
+// bit-identical in the new epoch and recomputing it would waste a
+// scan. Every dropped entry counts as an eviction in the new epoch's
+// CacheStats. Entries are keyed by version structurally: each epoch
+// owns its cache, so a truth can never leak across epochs.
+//
+// An attached accountant's ledger advances too: subsequent charges are
+// attributed to the new epoch (sequential composition across epochs —
+// an update never refreshes the budget).
+func (p *Publisher) Advance(delta *lodes.Delta) error {
+	p.advanceMu.Lock()
+	defer p.advanceMu.Unlock()
+	old := p.snap.Load()
+	next, err := old.data.ApplyDelta(delta)
+	if err != nil {
+		return fmt.Errorf("core: advance: %w", err)
+	}
+	touched, touchedRows := delta.Touched(old.data)
+	baseIx := old.data.WorkerFull.Index()
+	nextIx, err := table.MergeIndex(baseIx, next.WorkerFull, touched, touchedRows)
+	if err != nil {
+		return fmt.Errorf("core: advance: %w", err)
+	}
+	next.WorkerFull.AdoptIndex(nextIx)
+
+	cache := newMarginalCache(next.Epoch)
+	if old.cache.off.Load() {
+		cache.off.Store(true)
+	} else {
+		carried, evicted := survivingEntries(old.cache, baseIx, nextIx, touched)
+		cache.seed(carried)
+		cache.stats.evictions.Store(evicted)
+	}
+
+	sn := &epochSnapshot{epoch: next.Epoch, data: next, cache: cache}
+	if p.accountant != nil {
+		p.accountant.AdvanceEpoch()
+	}
+	p.historyMu.Lock()
+	p.history = append(p.history, cache.stats)
+	p.historyMu.Unlock()
+	p.snap.Store(sn)
+	return nil
+}
+
+// survivingEntries partitions the old epoch's committed truths into
+// those the delta provably left bit-identical (carried into the new
+// cache) and those it may have changed (evicted, recomputed on
+// demand).
+func survivingEntries(old *marginalCache, baseIx, nextIx *table.Index, touched []int32) (map[string]*marginalEntry, int64) {
+	entries := old.committed()
+	if len(entries) == 0 {
+		return nil, 0
+	}
+	keys := make([]string, 0, len(entries))
+	qs := make([]*table.Query, 0, len(entries))
+	for key, e := range entries {
+		keys = append(keys, key)
+		qs = append(qs, e.q)
+	}
+	affected := table.Affected(baseIx, nextIx, touched, qs)
+	carried := make(map[string]*marginalEntry)
+	var evicted int64
+	for i, key := range keys {
+		if !affected[i] {
+			carried[key] = entries[key]
+		} else {
+			evicted++
+		}
+	}
+	return carried, evicted
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/privacy"
+	"repro/internal/table"
+)
+
+// smallDataset generates a fast dataset for epoch tests (~500
+// establishments).
+func smallDataset(t *testing.T, seed int64) *lodes.Dataset {
+	t.Helper()
+	cfg := lodes.TestConfig()
+	cfg.NumEstablishments = 500
+	return lodes.MustGenerate(cfg, dist.NewStreamFromSeed(seed))
+}
+
+// lastRowJob reads establishment e's last WorkerFull row back as a
+// JobRecord, so a test can build a hire that exactly replaces a
+// separation.
+func lastRowJob(t *testing.T, d *lodes.Dataset, e int32) lodes.JobRecord {
+	t.Helper()
+	s := d.Schema()
+	var row int
+	found := false
+	for r := 0; r < d.WorkerFull.NumRows(); r++ {
+		if d.WorkerFull.Entity(r) == e {
+			row, found = r, true
+		}
+	}
+	if !found {
+		t.Fatalf("establishment %d has no rows", e)
+	}
+	return lodes.JobRecord{
+		Sex:       d.WorkerFull.Code(row, s.MustAttrIndex(lodes.AttrSex)),
+		Age:       d.WorkerFull.Code(row, s.MustAttrIndex(lodes.AttrAge)),
+		Race:      d.WorkerFull.Code(row, s.MustAttrIndex(lodes.AttrRace)),
+		Ethnicity: d.WorkerFull.Code(row, s.MustAttrIndex(lodes.AttrEthnicity)),
+		Education: d.WorkerFull.Code(row, s.MustAttrIndex(lodes.AttrEducation)),
+	}
+}
+
+// TestAdvanceServesNewEpoch: after Advance, releases reflect the new
+// data (differentially checked against the reference engine on the
+// successor dataset) and the epoch is visible everywhere.
+func TestAdvanceServesNewEpoch(t *testing.T) {
+	d := smallDataset(t, 51)
+	p := NewPublisher(d)
+	req := Request{Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}
+	rel0, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel0.Epoch != 0 || p.Epoch() != 0 {
+		t.Fatalf("epoch before advance = (%d, %d), want (0, 0)", rel0.Epoch, p.Epoch())
+	}
+
+	dl, err := lodes.GenerateDelta(d, lodes.DefaultDeltaConfig(), dist.NewStreamFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Advance(dl); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() != 1 {
+		t.Fatalf("Epoch after advance = %d, want 1", p.Epoch())
+	}
+	rel1, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel1.Epoch != 1 {
+		t.Fatalf("release epoch = %d, want 1", rel1.Epoch)
+	}
+	// The incrementally maintained index must produce the successor's
+	// exact truth: compare against the scalar reference engine on the
+	// new dataset.
+	q, err := table.NewQuery(p.Dataset().Schema(), workload1Attrs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := table.ComputeReference(p.Dataset().WorkerFull, q)
+	for i := range want.Counts {
+		if rel1.Truth.Counts[i] != want.Counts[i] ||
+			rel1.Truth.MaxEntityContribution[i] != want.MaxEntityContribution[i] ||
+			rel1.Truth.SecondEntityContribution[i] != want.SecondEntityContribution[i] ||
+			rel1.Truth.EntityCount[i] != want.EntityCount[i] {
+			t.Fatalf("cell %d: epoch-1 truth diverges from reference on successor dataset", i)
+		}
+	}
+	if rel0.Truth.Counts[0] == rel1.Truth.Counts[0] && rel0.Truth.Total() == rel1.Truth.Total() {
+		t.Log("delta left workload-1 totals identical (unlikely but not wrong)")
+	}
+}
+
+// TestAdvanceSelectiveInvalidation pins the cache-survival contract: a
+// delta that provably does not change a marginal's cells carries the
+// cached truth across the epoch bump (same entry object, no rescan),
+// while affected marginals are evicted and recomputed.
+func TestAdvanceSelectiveInvalidation(t *testing.T) {
+	d := smallDataset(t, 52)
+	p := NewPublisher(d)
+	// Warm two marginals on epoch 0.
+	w1 := workload1Attrs()
+	if _, err := p.Marginal(w1); err != nil {
+		t.Fatal(err)
+	}
+	sexAttrs := []string{lodes.AttrSex}
+	if _, err := p.Marginal(sexAttrs); err != nil {
+		t.Fatal(err)
+	}
+	truthBefore, err := p.Marginal(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A no-op churn delta: establishment 3 separates one worker and
+	// hires an identical replacement. Every per-cell contribution of
+	// every query is unchanged, so both marginals must survive.
+	var est int32 = 3
+	if d.Establishments[est].Employment < 1 {
+		t.Fatal("establishment 3 unexpectedly empty")
+	}
+	replacement := lastRowJob(t, d, est)
+	noop := &lodes.Delta{
+		Separations: []lodes.Separation{{Est: est, Count: 1}},
+		Hires:       []lodes.Hire{{Est: est, Jobs: []lodes.JobRecord{replacement}}},
+	}
+	if err := p.Advance(noop); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.MarginalCacheStats()
+	if stats.Epoch != 1 || stats.Evictions != 0 {
+		t.Fatalf("no-op advance stats = %+v, want epoch 1 with 0 evictions", stats)
+	}
+	truthAfter, err := p.Marginal(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truthAfter != truthBefore {
+		t.Fatal("unaffected marginal was not carried across the epoch bump (truth recomputed)")
+	}
+	if got := p.MarginalCacheStats(); got.Misses != 0 || got.Hits != 1 {
+		t.Fatalf("carried marginal served with stats %+v, want 1 hit / 0 misses", got)
+	}
+
+	// A real churn delta: the same establishment hires one
+	// distinguishable worker. Both the workplace marginal (its place ×
+	// industry × ownership cell gains a count) and the sex marginal are
+	// affected and must be evicted.
+	distinct := replacement
+	distinct.Sex = 1 - distinct.Sex
+	real := &lodes.Delta{Hires: []lodes.Hire{{Est: est, Jobs: []lodes.JobRecord{distinct}}}}
+	if err := p.Advance(real); err != nil {
+		t.Fatal(err)
+	}
+	stats = p.MarginalCacheStats()
+	if stats.Epoch != 2 || stats.Evictions != 2 {
+		t.Fatalf("churn advance stats = %+v, want epoch 2 with 2 evictions", stats)
+	}
+	truthNew, err := p.Marginal(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truthNew == truthAfter {
+		t.Fatal("affected marginal survived the epoch bump")
+	}
+	if truthNew.Total() != truthAfter.Total()+1 {
+		t.Fatalf("epoch-2 total = %d, want %d", truthNew.Total(), truthAfter.Total()+1)
+	}
+	if got := p.MarginalCacheStats(); got.Misses != 1 {
+		t.Fatalf("evicted marginal recomputed with stats %+v, want 1 miss", got)
+	}
+
+	// Per-epoch history: three epochs, each with its own counters.
+	hist := p.CacheStatsByEpoch()
+	if len(hist) != 3 {
+		t.Fatalf("history has %d epochs, want 3", len(hist))
+	}
+	if hist[0].Epoch != 0 || hist[0].Misses != 2 {
+		t.Errorf("epoch-0 history %+v, want 2 misses", hist[0])
+	}
+	if hist[2].Evictions != 2 {
+		t.Errorf("epoch-2 history %+v, want 2 evictions", hist[2])
+	}
+}
+
+// TestAdvanceCarriedTruthBitIdentical: a carried cache entry must equal
+// what a from-scratch recompute on the successor dataset produces.
+func TestAdvanceCarriedTruthBitIdentical(t *testing.T) {
+	d := smallDataset(t, 53)
+	p := NewPublisher(d)
+	attrs := []string{lodes.AttrIndustry, lodes.AttrOwnership}
+	if _, err := p.Marginal(attrs); err != nil {
+		t.Fatal(err)
+	}
+	var est int32 = 7
+	noop := &lodes.Delta{
+		Separations: []lodes.Separation{{Est: est, Count: 1}},
+		Hires:       []lodes.Hire{{Est: est, Jobs: []lodes.JobRecord{lastRowJob(t, d, est)}}},
+	}
+	if err := p.Advance(noop); err != nil {
+		t.Fatal(err)
+	}
+	carried, err := p.Marginal(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := table.NewQuery(p.Dataset().Schema(), attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := table.ComputeReference(p.Dataset().WorkerFull, q)
+	for i := range want.Counts {
+		if carried.Counts[i] != want.Counts[i] ||
+			carried.MaxEntityContribution[i] != want.MaxEntityContribution[i] ||
+			carried.SecondEntityContribution[i] != want.SecondEntityContribution[i] ||
+			carried.EntityCount[i] != want.EntityCount[i] {
+			t.Fatalf("cell %d: carried truth diverges from recompute on successor", i)
+		}
+	}
+}
+
+// TestAdvanceAccountantLedger: the attached accountant's ledger follows
+// the publisher's epochs, and the budget composes across them.
+func TestAdvanceAccountantLedger(t *testing.T) {
+	d := smallDataset(t, 54)
+	acct, err := privacy.NewAccountant(privacy.StrongEREE, 0.1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPublisher(d).WithAccountant(acct)
+	req := Request{Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}
+	if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(1)); err != nil {
+		t.Fatal(err)
+	}
+	dl, err := lodes.GenerateDelta(d, lodes.DefaultDeltaConfig(), dist.NewStreamFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Advance(dl); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(int64(3+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ledger := acct.SpendByEpoch()
+	if len(ledger) != 2 {
+		t.Fatalf("ledger has %d epochs, want 2", len(ledger))
+	}
+	if ledger[0].Releases != 1 || ledger[0].Eps != 2 {
+		t.Errorf("epoch-0 ledger %+v, want 1 release / eps 2", ledger[0])
+	}
+	if ledger[1].Releases != 2 || ledger[1].Eps != 4 {
+		t.Errorf("epoch-1 ledger %+v, want 2 releases / eps 4", ledger[1])
+	}
+	if spent := acct.Spent(); spent.Eps != 6 {
+		t.Errorf("total spent %v, want eps 6 (budget composes across epochs)", spent)
+	}
+}
+
+// TestWithAccountantAlignsLedgerEpoch: a publisher created from a
+// mid-lineage snapshot fast-forwards an attached accountant's ledger,
+// so spend attribution lines up with Release.Epoch.
+func TestWithAccountantAlignsLedgerEpoch(t *testing.T) {
+	d := smallDataset(t, 58)
+	dl, err := lodes.GenerateDelta(d, lodes.DefaultDeltaConfig(), dist.NewStreamFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := d.ApplyDelta(dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, err := privacy.NewAccountant(privacy.StrongEREE, 0.1, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPublisher(next).WithAccountant(acct)
+	rel, err := p.ReleaseMarginal(Request{
+		Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2,
+	}, dist.NewStreamFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Epoch != 1 {
+		t.Fatalf("release epoch = %d, want 1", rel.Epoch)
+	}
+	ledger := acct.SpendByEpoch()
+	last := ledger[len(ledger)-1]
+	if last.Epoch != 1 || last.Releases != 1 {
+		t.Fatalf("charge attributed to %+v, want epoch 1 with 1 release", last)
+	}
+}
+
+// TestAdvanceCarriesCacheOffState: a disabled cache stays disabled in
+// the successor epoch.
+func TestAdvanceCarriesCacheOffState(t *testing.T) {
+	d := smallDataset(t, 55)
+	p := NewPublisher(d)
+	p.SetMarginalCacheEnabled(false)
+	dl, err := lodes.GenerateDelta(d, lodes.DefaultDeltaConfig(), dist.NewStreamFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Advance(dl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Marginal(workload1Attrs()); err != nil {
+		t.Fatal(err)
+	}
+	if stats := p.MarginalCacheStats(); stats.Hits != 0 || stats.Misses != 0 {
+		t.Fatalf("disabled cache recorded traffic after advance: %+v", stats)
+	}
+	p.SetMarginalCacheEnabled(true)
+	if _, err := p.Marginal(workload1Attrs()); err != nil {
+		t.Fatal(err)
+	}
+	if stats := p.MarginalCacheStats(); stats.Misses != 1 {
+		t.Fatalf("re-enabled cache stats %+v, want 1 miss", stats)
+	}
+}
+
+// TestAdvanceSnapshotPinning is the serve-during-update race test: a
+// fleet of goroutines releases marginals and batches nonstop while the
+// main goroutine advances the publisher through several quarterly
+// deltas. Every release must be internally consistent with the epoch it
+// reports — a release started on epoch N must never read epoch N+1
+// rows — which is checked against per-epoch totals precomputed from an
+// independently applied delta chain. Run with -race in CI.
+func TestAdvanceSnapshotPinning(t *testing.T) {
+	const quarters = 4
+	d := smallDataset(t, 56)
+
+	// Precompute the expected per-epoch totals and W1 counts by applying
+	// the same deltas outside the publisher (ApplyDelta is
+	// deterministic).
+	deltas := make([]*lodes.Delta, quarters)
+	totals := make([]int64, quarters+1)
+	counts := make([][]int64, quarters+1)
+	q, err := table.NewQuery(d.Schema(), workload1Attrs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := d
+	for e := 0; e <= quarters; e++ {
+		m := table.ComputeReference(cur.WorkerFull, q)
+		totals[e] = m.Total()
+		counts[e] = m.Counts
+		if e == quarters {
+			break
+		}
+		dl, err := lodes.GenerateDelta(cur, lodes.DefaultDeltaConfig(), dist.NewStreamFromSeed(int64(100+e)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas[e] = dl
+		if cur, err = cur.ApplyDelta(dl); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := NewPublisher(d)
+	req := Request{Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}
+	batch := []Request{req, {Attrs: []string{lodes.AttrSex}, Mechanism: MechLogLaplace, Alpha: 0.1, Eps: 2}}
+
+	stop := make(chan struct{})
+	var checked atomic.Int64
+	var wg sync.WaitGroup
+	verify := func(rel *Release) {
+		if rel.Epoch < 0 || rel.Epoch > quarters {
+			t.Errorf("release reports epoch %d, outside [0,%d]", rel.Epoch, quarters)
+			return
+		}
+		// Every marginal's total is the epoch's row count: a release
+		// pinned to epoch N must report exactly epoch N's total.
+		if rel.Truth.Total() != totals[rel.Epoch] {
+			t.Errorf("epoch-%d release has total %d, want %d (read across the snapshot boundary?)",
+				rel.Epoch, rel.Truth.Total(), totals[rel.Epoch])
+			return
+		}
+		// W1 releases additionally match cell-for-cell.
+		if rel.Query.NumCells() == len(counts[rel.Epoch]) {
+			for i, c := range rel.Truth.Counts {
+				if c != counts[rel.Epoch][i] {
+					t.Errorf("epoch-%d release cell %d = %d, want %d", rel.Epoch, i, c, counts[rel.Epoch][i])
+					return
+				}
+			}
+		}
+		checked.Add(1)
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seed := int64(g) << 32
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seed++
+				if g%2 == 0 {
+					rel, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(seed))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					verify(rel)
+				} else {
+					rels, err := p.ReleaseBatch(batch, dist.NewStreamFromSeed(seed))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if rels[0].Epoch != rels[1].Epoch {
+						t.Errorf("batch spans epochs %d and %d: batch not pinned to one snapshot",
+							rels[0].Epoch, rels[1].Epoch)
+						return
+					}
+					verify(rels[0])
+				}
+			}
+		}(g)
+	}
+	// Interleave: require serving progress before and after every
+	// advance, so releases demonstrably overlap the update path.
+	waitForProgress := func(target int64) {
+		deadline := time.Now().Add(10 * time.Second)
+		for checked.Load() < target && time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+	}
+	var floor int64
+	for _, dl := range deltas {
+		waitForProgress(floor + 3)
+		if err := p.Advance(dl); err != nil {
+			t.Error(err)
+			break
+		}
+		floor = checked.Load()
+	}
+	waitForProgress(floor + 3)
+	close(stop)
+	wg.Wait()
+	if p.Epoch() != quarters {
+		t.Errorf("final epoch %d, want %d", p.Epoch(), quarters)
+	}
+	if checked.Load() == 0 {
+		t.Error("no releases verified — the serving fleet never ran")
+	}
+	// The final epoch's truth matches the independently computed chain.
+	final, err := p.Marginal(workload1Attrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Total() != totals[quarters] {
+		t.Errorf("final truth total %d, want %d", final.Total(), totals[quarters])
+	}
+}
+
+// TestAdvanceRejectsInvalidDelta: a bad delta must leave the current
+// snapshot fully intact.
+func TestAdvanceRejectsInvalidDelta(t *testing.T) {
+	d := smallDataset(t, 57)
+	p := NewPublisher(d)
+	if _, err := p.Marginal(workload1Attrs()); err != nil {
+		t.Fatal(err)
+	}
+	bad := &lodes.Delta{Deaths: []int32{int32(d.NumEstablishments())}}
+	if err := p.Advance(bad); err == nil {
+		t.Fatal("Advance accepted an invalid delta")
+	}
+	if p.Epoch() != 0 {
+		t.Errorf("failed advance moved the epoch to %d", p.Epoch())
+	}
+	if p.Dataset() != d {
+		t.Error("failed advance replaced the dataset")
+	}
+	if stats := p.MarginalCacheStats(); stats.Misses != 1 {
+		t.Errorf("failed advance disturbed the cache: %+v", stats)
+	}
+}

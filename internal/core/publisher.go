@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bipartite"
 	"repro/internal/dist"
@@ -83,6 +85,10 @@ type Request struct {
 
 // Release is the result of answering one request.
 type Release struct {
+	// Epoch is the dataset epoch the release was computed against. A
+	// release pinned to epoch N reflects epoch N's rows even if an
+	// Advance installed a newer snapshot while it was in flight.
+	Epoch int
 	// Query is the compiled marginal query.
 	Query *table.Query
 	// Truth is the true marginal (confidential; retained for evaluation —
@@ -101,34 +107,70 @@ type Release struct {
 	Truncation *bipartite.TruncationResult
 }
 
-// Publisher answers release requests over one dataset. It is safe for
-// concurrent use: the truth for each marginal is computed at most once
-// (concurrent first requests singleflight onto one scan) and served from
-// a sharded copy-on-write cache whose hit path takes no lock at all (see
-// cache.go), and budget accounting serializes inside the Accountant.
+// Publisher answers release requests over one versioned dataset. It is
+// safe for concurrent use: the truth for each marginal is computed at
+// most once per epoch (concurrent first requests singleflight onto one
+// scan) and served from a sharded copy-on-write cache whose hit path
+// takes no lock at all (see cache.go), and budget accounting serializes
+// inside the Accountant.
+//
+// Serving is snapshot-isolated: the current epoch — the dataset, its
+// index and its marginal cache — lives behind one atomic pointer, and
+// every release pins the snapshot it started on. Advance applies a
+// quarterly delta and installs the successor snapshot without blocking
+// in-flight releases: a release started on epoch N never reads epoch
+// N+1 rows (see epoch.go).
 type Publisher struct {
-	data       *lodes.Dataset
 	accountant *privacy.Accountant
-	cache      *marginalCache
+	// snap is the current epoch snapshot; readers Load it exactly once
+	// per operation and use only that snapshot throughout.
+	snap atomic.Pointer[epochSnapshot]
+	// advanceMu serializes snapshot installation (Advance) and cache
+	// on/off toggling, both of which need a stable current snapshot.
+	advanceMu sync.Mutex
+	// historyMu guards history, the per-epoch cache counters backing
+	// CacheStatsByEpoch. Old epochs' counters stay live: a release
+	// pinned to an earlier snapshot still counts its hits there.
+	historyMu sync.Mutex
+	history   []*cacheCounters
 }
 
-// NewPublisher creates a publisher for the dataset.
+// NewPublisher creates a publisher serving the dataset as its initial
+// epoch snapshot.
 func NewPublisher(d *lodes.Dataset) *Publisher {
 	if d == nil {
 		panic("core: nil dataset")
 	}
-	return &Publisher{data: d, cache: newMarginalCache()}
-}
-
-// WithAccountant attaches a budget accountant; every subsequent release
-// is charged against it and fails if the budget would be exceeded.
-func (p *Publisher) WithAccountant(a *privacy.Accountant) *Publisher {
-	p.accountant = a
+	p := &Publisher{}
+	sn := &epochSnapshot{epoch: d.Epoch, data: d, cache: newMarginalCache(d.Epoch)}
+	p.snap.Store(sn)
+	p.history = []*cacheCounters{sn.cache.stats}
 	return p
 }
 
-// Dataset returns the publisher's dataset.
-func (p *Publisher) Dataset() *lodes.Dataset { return p.data }
+// WithAccountant attaches a budget accountant; every subsequent release
+// is charged against it and fails if the budget would be exceeded. The
+// accountant's spend-by-epoch ledger is fast-forwarded to the
+// publisher's current epoch (a fresh accountant opens at epoch 0, but
+// the dataset may already be several deltas into its lineage), so
+// ledger entries line up with Release.Epoch; from here Advance moves
+// them in lockstep. An accountant shared across publishers keeps its
+// own counter — attribution then follows whichever advanced it last.
+func (p *Publisher) WithAccountant(a *privacy.Accountant) *Publisher {
+	p.accountant = a
+	if a != nil {
+		for a.Epoch() < p.Epoch() {
+			a.AdvanceEpoch()
+		}
+	}
+	return p
+}
+
+// Dataset returns the current epoch's dataset.
+func (p *Publisher) Dataset() *lodes.Dataset { return p.snap.Load().data }
+
+// Epoch returns the epoch of the snapshot currently being served.
+func (p *Publisher) Epoch() int { return p.snap.Load().epoch }
 
 // definitionFor returns the privacy definition a request's release
 // satisfies: the paper's Theorem 8.1 dichotomy for the ER-EE mechanisms
@@ -185,10 +227,10 @@ func lossFor(req Request, def privacy.Definition, schema *table.Schema) (privacy
 }
 
 // ReleaseMarginal answers a marginal query under the request. The truth
-// is served from the publisher's marginal cache (computed on first use);
-// the noise is drawn fresh from the given stream per cell.
+// is served from the pinned snapshot's marginal cache (computed on
+// first use); the noise is drawn fresh from the given stream per cell.
 func (p *Publisher) ReleaseMarginal(req Request, s *dist.Stream) (*Release, error) {
-	rel, err := p.releaseUnaccounted(req, s)
+	rel, err := p.releaseUnaccounted(p.snap.Load(), req, s)
 	if err != nil {
 		return nil, err
 	}
@@ -203,31 +245,33 @@ func (p *Publisher) ReleaseMarginal(req Request, s *dist.Stream) (*Release, erro
 // releaseUnaccounted builds a release without charging the accountant —
 // the shared core of ReleaseMarginal (which charges per release) and
 // ReleaseBatch (which charges the whole batch atomically).
-func (p *Publisher) releaseUnaccounted(req Request, s *dist.Stream) (*Release, error) {
-	loss, err := lossFor(req, definitionFor(req.Mechanism, req.Attrs), p.data.Schema())
+func (p *Publisher) releaseUnaccounted(sn *epochSnapshot, req Request, s *dist.Stream) (*Release, error) {
+	loss, err := lossFor(req, definitionFor(req.Mechanism, req.Attrs), sn.data.Schema())
 	if err != nil {
 		return nil, err
 	}
-	return p.releaseWithLoss(req, loss, s)
+	return p.releaseWithLoss(sn, req, loss, s)
 }
 
 // releaseWithLoss builds a release for a request whose loss the caller
 // has already derived (ReleaseBatch derives every loss once, upfront).
-func (p *Publisher) releaseWithLoss(req Request, loss privacy.Loss, s *dist.Stream) (*Release, error) {
-	entry, err := p.marginalFor(req.Attrs)
+// The release reads only the pinned snapshot, never the publisher's
+// current one — snapshot isolation is this one parameter.
+func (p *Publisher) releaseWithLoss(sn *epochSnapshot, req Request, loss privacy.Loss, s *dist.Stream) (*Release, error) {
+	entry, err := sn.marginalFor(req.Attrs)
 	if err != nil {
 		return nil, err
 	}
 	q, truth := entry.q, entry.m
 
-	rel := &Release{Query: q, Truth: truth, Loss: loss}
+	rel := &Release{Epoch: sn.epoch, Query: q, Truth: truth, Loss: loss}
 	switch req.Mechanism {
 	case MechTruncatedLaplace:
 		m, err := mech.NewTruncatedLaplace(req.Eps, req.Theta)
 		if err != nil {
 			return nil, err
 		}
-		noisy, trunc, err := m.ReleaseMarginal(p.data.WorkerFull, q, s)
+		noisy, trunc, err := m.ReleaseMarginal(sn.data.WorkerFull, q, s)
 		if err != nil {
 			return nil, err
 		}
@@ -254,6 +298,7 @@ func (p *Publisher) releaseWithLoss(req Request, loss privacy.Loss, s *dist.Stre
 // marginal surcharge — that surcharge only arises when the full
 // worker-attribute marginal is released under weak privacy.
 func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.Stream) (noisy float64, truth int64, loss privacy.Loss, err error) {
+	sn := p.snap.Load()
 	if req.Mechanism == MechTruncatedLaplace {
 		return 0, 0, privacy.Loss{}, fmt.Errorf("core: single-cell release not defined for truncated-laplace")
 	}
@@ -273,10 +318,10 @@ func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.
 		return 0, 0, privacy.Loss{}, err
 	}
 	// One cell never justifies a fresh full-table scan (or even a fresh
-	// query compilation): serve the cell's statistics from the
-	// publisher's marginal cache, whose entry carries the compiled query
+	// query compilation): serve the cell's statistics from the pinned
+	// snapshot's marginal cache, whose entry carries the compiled query
 	// in the request's attribute order.
-	entry, err := p.marginalFor(req.Attrs)
+	entry, err := sn.marginalFor(req.Attrs)
 	if err != nil {
 		return 0, 0, privacy.Loss{}, err
 	}

@@ -72,9 +72,9 @@ func TestInvalidateDuringScanDoesNotResurrect(t *testing.T) {
 	p := testPublisher(t, 43)
 	key := exactKey(workload1Attrs())
 
-	e, fresh, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+	e, fresh, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 		p.InvalidateMarginalCache() // the dataset "mutated" mid-scan
-		return p.computeEntry(workload1Attrs())
+		return p.snap.Load().computeEntry(workload1Attrs())
 	})
 	if err != nil || e == nil {
 		t.Fatalf("getOrCompute: %v, %v", e, err)
@@ -82,7 +82,7 @@ func TestInvalidateDuringScanDoesNotResurrect(t *testing.T) {
 	if !fresh {
 		t.Fatal("leader's own scan not reported fresh")
 	}
-	if _, ok := p.cache.lookup(key); ok {
+	if _, ok := p.snap.Load().cache.lookup(key); ok {
 		t.Fatal("a scan spanning InvalidateMarginalCache committed its stale truth into the fresh cache")
 	}
 	// The key stays serviceable: the next request runs a fresh scan and
@@ -90,7 +90,7 @@ func TestInvalidateDuringScanDoesNotResurrect(t *testing.T) {
 	if _, err := p.Marginal(workload1Attrs()); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := p.cache.lookup(key); !ok {
+	if _, ok := p.snap.Load().cache.lookup(key); !ok {
 		t.Fatal("post-invalidation scan did not commit")
 	}
 }
@@ -103,7 +103,7 @@ func TestPostInvalidationRequestDoesNotFollowStaleFlight(t *testing.T) {
 	p := testPublisher(t, 46)
 	key := exactKey(workload1Attrs())
 
-	staleEntry, err := p.computeEntry(workload1Attrs())
+	staleEntry, err := p.snap.Load().computeEntry(workload1Attrs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestPostInvalidationRequestDoesNotFollowStaleFlight(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+		p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 			close(leaderIn)
 			<-release
 			return staleEntry, nil // stands in for pre-mutation truth
@@ -123,8 +123,8 @@ func TestPostInvalidationRequestDoesNotFollowStaleFlight(t *testing.T) {
 
 	// This request begins strictly after the invalidation: it must not
 	// receive staleEntry even though the leader's flight is still open.
-	e, fresh, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
-		return p.computeEntry(workload1Attrs())
+	e, fresh, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
+		return p.snap.Load().computeEntry(workload1Attrs())
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +137,7 @@ func TestPostInvalidationRequestDoesNotFollowStaleFlight(t *testing.T) {
 	}
 	close(release)
 	<-leaderDone
-	if got, ok := p.cache.lookup(key); !ok || got == staleEntry {
+	if got, ok := p.snap.Load().cache.lookup(key); !ok || got == staleEntry {
 		t.Fatalf("committed entry after the dust settles = (%v, %v), want the fresh truth", got, ok)
 	}
 }
@@ -153,36 +153,36 @@ func TestDisableRaceStaysCold(t *testing.T) {
 	key := exactKey(workload1Attrs())
 
 	// Disable lands mid-scan: the flight predates the disable.
-	if _, _, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+	if _, _, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 		p.SetMarginalCacheEnabled(false)
-		return p.computeEntry(workload1Attrs())
+		return p.snap.Load().computeEntry(workload1Attrs())
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := p.cache.lookup(key); ok {
+	if _, ok := p.snap.Load().cache.lookup(key); ok {
 		t.Fatal("scan spanning a disable committed into the cleared cache")
 	}
 
 	// Racer registered after the disable (it read off==false just before):
 	// its commit while off must be blocked by the off check.
-	if _, _, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
-		return p.computeEntry(workload1Attrs())
+	if _, _, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
+		return p.snap.Load().computeEntry(workload1Attrs())
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := p.cache.lookup(key); ok {
+	if _, ok := p.snap.Load().cache.lookup(key); ok {
 		t.Fatal("scan committed while the cache was disabled")
 	}
 
 	// Straggler whose commit lands after the re-enable: blocked by the
 	// generation bump on enable.
-	if _, _, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+	if _, _, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 		p.SetMarginalCacheEnabled(true)
-		return p.computeEntry(workload1Attrs())
+		return p.snap.Load().computeEntry(workload1Attrs())
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := p.cache.lookup(key); ok {
+	if _, ok := p.snap.Load().cache.lookup(key); ok {
 		t.Fatal("disabled-window straggler warmed the re-enabled cache")
 	}
 
@@ -190,19 +190,19 @@ func TestDisableRaceStaysCold(t *testing.T) {
 	if _, err := p.Marginal(workload1Attrs()); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := p.cache.lookup(key); !ok {
+	if _, ok := p.snap.Load().cache.lookup(key); !ok {
 		t.Fatal("post-enable scan did not commit")
 	}
 
 	// Enabling an already-enabled cache is a no-op: the warm entry
 	// survives and the generation does not move (a bump here would
 	// doom every in-flight scan's commit for no reason).
-	gen := p.cache.gen.Load()
+	gen := p.snap.Load().cache.gen.Load()
 	p.SetMarginalCacheEnabled(true)
-	if _, ok := p.cache.lookup(key); !ok {
+	if _, ok := p.snap.Load().cache.lookup(key); !ok {
 		t.Fatal("redundant enable dropped the warm cache")
 	}
-	if got := p.cache.gen.Load(); got != gen {
+	if got := p.snap.Load().cache.gen.Load(); got != gen {
 		t.Fatalf("redundant enable moved the generation %d -> %d", gen, got)
 	}
 }
@@ -218,17 +218,17 @@ func TestScanPanicReleasesFollowers(t *testing.T) {
 	inScan := make(chan struct{})
 	go func() {
 		defer func() { recover() }()
-		p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+		p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 			close(inScan)
 			panic("synthetic scan failure")
 		})
 	}()
 	go func() {
 		<-inScan
-		_, _, err := p.cache.getOrCompute(key, func() (*marginalEntry, error) {
+		_, _, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 			// By the time a second compute can start, the flight table must
 			// be clean again; computing normally proves the key recovered.
-			return p.computeEntry(workload1Attrs())
+			return p.snap.Load().computeEntry(workload1Attrs())
 		})
 		follower <- err
 	}()

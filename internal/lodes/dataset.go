@@ -30,17 +30,28 @@ type Establishment struct {
 // relation (one record per job, carrying all workplace and worker
 // attributes, entity = establishment), plus the establishment frame and
 // place metadata.
+//
+// A Dataset is one epoch of a versioned, longitudinally updatable
+// object: ApplyDelta absorbs a quarterly Delta (hires, separations,
+// establishment births and deaths) into a new snapshot with Epoch+1,
+// leaving this one untouched — in-flight readers keep a consistent
+// view. Snapshots of one lineage share the schema and place metadata.
 type Dataset struct {
 	// WorkerFull is the join of Job with Worker and Workplace
 	// (Section 3.1): one record per job with all attributes.
 	WorkerFull *table.Table
 
 	// Establishments is the workplace frame, one entry per establishment,
-	// indexed by establishment ID.
+	// indexed by establishment ID. Dead establishments keep their entry
+	// (Employment 0) so IDs stay dense and stable across epochs.
 	Establishments []Establishment
 
 	// Places holds place metadata indexed by place code.
 	Places []Place
+
+	// Epoch counts the deltas applied since the generated (or loaded)
+	// snapshot, which is epoch 0.
+	Epoch int
 }
 
 // Schema returns the WorkerFull schema.

@@ -264,20 +264,10 @@ func Generate(cfg Config, s *dist.Stream) (*Dataset, error) {
 		copy(eduW[:], edu[:])
 		fProb := femaleProb(est.Industry)
 		for j := 0; j < est.Employment; j++ {
-			sex := 0
-			if workerStream.Float64() < fProb {
-				sex = 1
-			}
-			age := sampleCat(workerStream, ageDist[:])
-			race := sampleCat(workerStream, raceDist[:])
-			eth := 0
-			if workerStream.Float64() < hispanicProb {
-				eth = 1
-			}
-			education := sampleCat(workerStream, eduW[:])
+			jr := drawJob(workerStream, fProb, eduW[:])
 			full.AppendRow(est.ID,
 				est.Place, est.Industry, est.Ownership,
-				sex, age, race, eth, education)
+				jr.Sex, jr.Age, jr.Race, jr.Ethnicity, jr.Education)
 		}
 	}
 

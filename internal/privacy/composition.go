@@ -145,9 +145,28 @@ func MarginalLoss(cellLoss Loss, workerDomainSize int) (Loss, error) {
 	return out, nil
 }
 
+// EpochSpend is one epoch's entry in the accountant's ledger: the loss
+// charged against releases of that dataset epoch, and how many releases
+// paid it. Epochs compose sequentially — the budget the accountant
+// enforces is the sum over the ledger — because every epoch of a
+// versioned dataset derives from the same underlying population:
+// absorbing a quarterly delta does not refresh anyone's privacy.
+type EpochSpend struct {
+	Epoch    int
+	Eps      float64
+	Delta    float64
+	Releases int
+}
+
 // Accountant tracks cumulative privacy loss across releases under
 // sequential composition, enforcing a total budget. The α and definition
 // are fixed at construction: mixing them has no composition semantics.
+//
+// Charges are additionally attributed to the current dataset epoch
+// (AdvanceEpoch starts a new ledger entry; SpendByEpoch returns the
+// ledger), giving a queryable spend-by-epoch view. Attribution is
+// bookkeeping only: the enforced budget is the sequential composition
+// across every epoch.
 //
 // An Accountant is safe for concurrent use: parallel releases charging
 // the same budget serialize on an internal mutex, so the spent total is
@@ -162,16 +181,22 @@ type Accountant struct {
 	spentEps    float64
 	spentDelta  float64
 	numReleases int
+	// ledger holds one entry per epoch since construction; the last
+	// entry is the open epoch charges currently land in.
+	ledger []EpochSpend
 }
 
 // NewAccountant creates an accountant for the given definition, α, and
-// total (ε, δ) budget.
+// total (ε, δ) budget. The ledger opens at epoch 0.
 func NewAccountant(def Definition, alpha, budgetEps, budgetDelta float64) (*Accountant, error) {
 	probe := Loss{Def: def, Alpha: alpha, Eps: budgetEps, Delta: budgetDelta}
 	if err := probe.Validate(); err != nil {
 		return nil, err
 	}
-	return &Accountant{def: def, alpha: alpha, budgetEps: budgetEps, budgetDelta: budgetDelta}, nil
+	return &Accountant{
+		def: def, alpha: alpha, budgetEps: budgetEps, budgetDelta: budgetDelta,
+		ledger: []EpochSpend{{Epoch: 0}},
+	}, nil
 }
 
 // Implies reports whether a guarantee under definition a is at least as
@@ -226,7 +251,40 @@ func (a *Accountant) SpendAll(losses []Loss) error {
 	a.spentEps += sumEps
 	a.spentDelta += sumDelta
 	a.numReleases += len(losses)
+	cur := &a.ledger[len(a.ledger)-1]
+	cur.Eps += sumEps
+	cur.Delta += sumDelta
+	cur.Releases += len(losses)
 	return nil
+}
+
+// AdvanceEpoch seals the current ledger entry and opens the next epoch,
+// returning its number. The publisher calls this when it installs a new
+// dataset snapshot, so subsequent charges are attributed to releases of
+// the new epoch. (A release pinned to an older snapshot that charges
+// after the advance is attributed to the open epoch — attribution
+// follows spend time; the enforced total is unaffected.)
+func (a *Accountant) AdvanceEpoch() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	next := a.ledger[len(a.ledger)-1].Epoch + 1
+	a.ledger = append(a.ledger, EpochSpend{Epoch: next})
+	return next
+}
+
+// Epoch returns the open ledger epoch charges currently land in.
+func (a *Accountant) Epoch() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ledger[len(a.ledger)-1].Epoch
+}
+
+// SpendByEpoch returns the per-epoch ledger, oldest first. The sum of
+// the entries' (ε, δ) is exactly Spent's sequential composition.
+func (a *Accountant) SpendByEpoch() []EpochSpend {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]EpochSpend(nil), a.ledger...)
 }
 
 // Spent returns the cumulative loss so far.

@@ -32,7 +32,11 @@ type Index struct {
 	// n is the row count the index was built at; a Table invalidates a
 	// cached index by comparing this against its current row count.
 	n int
-	// rows lists every row ID, grouped by entity.
+	// rows lists every row ID, grouped by entity. A nil rows means the
+	// identity permutation: the table itself is entity-sorted (as every
+	// epoch snapshot MergeIndex builds for is), so index position p IS
+	// table row p and the materialized columns alias the table's own —
+	// no per-attribute gather at all.
 	rows []int32
 	// starts delimits the groups: group g spans
 	// rows[starts[g]:starts[g+1]].
@@ -126,17 +130,23 @@ func BuildIndex(t *Table) *Index {
 // materializing it on first use. The one-time gather through the row
 // permutation (at most doubling the column's uint16 storage) is what
 // lets every subsequent scan of the attribute read strictly
-// sequentially — the dominant cost of the kernel.
+// sequentially — the dominant cost of the kernel. An identity-mode
+// index (rows == nil) skips the gather entirely and aliases the
+// table's column, which is already in index order.
 func (ix *Index) col(a int) []uint16 {
 	ix.colsMu.Lock()
 	defer ix.colsMu.Unlock()
 	if ix.cols[a] == nil {
 		src := ix.t.cols[a]
-		re := make([]uint16, ix.n)
-		for p, row := range ix.rows {
-			re[p] = src[row]
+		if ix.rows == nil {
+			ix.cols[a] = src
+		} else {
+			re := make([]uint16, ix.n)
+			for p, row := range ix.rows {
+				re[p] = src[row]
+			}
+			ix.cols[a] = re
 		}
-		ix.cols[a] = re
 	}
 	return ix.cols[a]
 }

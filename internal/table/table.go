@@ -94,6 +94,24 @@ func (t *Table) AppendRowValues(entity int32, values ...string) error {
 	return nil
 }
 
+// AppendSpan appends rows [lo, hi) of src — which must share t's schema
+// — preserving entities. Column storage is copied span-wise (one copy
+// per column), the bulk path snapshot construction uses to carry
+// untouched entity groups between dataset epochs.
+func (t *Table) AppendSpan(src *Table, lo, hi int) {
+	if src.schema != t.schema {
+		panic("table: AppendSpan across different schemas")
+	}
+	if lo < 0 || hi > src.n || lo > hi {
+		panic(fmt.Sprintf("table: AppendSpan range [%d,%d) out of bounds (src has %d rows)", lo, hi, src.n))
+	}
+	for i := range t.cols {
+		t.cols[i] = append(t.cols[i], src.cols[i][lo:hi]...)
+	}
+	t.entities = append(t.entities, src.entities[lo:hi]...)
+	t.n += hi - lo
+}
+
 // Code returns the value code of attribute attr for record row.
 func (t *Table) Code(row, attr int) int {
 	t.checkRow(row)

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Canonical benchmark regeneration for BENCH_baseline.json,
-# BENCH_scan_kernel.json and BENCH_release_path.json. The JSON files'
-# numbers come from this script's flags — never from ad-hoc invocations
-# — so recorded runs stay comparable across PRs:
+# BENCH_scan_kernel.json, BENCH_release_path.json and
+# BENCH_incremental.json. The JSON files' numbers come from this
+# script's flags — never from ad-hoc invocations — so recorded runs
+# stay comparable across PRs:
 #
 #   micro suite:        go test -run '^$' -bench . -benchtime 2s .
 #   paper-scale suite:  EREE_LARGE_BENCH=1 go test -run '^$' \
@@ -35,4 +36,7 @@ echo "== paper-scale suite (EREE_LARGE_BENCH=1, -benchtime 20x) ==" | tee -a "$o
 EREE_LARGE_BENCH=1 go test -run '^$' -bench BenchmarkLargeScale -benchtime 20x -timeout 60m . | tee -a "$out"
 
 echo
-echo "Wrote $out. Update BENCH_baseline.json / BENCH_scan_kernel.json / BENCH_release_path.json from it."
+echo "Wrote $out. Update BENCH_baseline.json / BENCH_scan_kernel.json /"
+echo "BENCH_release_path.json / BENCH_incremental.json from it. (The advance"
+echo "benchmarks replay a fixed 8-quarter delta chain per op — see"
+echo "BENCH_incremental.json's chain_note before comparing per-quarter numbers.)"
