@@ -1,0 +1,195 @@
+// Command ereeload drives an ereeserve instance with a deterministic
+// Zipf-mixed release workload and reports sustained throughput and
+// latency percentiles as one JSON summary.
+//
+// Usage:
+//
+//	ereeload -url http://localhost:8080 -key tenant-alpha-key \
+//	         [-n 2000] [-conc 8] [-seed 1] [-zipf 1.1] [-eps 0.5]
+//
+// The whole request sequence is planned up front from -seed: request i
+// queries the marginal drawn by a Zipf(-zipf) pick over a fixed query
+// catalog and carries explicit sequence number i. The plan — and with
+// it every noisy count the server returns — is therefore reproducible
+// run over run against the same server configuration; only the timings
+// differ. Popularity concentrates on the catalog head the way real
+// query traffic does, so the server's marginal cache sees a realistic
+// hit/miss mix.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/lodes"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ereeload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// catalog is the fixed query mix, most-popular first: the workplace
+// marginal the paper's workload 1 centers on, then successively less
+// popular cuts.
+func catalog() [][]string {
+	return [][]string{
+		{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership},
+		{lodes.AttrIndustry},
+		{lodes.AttrSex},
+		{lodes.AttrIndustry, lodes.AttrOwnership},
+		{lodes.AttrAge},
+		{lodes.AttrOwnership},
+		{lodes.AttrRace, lodes.AttrEthnicity},
+		{lodes.AttrEducation},
+	}
+}
+
+// planEntry is one pre-planned request: explicit seq i with a
+// catalog query drawn by the Zipf mix.
+type planEntry struct {
+	Seq   int64
+	Attrs []string
+	Body  []byte
+}
+
+// buildPlan lays out the entire request sequence deterministically:
+// draw i comes from the plan stream's index i, so the plan is a pure
+// function of (seed, n, s, eps) — independent of workers and timing.
+func buildPlan(seed int64, n int, s, eps float64) []planEntry {
+	cat := catalog()
+	// Zipf over catalog ranks: weight(k) ∝ 1/(k+1)^s, picked by inverse
+	// CDF so the draw needs one uniform variate.
+	cum := make([]float64, len(cat))
+	var total float64
+	for k := range cat {
+		total += 1 / math.Pow(float64(k+1), s)
+		cum[k] = total
+	}
+	root := dist.NewStreamFromSeed(seed)
+	plan := make([]planEntry, n)
+	for i := range plan {
+		u := root.SplitIndex("plan", i).Float64() * total
+		k := sort.SearchFloat64s(cum, u)
+		if k == len(cum) {
+			k--
+		}
+		body, err := json.Marshal(struct {
+			Attrs     []string `json:"attrs"`
+			Mechanism string   `json:"mechanism"`
+			Alpha     float64  `json:"alpha"`
+			Eps       float64  `json:"eps"`
+			Seq       int64    `json:"seq"`
+		}{cat[k], "smooth-gamma", 0.1, eps, int64(i)})
+		if err != nil {
+			panic(err) // fixed struct; cannot fail
+		}
+		plan[i] = planEntry{Seq: int64(i), Attrs: cat[k], Body: body}
+	}
+	return plan
+}
+
+// summary is the run's JSON report.
+type summary struct {
+	Requests int            `json:"requests"`
+	Errors   int            `json:"errors"`
+	Statuses map[string]int `json:"statuses"`
+	Seconds  float64        `json:"seconds"`
+	QPS      float64        `json:"qps"`
+	P50Ms    float64        `json:"p50_ms"`
+	P99Ms    float64        `json:"p99_ms"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ereeload", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8080", "ereeserve base URL")
+	key := fs.String("key", "tenant-alpha-key", "tenant API key")
+	n := fs.Int("n", 2000, "total requests")
+	conc := fs.Int("conc", 8, "concurrent client workers")
+	seed := fs.Int64("seed", 1, "plan seed")
+	zipf := fs.Float64("zipf", 1.1, "Zipf exponent of the query-popularity mix")
+	eps := fs.Float64("eps", 0.5, "privacy-loss parameter per release (Smooth Gamma needs eps > 5·ln(1+alpha))")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("invalid arguments")
+	}
+	if *n < 1 || *conc < 1 {
+		return fmt.Errorf("-n and -conc must be positive")
+	}
+
+	plan := buildPlan(*seed, *n, *zipf, *eps)
+	client := &http.Client{Timeout: 30 * time.Second}
+	lat := make([]time.Duration, len(plan))
+	status := make([]int, len(plan))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(plan) {
+					return
+				}
+				t0 := time.Now()
+				req, err := http.NewRequest("POST", *url+"/v1/release", bytes.NewReader(plan[i].Body))
+				if err != nil {
+					continue // status stays 0 = transport error
+				}
+				req.Header.Set("X-API-Key", *key)
+				resp, err := client.Do(req)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat[i] = time.Since(t0)
+				status[i] = resp.StatusCode
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := summary{Requests: len(plan), Statuses: make(map[string]int), Seconds: elapsed.Seconds()}
+	ok := make([]time.Duration, 0, len(plan))
+	for i := range plan {
+		if status[i] == 0 {
+			sum.Errors++
+			continue
+		}
+		sum.Statuses[fmt.Sprintf("%d", status[i])]++
+		if status[i] == http.StatusOK {
+			ok = append(ok, lat[i])
+		}
+	}
+	if elapsed > 0 {
+		sum.QPS = float64(len(plan)-sum.Errors) / elapsed.Seconds()
+	}
+	if len(ok) > 0 {
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		sum.P50Ms = float64(ok[len(ok)/2].Microseconds()) / 1000
+		sum.P99Ms = float64(ok[len(ok)*99/100].Microseconds()) / 1000
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}

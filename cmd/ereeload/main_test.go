@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/cmd/ereeserve/config"
+	"repro/cmd/ereeserve/server"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+)
+
+// TestPlanPinned pins the first draws of the default plan: the load mix
+// is part of the benchmark's reproducibility surface, so a change to
+// the stream derivation or the catalog must fail a test, not silently
+// shift every published number.
+func TestPlanPinned(t *testing.T) {
+	plan := buildPlan(1, 12, 1.1, 0.1)
+	w1 := []string{lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership}
+	want := [][]string{
+		{lodes.AttrSex}, {lodes.AttrAge}, {lodes.AttrSex}, {lodes.AttrAge},
+		w1, w1, {lodes.AttrAge}, w1, w1, {lodes.AttrSex}, w1, {lodes.AttrSex},
+	}
+	for i := range want {
+		if !reflect.DeepEqual(plan[i].Attrs, want[i]) {
+			t.Errorf("plan[%d].Attrs = %v, want %v", i, plan[i].Attrs, want[i])
+		}
+		if plan[i].Seq != int64(i) {
+			t.Errorf("plan[%d].Seq = %d, want %d", i, plan[i].Seq, i)
+		}
+	}
+	// The plan is a pure function of its inputs: same seed, same bytes.
+	again := buildPlan(1, 12, 1.1, 0.1)
+	for i := range plan {
+		if string(plan[i].Body) != string(again[i].Body) {
+			t.Fatalf("plan[%d] not reproducible:\n  a: %s\n  b: %s", i, plan[i].Body, again[i].Body)
+		}
+	}
+}
+
+// TestPlanZipfSkew: request frequency must fall with catalog rank — the
+// whole point of the Zipf mix is a popularity-skewed cache workload.
+func TestPlanZipfSkew(t *testing.T) {
+	plan := buildPlan(1, 2000, 1.1, 0.1)
+	key := func(attrs []string) string { return strings.Join(attrs, ",") }
+	freq := make(map[string]int)
+	for _, p := range plan {
+		freq[key(p.Attrs)]++
+	}
+	cat := catalog()
+	if len(freq) != len(cat) {
+		t.Fatalf("plan uses %d catalog entries, want all %d", len(freq), len(cat))
+	}
+	for k := 1; k < len(cat); k++ {
+		if freq[key(cat[k])] > freq[key(cat[k-1])] {
+			t.Errorf("rank %d (%v) drew %d > rank %d (%v) %d: mix is not popularity-ordered",
+				k, cat[k], freq[key(cat[k])], k-1, cat[k-1], freq[key(cat[k-1])])
+		}
+	}
+	if head := freq[key(cat[0])]; head < len(plan)/4 {
+		t.Errorf("head query drew only %d of %d requests; Zipf mix too flat", head, len(plan))
+	}
+}
+
+// TestPlanBodies: every planned body is a valid wire request carrying
+// its own index as the explicit sequence number.
+func TestPlanBodies(t *testing.T) {
+	for i, p := range buildPlan(7, 50, 1.3, 0.25) {
+		var w struct {
+			Attrs     []string `json:"attrs"`
+			Mechanism string   `json:"mechanism"`
+			Alpha     float64  `json:"alpha"`
+			Eps       float64  `json:"eps"`
+			Seq       int64    `json:"seq"`
+		}
+		if err := json.Unmarshal(p.Body, &w); err != nil {
+			t.Fatalf("plan[%d]: %v", i, err)
+		}
+		if w.Seq != int64(i) || w.Eps != 0.25 || w.Mechanism != "smooth-gamma" {
+			t.Fatalf("plan[%d] body = %s", i, p.Body)
+		}
+	}
+}
+
+// TestRunAgainstServer drives a real in-process ereeserve and checks
+// the summary: every request answered 200, QPS and percentiles
+// populated.
+func TestRunAgainstServer(t *testing.T) {
+	gen := lodes.TestConfig()
+	gen.NumEstablishments = 200
+	data := lodes.MustGenerate(gen, dist.NewStreamFromSeed(1))
+	reg, err := config.Demo().BuildRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(core.NewPublisher(data), reg, server.Options{NoiseSeed: 7})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	var out strings.Builder
+	err = run([]string{
+		"-url", hs.URL, "-key", "tenant-alpha-key",
+		"-n", "40", "-conc", "4", "-seed", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Requests != 40 || sum.Errors != 0 {
+		t.Fatalf("summary = %+v, want 40 requests / 0 errors", sum)
+	}
+	if sum.Statuses["200"] != 40 {
+		t.Fatalf("statuses = %v, want 40× 200", sum.Statuses)
+	}
+	if sum.QPS <= 0 || sum.P50Ms <= 0 || sum.P99Ms < sum.P50Ms {
+		t.Fatalf("latency summary implausible: %+v", sum)
+	}
+}

@@ -1,0 +1,104 @@
+// Command ereeserve runs the multi-tenant HTTP release service: one
+// publisher over one versioned LODES dataset, one budget accountant per
+// tenant, and an admin endpoint that absorbs quarterly deltas under
+// live load without stalling in-flight releases.
+//
+// Usage:
+//
+//	ereeserve -demo                      # two demo tenants, generated data
+//	ereeserve -config server.json        # full configuration from a file
+//	ereeserve -demo -addr :9090          # override the listen address
+//
+// See cmd/ereeserve/config for the configuration schema and
+// cmd/ereeserve/server for the endpoints and the wire determinism
+// contract.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/cmd/ereeserve/config"
+	"repro/cmd/ereeserve/server"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ereeserve: ")
+	if err := run(os.Args[1:], os.Stdout, http.ListenAndServe); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam; serve stands in for
+// http.ListenAndServe so tests can capture the handler instead of
+// binding a port.
+func run(args []string, out io.Writer, serve func(addr string, h http.Handler) error) error {
+	fs := flag.NewFlagSet("ereeserve", flag.ContinueOnError)
+	cfgPath := fs.String("config", "", "JSON configuration file (see cmd/ereeserve/config)")
+	demo := fs.Bool("demo", false, "serve the built-in two-tenant demo configuration")
+	addr := fs.String("addr", "", "override the configured listen address")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("invalid arguments")
+	}
+
+	var cfg config.Config
+	switch {
+	case *cfgPath != "" && *demo:
+		return fmt.Errorf("-config and -demo are mutually exclusive")
+	case *cfgPath != "":
+		var err error
+		if cfg, err = config.Load(*cfgPath); err != nil {
+			return err
+		}
+	case *demo:
+		cfg = config.Demo()
+	default:
+		return fmt.Errorf("one of -config or -demo is required")
+	}
+	if *addr != "" {
+		cfg.Addr = *addr
+	}
+
+	data, err := buildDataset(cfg)
+	if err != nil {
+		return err
+	}
+	reg, err := cfg.BuildRegistry()
+	if err != nil {
+		return err
+	}
+	srv := server.New(core.NewPublisher(data), reg, server.Options{
+		NoiseSeed: cfg.NoiseSeed,
+		AdminKey:  cfg.AdminKey,
+		DeltaSeed: cfg.DeltaSeed,
+	})
+
+	fmt.Fprintf(out, "serving %d jobs / %d establishments for %d tenant(s) on %s\n",
+		data.NumJobs(), data.NumEstablishments(), reg.Len(), cfg.Addr)
+	return serve(cfg.Addr, srv.Handler())
+}
+
+// buildDataset loads the configured CSV snapshot, or generates a
+// synthetic one from the configured seed and scale.
+func buildDataset(cfg config.Config) (*lodes.Dataset, error) {
+	if cfg.DataDir != "" {
+		return lodes.ReadCSV(cfg.DataDir)
+	}
+	gen := lodes.TestConfig()
+	if cfg.DataScale == "default" {
+		gen = lodes.DefaultConfig()
+	}
+	return lodes.Generate(gen, dist.NewStreamFromSeed(cfg.DataSeed))
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture is a stand-in for http.ListenAndServe that records what run
+// would have served.
+type capture struct {
+	addr    string
+	handler http.Handler
+}
+
+func (c *capture) serve(addr string, h http.Handler) error {
+	c.addr, c.handler = addr, h
+	return nil
+}
+
+func TestRunDemo(t *testing.T) {
+	var c capture
+	var out strings.Builder
+	if err := run([]string{"-demo"}, &out, c.serve); err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != ":8080" {
+		t.Errorf("addr = %q, want :8080", c.addr)
+	}
+	if !strings.Contains(out.String(), "2 tenant(s)") {
+		t.Errorf("startup line = %q, want it to mention 2 tenant(s)", out.String())
+	}
+	// The captured handler is a live server: demo tenants can release.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/release",
+		strings.NewReader(`{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1}`))
+	req.Header.Set("X-API-Key", "tenant-alpha-key")
+	c.handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("demo release = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+func TestRunConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "server.json")
+	cfg := `{
+		"addr": ":7070",
+		"noise_seed": 3,
+		"data_seed": 2,
+		"tenants": [
+			{"name": "solo", "key": "solo-key", "definition": "weak-er-ee", "alpha": 0.1, "budget_eps": 10, "budget_delta": 0.1}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var c capture
+	var out strings.Builder
+	if err := run([]string{"-config", path, "-addr", ":9999"}, &out, c.serve); err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != ":9999" {
+		t.Errorf("-addr override not applied: addr = %q", c.addr)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	c.handler.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var c capture
+	for _, args := range [][]string{
+		{},                        // neither -config nor -demo
+		{"-demo", "-config", "x"}, // mutually exclusive
+		{"-config", "/does/not/exist.json"},
+	} {
+		if err := run(args, &strings.Builder{}, c.serve); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/privacy"
+)
+
+// BenchmarkServeMarginal measures the full single-goroutine handler
+// path for a warm-cache workload-1 release: decode, auth, budget
+// admission, cached truth lookup, per-cell noise, JSON render. No
+// socket — the network is not the subsystem under test. Gated in CI
+// against BENCH_serve.json.
+func BenchmarkServeMarginal(b *testing.B) {
+	cfg := lodes.TestConfig()
+	cfg.NumEstablishments = 500
+	data := lodes.MustGenerate(cfg, dist.NewStreamFromSeed(1))
+	acct, err := privacy.NewAccountant(privacy.WeakEREE, 0.1, 1e18, 0.999999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := privacy.NewRegistry()
+	if _, err := reg.Register("bench", "bench-key", acct); err != nil {
+		b.Fatal(err)
+	}
+	h := New(core.NewPublisher(data), reg, Options{NoiseSeed: 7}).Handler()
+
+	// Warm the truth cache so steady-state serving is what's measured.
+	warm := httptest.NewRequest("POST", "/v1/release", strings.NewReader(
+		`{"attrs":["place","industry","ownership"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5,"seq":0}`))
+	warm.Header.Set(apiKeyHeader, "bench-key")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(
+			`{"attrs":["place","industry","ownership"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5,"seq":%d}`,
+			i%maxSeq)
+		req := httptest.NewRequest("POST", "/v1/release", strings.NewReader(body))
+		req.Header.Set(apiKeyHeader, "bench-key")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("release = %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+}

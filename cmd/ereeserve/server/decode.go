@@ -1,0 +1,210 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Wire-request decoding and validation. Everything here runs before the
+// publisher or any accountant is touched: a request that fails to
+// decode is rejected with a 4xx, spends no budget, and — fuzz-tested —
+// can never panic the server. Deeper semantic failures (parameters
+// outside a mechanism's validity region, unknown attributes for this
+// schema) are left to internal/core's typed sentinels, which the
+// handler layer maps to status codes the same way.
+
+// errBadBody classifies transport-level decode failures (malformed
+// JSON, unknown fields, out-of-range values) as 400s.
+var errBadBody = errors.New("bad request body")
+
+// Hard caps on request shape. They bound work before any of it is
+// done: an index scan is O(rows) regardless, but attrs bounds the
+// cell-space (domain sizes multiply) and batch bounds the fan-out.
+const (
+	maxAttrsPerQuery = 8
+	maxBatchRequests = 64
+	maxCellValues    = 8
+	// maxBodyBytes bounds request bodies via http.MaxBytesReader; a
+	// batch of 64 fully-specified requests fits comfortably.
+	maxBodyBytes = 1 << 20
+	// maxSeq keeps explicit sequence numbers inside SplitIndex's int
+	// domain on every platform.
+	maxSeq = math.MaxInt32
+)
+
+// wireRequest is one marginal-release request as it appears on the
+// wire, inside /v1/release, /v1/batch and (with Values) /v1/cell.
+type wireRequest struct {
+	// Attrs are the marginal's attribute names, in release order.
+	Attrs []string `json:"attrs"`
+	// Mechanism is the release algorithm's name (core.ParseMechanismKind).
+	Mechanism string  `json:"mechanism"`
+	Alpha     float64 `json:"alpha"`
+	Eps       float64 `json:"eps"`
+	Delta     float64 `json:"delta,omitempty"`
+	Theta     int     `json:"theta,omitempty"`
+	// Values selects one cell (only on /v1/cell).
+	Values []string `json:"values,omitempty"`
+}
+
+// releaseBody is the /v1/release and /v1/cell body: one request plus an
+// optional explicit sequence number.
+type releaseBody struct {
+	wireRequest
+	// Seq, if set, names the noise stream for this release explicitly:
+	// the response is then a pure function of (server noise seed,
+	// tenant, seq, request, dataset epoch) regardless of what other
+	// traffic the server is carrying. When omitted the server assigns
+	// the tenant's next sequence number.
+	Seq *int64 `json:"seq,omitempty"`
+}
+
+// batchBody is the /v1/batch body: many requests released as one
+// atomically-accounted batch under a single sequence number.
+type batchBody struct {
+	Requests []wireRequest `json:"requests"`
+	Seq      *int64        `json:"seq,omitempty"`
+}
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing
+// garbage, so a typo'd field name fails loudly instead of silently
+// releasing under default parameters.
+func decodeStrict(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: %v", errBadBody, err)
+	}
+	// A second Decode must see EOF: two JSON documents in one body is a
+	// malformed request, not a request plus ignored noise.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after JSON body", errBadBody)
+	}
+	return nil
+}
+
+// validateWire bounds and sanity-checks one wire request, returning the
+// compiled core request. Schema-dependent checks (do these attributes
+// exist?) are core's business; this layer only enforces shape.
+func validateWire(w wireRequest, allowValues bool) (core.Request, error) {
+	if len(w.Attrs) == 0 {
+		return core.Request{}, fmt.Errorf("%w: attrs must be non-empty", errBadBody)
+	}
+	if len(w.Attrs) > maxAttrsPerQuery {
+		return core.Request{}, fmt.Errorf("%w: %d attrs exceeds the limit of %d", errBadBody, len(w.Attrs), maxAttrsPerQuery)
+	}
+	for _, a := range w.Attrs {
+		if a == "" {
+			return core.Request{}, fmt.Errorf("%w: empty attribute name", errBadBody)
+		}
+	}
+	if !allowValues && len(w.Values) > 0 {
+		return core.Request{}, fmt.Errorf("%w: values is only valid on /v1/cell", errBadBody)
+	}
+	if len(w.Values) > maxCellValues {
+		return core.Request{}, fmt.Errorf("%w: %d values exceeds the limit of %d", errBadBody, len(w.Values), maxCellValues)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"alpha", w.Alpha}, {"eps", w.Eps}, {"delta", w.Delta}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return core.Request{}, fmt.Errorf("%w: %s must be finite", errBadBody, f.name)
+		}
+	}
+	kind, err := core.ParseMechanismKind(w.Mechanism)
+	if err != nil {
+		// Carries core.ErrInvalidRequest; the handler maps it to 400.
+		return core.Request{}, err
+	}
+	return core.Request{
+		Attrs:     w.Attrs,
+		Mechanism: kind,
+		Alpha:     w.Alpha,
+		Eps:       w.Eps,
+		Delta:     w.Delta,
+		Theta:     w.Theta,
+	}, nil
+}
+
+// validateSeq bounds an explicit sequence number.
+func validateSeq(seq *int64) (int64, bool, error) {
+	if seq == nil {
+		return 0, false, nil
+	}
+	if *seq < 0 || *seq > maxSeq {
+		return 0, false, fmt.Errorf("%w: seq must be in [0, %d]", errBadBody, int64(maxSeq))
+	}
+	return *seq, true, nil
+}
+
+// decodeRelease parses and validates a /v1/release or /v1/cell body.
+func decodeRelease(r io.Reader, allowValues bool) (core.Request, []string, *int64, error) {
+	var body releaseBody
+	if err := decodeStrict(r, &body); err != nil {
+		return core.Request{}, nil, nil, err
+	}
+	req, err := validateWire(body.wireRequest, allowValues)
+	if err != nil {
+		return core.Request{}, nil, nil, err
+	}
+	if _, _, err := validateSeq(body.Seq); err != nil {
+		return core.Request{}, nil, nil, err
+	}
+	return req, body.Values, body.Seq, nil
+}
+
+// decodeBatch parses and validates a /v1/batch body.
+func decodeBatch(r io.Reader) ([]core.Request, *int64, error) {
+	var body batchBody
+	if err := decodeStrict(r, &body); err != nil {
+		return nil, nil, err
+	}
+	if len(body.Requests) == 0 {
+		return nil, nil, fmt.Errorf("%w: requests must be non-empty", errBadBody)
+	}
+	if len(body.Requests) > maxBatchRequests {
+		return nil, nil, fmt.Errorf("%w: %d requests exceeds the batch limit of %d", errBadBody, len(body.Requests), maxBatchRequests)
+	}
+	reqs := make([]core.Request, len(body.Requests))
+	for i, w := range body.Requests {
+		req, err := validateWire(w, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		reqs[i] = req
+	}
+	if _, _, err := validateSeq(body.Seq); err != nil {
+		return nil, nil, err
+	}
+	return reqs, body.Seq, nil
+}
+
+// advanceBody is the /v1/admin/advance body.
+type advanceBody struct {
+	// Quarters is how many generated quarterly deltas to absorb.
+	Quarters int `json:"quarters"`
+	// Seed overrides the config's delta_seed root for this advance; the
+	// q-th absorbed quarter draws from seed+q.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// maxAdvanceQuarters bounds one admin call; each quarter is a full
+// ApplyDelta + MergeIndex pass.
+const maxAdvanceQuarters = 16
+
+func decodeAdvance(r io.Reader) (int, *int64, error) {
+	var body advanceBody
+	if err := decodeStrict(r, &body); err != nil {
+		return 0, nil, err
+	}
+	if body.Quarters < 1 || body.Quarters > maxAdvanceQuarters {
+		return 0, nil, fmt.Errorf("%w: quarters must be in [1, %d]", errBadBody, maxAdvanceQuarters)
+	}
+	return body.Quarters, body.Seed, nil
+}

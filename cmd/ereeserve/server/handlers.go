@@ -1,0 +1,344 @@
+package server
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/privacy"
+
+	"repro/cmd/ereeserve/config"
+)
+
+// apiKeyHeader carries the tenant (or admin) credential.
+const apiKeyHeader = "X-API-Key"
+
+// errorBody is every error response's shape. RemainingEps/Delta are
+// only present on budget rejections (429), so an admitted-but-degraded
+// client can see exactly what it has left without a second call.
+type errorBody struct {
+	Error          string   `json:"error"`
+	RemainingEps   *float64 `json:"remaining_eps,omitempty"`
+	RemainingDelta *float64 `json:"remaining_delta,omitempty"`
+}
+
+// statusFor maps a release error to its HTTP status via the typed
+// sentinels — the entire reason internal/core and internal/privacy
+// export them.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, privacy.ErrBudgetExhausted):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrUnknownMarginal), errors.Is(err, core.ErrUnknownCell):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrInvalidRequest), errors.Is(err, privacy.ErrIncompatibleLoss),
+		errors.Is(err, errBadBody):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON renders a response body. Struct field order is fixed and
+// Go's float formatting is deterministic, so identical values are
+// identical bytes — the wire half of the determinism contract.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		// Unreachable for our response types; keep the failure visible.
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(raw, '\n'))
+}
+
+// writeError renders an error response, attaching the tenant's
+// remaining budget on budget rejections.
+func writeError(w http.ResponseWriter, err error, acct *privacy.Accountant) {
+	status := statusFor(err)
+	body := errorBody{Error: err.Error()}
+	if status == http.StatusTooManyRequests && acct != nil {
+		eps, delta := acct.Remaining()
+		body.RemainingEps = &eps
+		body.RemainingDelta = &delta
+	}
+	writeJSON(w, status, body)
+}
+
+// withTenant authenticates the request's API key and hands the handler
+// its tenant. Key comparison is constant-time; an unknown key gets the
+// same opaque 401 as a missing one.
+func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *privacy.Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.reg.Lookup(r.Header.Get(apiKeyHeader))
+		if !ok {
+			writeJSON(w, http.StatusUnauthorized, errorBody{Error: "unknown API key"})
+			return
+		}
+		h(w, r, t)
+	}
+}
+
+// withAdmin authenticates the admin key.
+func (s *Server) withAdmin(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get(apiKeyHeader)
+		if s.adminKey == "" || subtle.ConstantTimeCompare([]byte(key), []byte(s.adminKey)) != 1 {
+			writeJSON(w, http.StatusUnauthorized, errorBody{Error: "admin endpoint requires the admin key"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// lossJSON is a privacy loss on the wire.
+type lossJSON struct {
+	Definition string  `json:"definition"`
+	Alpha      float64 `json:"alpha"`
+	Eps        float64 `json:"eps"`
+	Delta      float64 `json:"delta"`
+}
+
+func lossToJSON(l privacy.Loss) lossJSON {
+	return lossJSON{
+		Definition: config.DefinitionToken(l.Def),
+		Alpha:      l.Alpha,
+		Eps:        l.Eps,
+		Delta:      l.Delta,
+	}
+}
+
+// releaseJSON is one marginal release on the wire. The confidential
+// truth is deliberately absent: this is the production boundary, and
+// the privacy guarantee covers exactly what crosses it.
+type releaseJSON struct {
+	Epoch     int       `json:"epoch"`
+	Seq       int64     `json:"seq"`
+	Attrs     []string  `json:"attrs"`
+	Mechanism string    `json:"mechanism"`
+	Loss      lossJSON  `json:"loss"`
+	Cells     int       `json:"cells"`
+	Counts    []float64 `json:"counts"`
+}
+
+func releaseToJSON(rel *core.Release, seq int64, attrs []string) releaseJSON {
+	return releaseJSON{
+		Epoch:     rel.Epoch,
+		Seq:       seq,
+		Attrs:     attrs,
+		Mechanism: rel.MechanismName,
+		Loss:      lossToJSON(rel.Loss),
+		Cells:     len(rel.Noisy),
+		Counts:    rel.Noisy,
+	}
+}
+
+// handleHealth is the unauthenticated liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK    bool `json:"ok"`
+		Epoch int  `json:"epoch"`
+	}{true, s.pub.Epoch()})
+}
+
+// handleRelease serves POST /v1/release: one marginal, charged to the
+// calling tenant.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, t *privacy.Tenant) {
+	req, _, explicit, err := decodeRelease(r.Body, false)
+	if err != nil {
+		writeError(w, err, t.Acct)
+		return
+	}
+	seq := s.resolveSeq(t.Name, explicit)
+	rel, err := s.pub.ReleaseMarginalFor(t.Acct, req, s.tenantStream(t.Name).SplitIndex("req", int(seq)))
+	if err != nil {
+		writeError(w, err, t.Acct)
+		return
+	}
+	writeJSON(w, http.StatusOK, releaseToJSON(rel, seq, req.Attrs))
+}
+
+// batchJSON is the /v1/batch success response.
+type batchJSON struct {
+	Seq      int64         `json:"seq"`
+	Releases []releaseJSON `json:"releases"`
+}
+
+// handleBatch serves POST /v1/batch: the whole batch is admitted or
+// rejected before any scan or noise is paid for, and the accountant is
+// charged atomically — a 429 batch spends nothing and reports the
+// tenant's remaining budget.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, t *privacy.Tenant) {
+	reqs, explicit, err := decodeBatch(r.Body)
+	if err != nil {
+		writeError(w, err, t.Acct)
+		return
+	}
+	seq := s.resolveSeq(t.Name, explicit)
+	rels, err := s.pub.ReleaseBatchFor(t.Acct, reqs, s.tenantStream(t.Name).SplitIndex("req", int(seq)))
+	if err != nil {
+		writeError(w, err, t.Acct)
+		return
+	}
+	out := batchJSON{Seq: seq, Releases: make([]releaseJSON, len(rels))}
+	for i, rel := range rels {
+		out.Releases[i] = releaseToJSON(rel, seq, reqs[i].Attrs)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// cellJSON is the /v1/cell success response.
+type cellJSON struct {
+	Epoch  int      `json:"epoch"`
+	Seq    int64    `json:"seq"`
+	Attrs  []string `json:"attrs"`
+	Values []string `json:"values"`
+	Loss   lossJSON `json:"loss"`
+	Count  float64  `json:"count"`
+}
+
+// handleCell serves POST /v1/cell: one cell of a marginal (the paper's
+// single-query regime — no d·ε marginal surcharge).
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, t *privacy.Tenant) {
+	req, values, explicit, err := decodeRelease(r.Body, true)
+	if err != nil {
+		writeError(w, err, t.Acct)
+		return
+	}
+	seq := s.resolveSeq(t.Name, explicit)
+	noisy, _, loss, epoch, err := s.pub.ReleaseSingleCellFor(t.Acct, req, values, s.tenantStream(t.Name).SplitIndex("req", int(seq)))
+	if err != nil {
+		writeError(w, err, t.Acct)
+		return
+	}
+	writeJSON(w, http.StatusOK, cellJSON{
+		Epoch:  epoch,
+		Seq:    seq,
+		Attrs:  req.Attrs,
+		Values: values,
+		Loss:   lossToJSON(loss),
+		Count:  noisy,
+	})
+}
+
+// statsJSON is the /v1/stats response: the calling tenant's budget
+// position plus the publisher's per-epoch cache counters. Tenants see
+// only their own budget.
+type statsJSON struct {
+	Tenant         string           `json:"tenant"`
+	Definition     string           `json:"definition"`
+	Alpha          float64          `json:"alpha"`
+	SpentEps       float64          `json:"spent_eps"`
+	SpentDelta     float64          `json:"spent_delta"`
+	RemainingEps   float64          `json:"remaining_eps"`
+	RemainingDelta float64          `json:"remaining_delta"`
+	Releases       int              `json:"releases"`
+	SpendByEpoch   []epochSpendJSON `json:"spend_by_epoch"`
+	Epoch          int              `json:"epoch"`
+	Cache          []cacheStatsJSON `json:"cache"`
+}
+
+type epochSpendJSON struct {
+	Epoch    int     `json:"epoch"`
+	Eps      float64 `json:"eps"`
+	Delta    float64 `json:"delta"`
+	Releases int     `json:"releases"`
+}
+
+type cacheStatsJSON struct {
+	Epoch     int   `json:"epoch"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *privacy.Tenant) {
+	spent := t.Acct.Spent()
+	remEps, remDelta := t.Acct.Remaining()
+	ledger := t.Acct.SpendByEpoch()
+	out := statsJSON{
+		Tenant:         t.Name,
+		Definition:     config.DefinitionToken(spent.Def),
+		Alpha:          spent.Alpha,
+		SpentEps:       spent.Eps,
+		SpentDelta:     spent.Delta,
+		RemainingEps:   remEps,
+		RemainingDelta: remDelta,
+		Releases:       t.Acct.Releases(),
+		SpendByEpoch:   make([]epochSpendJSON, len(ledger)),
+		Epoch:          s.pub.Epoch(),
+	}
+	for i, e := range ledger {
+		out.SpendByEpoch[i] = epochSpendJSON{Epoch: e.Epoch, Eps: e.Eps, Delta: e.Delta, Releases: e.Releases}
+	}
+	for _, cs := range s.pub.CacheStatsByEpoch() {
+		out.Cache = append(out.Cache, cacheStatsJSON{Epoch: cs.Epoch, Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// advanceJSON is the /v1/admin/advance response.
+type advanceJSON struct {
+	Epoch    int              `json:"epoch"`
+	Quarters []advanceQuarter `json:"quarters"`
+}
+
+type advanceQuarter struct {
+	Epoch          int `json:"epoch"`
+	Jobs           int `json:"jobs"`
+	Establishments int `json:"establishments"`
+	Births         int `json:"births"`
+	Deaths         int `json:"deaths"`
+}
+
+// handleAdvance serves POST /v1/admin/advance: generate and absorb N
+// quarterly deltas under live load. Serving never stalls — in-flight
+// releases stay pinned to the snapshot they started on — and every
+// tenant's spend ledger advances in lockstep with the dataset epoch.
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	quarters, seedOverride, err := decodeAdvance(r.Body)
+	if err != nil {
+		writeError(w, err, nil)
+		return
+	}
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+	out := advanceJSON{Quarters: make([]advanceQuarter, 0, quarters)}
+	for q := 0; q < quarters; q++ {
+		seed := s.deltaSeed + int64(s.quartersAbsorbed)
+		if seedOverride != nil {
+			seed = *seedOverride + int64(q)
+		}
+		data := s.pub.Dataset()
+		dl, err := lodes.GenerateDelta(data, s.deltaCfg, dist.NewStreamFromSeed(seed))
+		if err != nil {
+			writeError(w, fmt.Errorf("quarter %d: %w", q, err), nil)
+			return
+		}
+		if err := s.pub.Advance(dl); err != nil {
+			writeError(w, fmt.Errorf("quarter %d: %w", q, err), nil)
+			return
+		}
+		// Every tenant's ledger follows the dataset epoch.
+		s.reg.AdvanceEpoch()
+		s.quartersAbsorbed++
+		next := s.pub.Dataset()
+		out.Quarters = append(out.Quarters, advanceQuarter{
+			Epoch:          s.pub.Epoch(),
+			Jobs:           next.NumJobs(),
+			Establishments: next.NumEstablishments(),
+			Births:         len(dl.Births),
+			Deaths:         len(dl.Deaths),
+		})
+	}
+	out.Epoch = s.pub.Epoch()
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestStatusMapping drives every rejection path through real HTTP and
+// pins the sentinel-to-status contract: transport/shape failures and
+// invalid mechanism parameters are 400, unknown schema objects are 404,
+// credentials are 401, method mismatches 405 — and none of them spends
+// a microcent of budget.
+func TestStatusMapping(t *testing.T) {
+	srv, hs := newTestServer(t, 1, Options{NoiseSeed: 7, AdminKey: keyAdmin}, nil)
+	tn, ok := srv.reg.Tenant("alpha")
+	if !ok {
+		t.Fatal("tenant alpha not registered")
+	}
+
+	valid := `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1}`
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		key    string
+		body   string
+		want   int
+	}{
+		{"malformed JSON", "POST", "/v1/release", keyAlpha, `{"attrs":`, 400},
+		{"unknown field", "POST", "/v1/release", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"bogus":1}`, 400},
+		{"trailing data", "POST", "/v1/release", keyAlpha, valid + `{"again":true}`, 400},
+		{"empty attrs", "POST", "/v1/release", keyAlpha, `{"attrs":[],"mechanism":"smooth-gamma","alpha":0.1,"eps":1}`, 400},
+		{"too many attrs", "POST", "/v1/release", keyAlpha, `{"attrs":["a","b","c","d","e","f","g","h","i"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1}`, 400},
+		{"empty attr name", "POST", "/v1/release", keyAlpha, `{"attrs":[""],"mechanism":"smooth-gamma","alpha":0.1,"eps":1}`, 400},
+		{"values on /v1/release", "POST", "/v1/release", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"values":["44-Retail"]}`, 400},
+		{"unknown mechanism", "POST", "/v1/release", keyAlpha, `{"attrs":["industry"],"mechanism":"magic","alpha":0.1,"eps":1}`, 400},
+		{"negative eps", "POST", "/v1/release", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":-1}`, 400},
+		{"zero alpha", "POST", "/v1/release", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0,"eps":1}`, 400},
+		{"smooth-laplace without delta", "POST", "/v1/release", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-laplace","alpha":0.1,"eps":1}`, 400},
+		{"negative seq", "POST", "/v1/release", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"seq":-1}`, 400},
+		{"huge seq", "POST", "/v1/release", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"seq":2147483648}`, 400},
+		{"unknown attribute", "POST", "/v1/release", keyAlpha, `{"attrs":["favorite_color"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1}`, 404},
+		{"duplicate attribute", "POST", "/v1/release", keyAlpha, `{"attrs":["industry","industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1}`, 404},
+		{"empty batch", "POST", "/v1/batch", keyAlpha, `{"requests":[]}`, 400},
+		{"oversized batch", "POST", "/v1/batch", keyAlpha, `{"requests":[` + strings.Repeat(valid+",", 64) + valid + `]}`, 400},
+		{"batch with bad member", "POST", "/v1/batch", keyAlpha, `{"requests":[` + valid + `,{"attrs":["industry"],"mechanism":"magic","alpha":0.1,"eps":1}]}`, 400},
+		{"cell with unknown value", "POST", "/v1/cell", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"values":["99-Nonsense"]}`, 404},
+		{"cell with wrong arity", "POST", "/v1/cell", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"values":["44-Retail","Private"]}`, 404},
+		{"cell under truncated-laplace", "POST", "/v1/cell", keyAlpha, `{"attrs":["industry"],"mechanism":"truncated-laplace","alpha":0.1,"eps":1,"theta":10,"values":["44-Retail"]}`, 400},
+		{"oversized body", "POST", "/v1/release", keyAlpha, `{"attrs":["` + strings.Repeat("x", maxBodyBytes) + `"]}`, 400},
+		{"missing API key", "POST", "/v1/release", "", valid, 401},
+		{"unknown API key", "POST", "/v1/release", "key-of-nobody", valid, 401},
+		{"tenant key on admin endpoint", "POST", "/v1/admin/advance", keyAlpha, `{"quarters":1}`, 401},
+		{"advance zero quarters", "POST", "/v1/admin/advance", keyAdmin, `{"quarters":0}`, 400},
+		{"advance too many quarters", "POST", "/v1/admin/advance", keyAdmin, `{"quarters":17}`, 400},
+		{"GET on POST endpoint", "GET", "/v1/release", keyAlpha, "", 405},
+		{"unknown path", "POST", "/v1/nope", keyAlpha, valid, 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := do(t, hs, tc.method, tc.path, tc.key, tc.body)
+			if status != tc.want {
+				t.Fatalf("%s %s = %d, want %d: %s", tc.method, tc.path, status, tc.want, body)
+			}
+			if spent := tn.Acct.Spent(); spent.Eps != 0 || spent.Delta != 0 {
+				t.Fatalf("rejected request spent budget: %+v", spent)
+			}
+		})
+	}
+}
+
+// TestBudgetStatusAndStats exhausts a small budget over the wire and
+// checks the 429 shape and the stats endpoint's view of the spend.
+func TestBudgetStatusAndStats(t *testing.T) {
+	tenants := []tenantSpec{{name: "alpha", key: keyAlpha, eps: 2.5, delta: 0.5}}
+	_, hs := newTestServer(t, 1, Options{NoiseSeed: 7}, tenants)
+
+	body := `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":2,"seq":0}`
+	if status, raw := do(t, hs, "POST", "/v1/release", keyAlpha, body); status != http.StatusOK {
+		t.Fatalf("first release = %d: %s", status, raw)
+	}
+	status, raw := do(t, hs, "POST", "/v1/release", keyAlpha, body)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("exhausted release = %d, want 429: %s", status, raw)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.RemainingEps == nil || *eb.RemainingEps != 0.5 {
+		t.Fatalf("429 remaining eps = %v, want 0.5", eb.RemainingEps)
+	}
+
+	status, raw = do(t, hs, "GET", "/v1/stats", keyAlpha, "")
+	if status != http.StatusOK {
+		t.Fatalf("stats = %d: %s", status, raw)
+	}
+	var stats statsJSON
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tenant != "alpha" || stats.Definition != "weak-er-ee" {
+		t.Errorf("stats identity = %s/%s, want alpha/weak-er-ee", stats.Tenant, stats.Definition)
+	}
+	if stats.SpentEps != 2 || stats.RemainingEps != 0.5 || stats.Releases != 1 {
+		t.Errorf("stats budget view = spent %g / remaining %g / %d releases, want 2 / 0.5 / 1",
+			stats.SpentEps, stats.RemainingEps, stats.Releases)
+	}
+	if len(stats.SpendByEpoch) != 1 || stats.SpendByEpoch[0].Epoch != 0 || stats.SpendByEpoch[0].Eps != 2 {
+		t.Errorf("stats ledger = %+v, want one epoch-0 entry with eps 2", stats.SpendByEpoch)
+	}
+	if len(stats.Cache) == 0 {
+		t.Error("stats carries no cache counters")
+	}
+}

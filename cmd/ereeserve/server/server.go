@@ -1,0 +1,133 @@
+// Package server implements the ereeserve HTTP/JSON front-end over the
+// publisher: a multi-tenant networked release service.
+//
+// One Server wraps one core.Publisher (one versioned dataset, one
+// shared truth cache — truth is free in privacy terms, so tenants share
+// it) and a privacy.Registry mapping API keys to tenants, each with its
+// own budget accountant. Endpoints:
+//
+//	POST /v1/release        one marginal release
+//	POST /v1/batch          many releases, atomically accounted, with
+//	                        fail-fast admission control (429 + remaining
+//	                        budget before any scan or noise is paid for)
+//	POST /v1/cell           one cell of a marginal
+//	GET  /v1/stats          the calling tenant's budget + cache/epoch stats
+//	POST /v1/admin/advance  absorb quarterly deltas under live load (admin key)
+//	GET  /healthz           liveness + current epoch (no auth)
+//
+// # Determinism contract over the wire
+//
+// A release's noise stream is Split("tenant:"+name).SplitIndex("req",
+// seq) of the server's root noise stream, where seq is either supplied
+// by the client or assigned from the tenant's own counter. Responses
+// are rendered with a fixed field order and Go's deterministic float
+// formatting, so the same (noise seed, dataset, tenant, seq, request,
+// epoch) yields bit-identical response bytes — across runs, across
+// concurrent load, across the race detector. What other tenants do, and
+// how requests interleave, never shows in a tenant's bytes; only the
+// dataset epoch a request lands on is scheduling-dependent (and is
+// reported in the response).
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/privacy"
+)
+
+// Server is the multi-tenant release service. Create with New, expose
+// via Handler.
+type Server struct {
+	pub *core.Publisher
+	reg *privacy.Registry
+	// noise is the root noise stream identity. Only pure derivations
+	// (Split/SplitIndex) are ever called on it, which read the immutable
+	// identity and never advance state, so concurrent use is safe.
+	noise    *dist.Stream
+	adminKey string
+	deltaCfg lodes.DeltaConfig
+	// deltaSeed roots admin-advance delta generation.
+	deltaSeed int64
+	// advMu serializes admin advances: each generated delta must be
+	// based on the snapshot the previous one produced.
+	advMu sync.Mutex
+	// quartersAbsorbed numbers generated deltas across advance calls
+	// (quarter q draws from deltaSeed+q), so an advance sequence is
+	// reproducible regardless of how it is split into calls.
+	quartersAbsorbed int
+	// seqs assigns per-tenant sequence numbers to requests that do not
+	// carry one: map[string]*atomic.Int64 keyed by tenant name.
+	seqs sync.Map
+}
+
+// Options configure a Server beyond its publisher and tenants.
+type Options struct {
+	// NoiseSeed roots every noise stream the server draws from.
+	NoiseSeed int64
+	// AdminKey authorizes /v1/admin endpoints; empty disables them.
+	AdminKey string
+	// DeltaSeed roots admin-advance delta generation (quarter q of the
+	// server's lifetime draws from DeltaSeed+q).
+	DeltaSeed int64
+	// DeltaConfig parameterizes generated quarterly deltas; zero value
+	// means lodes.DefaultDeltaConfig().
+	DeltaConfig *lodes.DeltaConfig
+}
+
+// New creates a server over the publisher and tenant registry.
+func New(pub *core.Publisher, reg *privacy.Registry, opts Options) *Server {
+	cfg := lodes.DefaultDeltaConfig()
+	if opts.DeltaConfig != nil {
+		cfg = *opts.DeltaConfig
+	}
+	return &Server{
+		pub:       pub,
+		reg:       reg,
+		noise:     dist.NewStreamFromSeed(opts.NoiseSeed),
+		adminKey:  opts.AdminKey,
+		deltaCfg:  cfg,
+		deltaSeed: opts.DeltaSeed,
+	}
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/release", s.withTenant(s.handleRelease))
+	mux.HandleFunc("POST /v1/batch", s.withTenant(s.handleBatch))
+	mux.HandleFunc("POST /v1/cell", s.withTenant(s.handleCell))
+	mux.HandleFunc("GET /v1/stats", s.withTenant(s.handleStats))
+	mux.HandleFunc("POST /v1/admin/advance", s.withAdmin(s.handleAdvance))
+	return http.MaxBytesHandler(mux, maxBodyBytes)
+}
+
+// tenantStream derives the root stream of one tenant's noise. Labeling
+// by name (not key) means rotating a tenant's API key never changes its
+// released values.
+func (s *Server) tenantStream(name string) *dist.Stream {
+	return s.noise.Split("tenant:" + name)
+}
+
+// nextSeq assigns the tenant's next request sequence number.
+func (s *Server) nextSeq(name string) int64 {
+	v, ok := s.seqs.Load(name)
+	if !ok {
+		v, _ = s.seqs.LoadOrStore(name, new(atomic.Int64))
+	}
+	return v.(*atomic.Int64).Add(1) - 1
+}
+
+// resolveSeq picks the request's sequence number: the client's explicit
+// one if present (validated by the decoder), else the tenant's counter.
+func (s *Server) resolveSeq(name string, explicit *int64) int64 {
+	if explicit != nil {
+		return *explicit
+	}
+	return s.nextSeq(name)
+}

@@ -24,6 +24,16 @@ import (
 // for each request in order, regardless of scheduling. Releases are
 // returned positionally aligned with the requests.
 func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, error) {
+	return p.ReleaseBatchFor(p.accountant, reqs, s)
+}
+
+// ReleaseBatchFor is ReleaseBatch charging an explicit accountant
+// instead of the publisher's attached one (see ReleaseMarginalFor) —
+// including the fail-fast admission check: a batch whose summed loss
+// exceeds the accountant's remaining budget is rejected before any scan
+// or noise is paid for, with ErrBudgetExhausted in the error chain. A
+// nil accountant releases unaccounted.
+func (p *Publisher) ReleaseBatchFor(a *privacy.Accountant, reqs []Request, s *dist.Stream) ([]*Release, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
@@ -45,16 +55,16 @@ func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, er
 		}
 		losses[i] = loss
 	}
-	if p.accountant != nil {
+	if a != nil {
 		var sumEps, sumDelta float64
 		for _, l := range losses {
 			sumEps += l.Eps
 			sumDelta += l.Delta
 		}
-		remEps, remDelta := p.accountant.Remaining()
+		remEps, remDelta := a.Remaining()
 		if sumEps > remEps+1e-12 || sumDelta > remDelta+1e-15 {
-			return nil, fmt.Errorf("core: batch blocked: batch loss (eps=%g, delta=%g) exceeds remaining budget (eps=%g, delta=%g)",
-				sumEps, sumDelta, remEps, remDelta)
+			return nil, fmt.Errorf("core: batch blocked: %w: batch loss (eps=%g, delta=%g) exceeds remaining budget (eps=%g, delta=%g)",
+				privacy.ErrBudgetExhausted, sumEps, sumDelta, remEps, remDelta)
 		}
 	}
 	// One scan for every marginal the batch needs. Requests with invalid
@@ -108,8 +118,8 @@ func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, er
 		}
 	}
 
-	if p.accountant != nil {
-		if err := p.accountant.SpendAll(losses); err != nil {
+	if a != nil {
+		if err := a.SpendAll(losses); err != nil {
 			return nil, fmt.Errorf("core: batch blocked: %w", err)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -347,12 +348,13 @@ func (c *marginalCache) seed(entries map[string]*marginalEntry) {
 func exactKey(attrs []string) string { return strings.Join(attrs, "\x1f") }
 
 // canonicalAttrs returns the attribute names sorted in schema order —
-// the cache's canonical form — or an error for unknown names.
+// the cache's canonical form — or an ErrUnknownMarginal for attribute
+// lists the schema cannot compile.
 func (sn *epochSnapshot) canonicalAttrs(attrs []string) ([]string, error) {
 	schema := sn.data.Schema()
 	idx, err := schema.Resolve(attrs)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrUnknownMarginal, err)
 	}
 	sort.Ints(idx)
 	out := make([]string, len(idx))

@@ -1,0 +1,25 @@
+package core
+
+import "errors"
+
+// Sentinel errors classifying why a release request failed, so callers
+// serving the publisher over a network can map failures to transport
+// status codes (400 / 404 / 429) with errors.Is instead of matching
+// message text. Budget failures are not redeclared here: the publisher
+// wraps the accountant's privacy.ErrBudgetExhausted and
+// privacy.ErrIncompatibleLoss, and errors.Is sees through the wrap.
+var (
+	// ErrUnknownMarginal: the request names an attribute set the
+	// dataset's schema cannot compile — an unknown attribute name or an
+	// attribute listed twice.
+	ErrUnknownMarginal = errors.New("core: unknown marginal")
+	// ErrUnknownCell: the attribute values do not identify a cell of the
+	// (valid) marginal — an unknown category value or the wrong number
+	// of values.
+	ErrUnknownCell = errors.New("core: unknown cell")
+	// ErrInvalidRequest: the request's mechanism or parameters are
+	// malformed — an unknown mechanism name, parameters outside the
+	// mechanism's validity region, or a mechanism/endpoint mismatch
+	// (e.g. a single-cell release under truncated-laplace).
+	ErrInvalidRequest = errors.New("core: invalid request")
+)

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/privacy"
+)
+
+// TestReleaseErrorSentinels: every failure mode of the release paths
+// carries a typed sentinel, so a serving layer maps errors to status
+// codes with errors.Is instead of string-matching. The table runs each
+// scenario through ReleaseMarginal; batch and single-cell variants are
+// covered below.
+func TestReleaseErrorSentinels(t *testing.T) {
+	d := smallDataset(t, 71)
+	acct, err := privacy.NewAccountant(privacy.WeakEREE, 0.1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPublisher(d).WithAccountant(acct)
+	good := Request{Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}
+
+	cases := []struct {
+		desc string
+		req  Request
+		want error
+	}{
+		{"unknown attribute", Request{Attrs: []string{"place", "starsign"}, Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}, ErrUnknownMarginal},
+		{"duplicate attribute", Request{Attrs: []string{"place", "place"}, Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}, ErrUnknownMarginal},
+		{"negative eps", Request{Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: -1}, ErrInvalidRequest},
+		{"zero alpha", Request{Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0, Eps: 2}, ErrInvalidRequest},
+		{"unknown mechanism kind", Request{Attrs: workload1Attrs(), Mechanism: MechanismKind(99), Alpha: 0.1, Eps: 2}, ErrInvalidRequest},
+		{"smooth-laplace without delta", Request{Attrs: workload1Attrs(), Mechanism: MechSmoothLaplace, Alpha: 0.1, Eps: 2, Delta: 0}, ErrInvalidRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.desc, func(t *testing.T) {
+			_, err := p.ReleaseMarginal(c.req, dist.NewStreamFromSeed(1))
+			if !errors.Is(err, c.want) {
+				t.Fatalf("ReleaseMarginal error = %v, want errors.Is %v", err, c.want)
+			}
+			// Failed requests must never spend budget.
+			if eps, _ := acct.Remaining(); eps != 2 {
+				t.Fatalf("failed request spent budget: remaining eps = %g, want 2", eps)
+			}
+			// The batch path classifies the same failures identically.
+			_, err = p.ReleaseBatch([]Request{c.req}, dist.NewStreamFromSeed(1))
+			if !errors.Is(err, c.want) {
+				t.Fatalf("ReleaseBatch error = %v, want errors.Is %v", err, c.want)
+			}
+		})
+	}
+
+	// Budget exhaustion carries privacy.ErrBudgetExhausted through the
+	// core wrap, on all three release paths.
+	if _, err := p.ReleaseMarginal(good, dist.NewStreamFromSeed(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReleaseMarginal(good, dist.NewStreamFromSeed(3)); !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Fatalf("over-budget ReleaseMarginal = %v, want ErrBudgetExhausted", err)
+	}
+	if _, err := p.ReleaseBatch([]Request{good}, dist.NewStreamFromSeed(4)); !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Fatalf("over-budget ReleaseBatch = %v, want ErrBudgetExhausted", err)
+	}
+	if _, _, _, err := p.ReleaseSingleCell(good, []string{lodes.PlaceName(0), "44-Retail", "Private"}, dist.NewStreamFromSeed(5)); !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Fatalf("over-budget ReleaseSingleCell = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestSingleCellErrorSentinels: the single-cell path's own failure
+// modes — unknown cell values, wrong arity, marginal-level mechanism.
+func TestSingleCellErrorSentinels(t *testing.T) {
+	p := NewPublisher(smallDataset(t, 72))
+	good := Request{Attrs: []string{lodes.AttrPlace}, Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}
+
+	if _, _, _, err := p.ReleaseSingleCell(good, []string{"not-a-place"}, dist.NewStreamFromSeed(1)); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("unknown value error = %v, want ErrUnknownCell", err)
+	}
+	if _, _, _, err := p.ReleaseSingleCell(good, []string{lodes.PlaceName(0), "extra"}, dist.NewStreamFromSeed(1)); !errors.Is(err, ErrUnknownCell) {
+		t.Fatalf("wrong arity error = %v, want ErrUnknownCell", err)
+	}
+	trunc := good
+	trunc.Mechanism = MechTruncatedLaplace
+	if _, _, _, err := p.ReleaseSingleCell(trunc, []string{lodes.PlaceName(0)}, dist.NewStreamFromSeed(1)); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("truncated-laplace single cell error = %v, want ErrInvalidRequest", err)
+	}
+	bad := good
+	bad.Attrs = []string{"starsign"}
+	if _, _, _, err := p.ReleaseSingleCell(bad, []string{"aries"}, dist.NewStreamFromSeed(1)); !errors.Is(err, ErrUnknownMarginal) {
+		t.Fatalf("unknown attribute error = %v, want ErrUnknownMarginal", err)
+	}
+}
+
+// TestParseMechanismKindSentinel: command-line / wire mechanism parsing
+// classifies unknown names as invalid requests.
+func TestParseMechanismKindSentinel(t *testing.T) {
+	if _, err := ParseMechanismKind("smooth-cauchy"); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("ParseMechanismKind error = %v, want ErrInvalidRequest", err)
+	}
+	if k, err := ParseMechanismKind("smooth-gamma"); err != nil || k != MechSmoothGamma {
+		t.Fatalf("ParseMechanismKind(smooth-gamma) = %v, %v", k, err)
+	}
+}
+
+// TestReleaseForPerTenantAccounting: the *For variants charge the given
+// accountant, not the publisher's attached one, and a nil accountant
+// releases unaccounted — the multi-tenant serving contract.
+func TestReleaseForPerTenantAccounting(t *testing.T) {
+	d := smallDataset(t, 73)
+	attached, _ := privacy.NewAccountant(privacy.WeakEREE, 0.1, 100, 0)
+	tenantA, _ := privacy.NewAccountant(privacy.WeakEREE, 0.1, 10, 0)
+	tenantB, _ := privacy.NewAccountant(privacy.WeakEREE, 0.1, 3, 0)
+	p := NewPublisher(d).WithAccountant(attached)
+	req := Request{Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}
+
+	if _, err := p.ReleaseMarginalFor(tenantA, req, dist.NewStreamFromSeed(1)); err != nil {
+		t.Fatal(err)
+	}
+	if eps, _ := tenantA.Remaining(); eps != 8 {
+		t.Fatalf("tenant A remaining = %g, want 8", eps)
+	}
+	if eps, _ := attached.Remaining(); eps != 100 {
+		t.Fatalf("attached accountant charged by ReleaseMarginalFor: remaining = %g", eps)
+	}
+
+	// Batch admission control fails fast against the given accountant.
+	batch := []Request{req, req}
+	if _, err := p.ReleaseBatchFor(tenantB, batch, dist.NewStreamFromSeed(2)); !errors.Is(err, privacy.ErrBudgetExhausted) {
+		t.Fatalf("over-budget batch for tenant B = %v, want ErrBudgetExhausted", err)
+	}
+	if eps, _ := tenantB.Remaining(); eps != 3 {
+		t.Fatalf("rejected batch spent tenant B budget: remaining = %g, want 3", eps)
+	}
+	if _, err := p.ReleaseBatchFor(tenantA, batch, dist.NewStreamFromSeed(2)); err != nil {
+		t.Fatal(err)
+	}
+	if eps, _ := tenantA.Remaining(); eps != 4 {
+		t.Fatalf("tenant A remaining after batch = %g, want 4", eps)
+	}
+
+	// Nil accountant: unaccounted release, attached accountant untouched.
+	if _, err := p.ReleaseMarginalFor(nil, req, dist.NewStreamFromSeed(3)); err != nil {
+		t.Fatal(err)
+	}
+	if eps, _ := attached.Remaining(); eps != 100 {
+		t.Fatalf("nil-accountant release charged attached accountant: remaining = %g", eps)
+	}
+
+	// The plain methods still charge the attached accountant.
+	if _, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(4)); err != nil {
+		t.Fatal(err)
+	}
+	if eps, _ := attached.Remaining(); eps != 98 {
+		t.Fatalf("attached remaining = %g, want 98", eps)
+	}
+}

@@ -62,7 +62,7 @@ func ParseMechanismKind(name string) (MechanismKind, error) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown mechanism %q", name)
+	return 0, fmt.Errorf("%w: unknown mechanism %q", ErrInvalidRequest, name)
 }
 
 // Request describes one release: the marginal to publish and the
@@ -192,25 +192,34 @@ func definitionFor(kind MechanismKind, attrs []string) privacy.Definition {
 }
 
 // cellMechanism constructs the cell-level mechanism for a request, or an
-// error when the parameters fall outside its validity region.
+// ErrInvalidRequest when the parameters fall outside its validity region
+// (or the kind itself is not a cell-level mechanism).
 func cellMechanism(req Request) (mech.CellMechanism, error) {
+	var m mech.CellMechanism
+	var err error
 	switch req.Mechanism {
 	case MechLogLaplace:
-		return mech.NewLogLaplace(req.Alpha, req.Eps)
+		m, err = mech.NewLogLaplace(req.Alpha, req.Eps)
 	case MechSmoothGamma:
-		return mech.NewSmoothGamma(req.Alpha, req.Eps)
+		m, err = mech.NewSmoothGamma(req.Alpha, req.Eps)
 	case MechSmoothLaplace:
-		return mech.NewSmoothLaplace(req.Alpha, req.Eps, req.Delta)
+		m, err = mech.NewSmoothLaplace(req.Alpha, req.Eps, req.Delta)
 	case MechEdgeLaplace:
-		return mech.NewEdgeLaplace(req.Eps)
+		m, err = mech.NewEdgeLaplace(req.Eps)
 	case MechTruncatedLaplace:
-		return nil, fmt.Errorf("core: truncated-laplace is a marginal-level mechanism")
+		return nil, fmt.Errorf("%w: truncated-laplace is a marginal-level mechanism", ErrInvalidRequest)
+	default:
+		return nil, fmt.Errorf("%w: unknown mechanism kind %v", ErrInvalidRequest, req.Mechanism)
 	}
-	return nil, fmt.Errorf("core: unknown mechanism kind %v", req.Mechanism)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	return m, nil
 }
 
 // lossFor derives the effective privacy loss of releasing the full
-// marginal under the request.
+// marginal under the request. A loss outside the definition's validity
+// region is an ErrInvalidRequest.
 func lossFor(req Request, def privacy.Definition, schema *table.Schema) (privacy.Loss, error) {
 	alpha := req.Alpha
 	if def == privacy.EdgeDP || def == privacy.NodeDP {
@@ -220,22 +229,38 @@ func lossFor(req Request, def privacy.Definition, schema *table.Schema) (privacy
 	if def == privacy.EdgeDP || def == privacy.NodeDP {
 		// Classical DP: marginal cells partition the records (edge-DP) or
 		// establishments (node-DP), so parallel composition gives ε.
-		return cellLoss, cellLoss.Validate()
+		if err := cellLoss.Validate(); err != nil {
+			return cellLoss, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+		}
+		return cellLoss, nil
 	}
 	d := lodes.WorkerAttrDomainSize(schema, req.Attrs)
-	return privacy.MarginalLoss(cellLoss, d)
+	loss, err := privacy.MarginalLoss(cellLoss, d)
+	if err != nil {
+		return privacy.Loss{}, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	return loss, nil
 }
 
 // ReleaseMarginal answers a marginal query under the request. The truth
 // is served from the pinned snapshot's marginal cache (computed on
 // first use); the noise is drawn fresh from the given stream per cell.
 func (p *Publisher) ReleaseMarginal(req Request, s *dist.Stream) (*Release, error) {
+	return p.ReleaseMarginalFor(p.accountant, req, s)
+}
+
+// ReleaseMarginalFor is ReleaseMarginal charging an explicit accountant
+// instead of the publisher's attached one — the multi-tenant serving
+// shape, where one publisher (one dataset, one shared truth cache)
+// fronts many tenants each with their own budget. A nil accountant
+// releases unaccounted.
+func (p *Publisher) ReleaseMarginalFor(a *privacy.Accountant, req Request, s *dist.Stream) (*Release, error) {
 	rel, err := p.releaseUnaccounted(p.snap.Load(), req, s)
 	if err != nil {
 		return nil, err
 	}
-	if p.accountant != nil {
-		if err := p.accountant.Spend(rel.Loss); err != nil {
+	if a != nil {
+		if err := a.Spend(rel.Loss); err != nil {
 			return nil, fmt.Errorf("core: release blocked: %w", err)
 		}
 	}
@@ -269,7 +294,7 @@ func (p *Publisher) releaseWithLoss(sn *epochSnapshot, req Request, loss privacy
 	case MechTruncatedLaplace:
 		m, err := mech.NewTruncatedLaplace(req.Eps, req.Theta)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 		}
 		noisy, trunc, err := m.ReleaseMarginal(sn.data.WorkerFull, q, s)
 		if err != nil {
@@ -298,9 +323,21 @@ func (p *Publisher) releaseWithLoss(sn *epochSnapshot, req Request, loss privacy
 // marginal surcharge — that surcharge only arises when the full
 // worker-attribute marginal is released under weak privacy.
 func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.Stream) (noisy float64, truth int64, loss privacy.Loss, err error) {
+	noisy, truth, loss, _, err = p.ReleaseSingleCellFor(p.accountant, req, cellValues, s)
+	return noisy, truth, loss, err
+}
+
+// ReleaseSingleCellFor is ReleaseSingleCell charging an explicit
+// accountant instead of the publisher's attached one (see
+// ReleaseMarginalFor). A nil accountant releases unaccounted. It also
+// reports the epoch of the snapshot the cell was read from, pinned
+// atomically with the read — a serving layer cannot learn it otherwise
+// without racing a concurrent Advance.
+func (p *Publisher) ReleaseSingleCellFor(a *privacy.Accountant, req Request, cellValues []string, s *dist.Stream) (noisy float64, truth int64, loss privacy.Loss, epoch int, err error) {
 	sn := p.snap.Load()
+	epoch = sn.epoch
 	if req.Mechanism == MechTruncatedLaplace {
-		return 0, 0, privacy.Loss{}, fmt.Errorf("core: single-cell release not defined for truncated-laplace")
+		return 0, 0, privacy.Loss{}, epoch, fmt.Errorf("%w: single-cell release not defined for truncated-laplace", ErrInvalidRequest)
 	}
 	// Cheap parameter validation first, so a malformed request is
 	// rejected before it can trigger (and cache) a full-table scan.
@@ -311,11 +348,11 @@ func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.
 	}
 	loss = privacy.Loss{Def: def, Alpha: alpha, Eps: req.Eps, Delta: req.Delta}
 	if err := loss.Validate(); err != nil {
-		return 0, 0, privacy.Loss{}, err
+		return 0, 0, privacy.Loss{}, epoch, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 	}
 	m, err := cellMechanism(req)
 	if err != nil {
-		return 0, 0, privacy.Loss{}, err
+		return 0, 0, privacy.Loss{}, epoch, err
 	}
 	// One cell never justifies a fresh full-table scan (or even a fresh
 	// query compilation): serve the cell's statistics from the pinned
@@ -323,24 +360,24 @@ func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.
 	// in the request's attribute order.
 	entry, err := sn.marginalFor(req.Attrs)
 	if err != nil {
-		return 0, 0, privacy.Loss{}, err
+		return 0, 0, privacy.Loss{}, epoch, err
 	}
 	cell, err := entry.q.CellKeyForValues(cellValues...)
 	if err != nil {
-		return 0, 0, privacy.Loss{}, err
+		return 0, 0, privacy.Loss{}, epoch, fmt.Errorf("%w: %v", ErrUnknownCell, err)
 	}
 	marg := entry.m
 	in := entry.cells[cell]
 	v, err := m.ReleaseCell(in, s)
 	if err != nil {
-		return 0, 0, privacy.Loss{}, err
+		return 0, 0, privacy.Loss{}, epoch, err
 	}
-	if p.accountant != nil {
-		if err := p.accountant.Spend(loss); err != nil {
-			return 0, 0, privacy.Loss{}, fmt.Errorf("core: release blocked: %w", err)
+	if a != nil {
+		if err := a.Spend(loss); err != nil {
+			return 0, 0, privacy.Loss{}, epoch, fmt.Errorf("core: release blocked: %w", err)
 		}
 	}
-	return v, marg.Counts[cell], loss, nil
+	return v, marg.Counts[cell], loss, epoch, nil
 }
 
 // CellInputs converts a computed marginal into the per-cell inputs the

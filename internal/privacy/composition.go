@@ -1,9 +1,23 @@
 package privacy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+)
+
+// Sentinel errors for the accountant's failure modes, so callers —
+// HTTP front-ends in particular — can map outcomes to behavior
+// (reject-with-retry-later vs reject-as-malformed) with errors.Is
+// instead of matching message text.
+var (
+	// ErrBudgetExhausted: the charge would push the spent (ε, δ) past
+	// the accountant's total budget. Nothing was spent.
+	ErrBudgetExhausted = errors.New("privacy: budget exhausted")
+	// ErrIncompatibleLoss: the loss's definition or α does not compose
+	// with the accountant's (mixing them has no composition semantics).
+	ErrIncompatibleLoss = errors.New("privacy: loss incompatible with accountant")
 )
 
 // Loss is a privacy-loss triple (α, ε, δ). δ = 0 for pure definitions.
@@ -230,7 +244,7 @@ func (a *Accountant) SpendAll(losses []Loss) error {
 	var sumEps, sumDelta float64
 	for _, l := range losses {
 		if !Implies(l.Def, a.def) || l.Alpha != a.alpha {
-			return fmt.Errorf("privacy: accountant is for %v(alpha=%g), got %v", a.def, a.alpha, l)
+			return fmt.Errorf("%w: accountant is for %v(alpha=%g), got %v", ErrIncompatibleLoss, a.def, a.alpha, l)
 		}
 		if err := l.Validate(); err != nil {
 			return err
@@ -241,12 +255,12 @@ func (a *Accountant) SpendAll(losses []Loss) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.spentEps+sumEps > a.budgetEps+1e-12 {
-		return fmt.Errorf("privacy: eps budget exhausted: spent %g + %g > %g",
-			a.spentEps, sumEps, a.budgetEps)
+		return fmt.Errorf("%w: eps spent %g + %g > %g",
+			ErrBudgetExhausted, a.spentEps, sumEps, a.budgetEps)
 	}
 	if a.spentDelta+sumDelta > a.budgetDelta+1e-15 {
-		return fmt.Errorf("privacy: delta budget exhausted: spent %g + %g > %g",
-			a.spentDelta, sumDelta, a.budgetDelta)
+		return fmt.Errorf("%w: delta spent %g + %g > %g",
+			ErrBudgetExhausted, a.spentDelta, sumDelta, a.budgetDelta)
 	}
 	a.spentEps += sumEps
 	a.spentDelta += sumDelta

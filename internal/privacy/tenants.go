@@ -1,0 +1,110 @@
+package privacy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Tenant is one named consumer of a shared release pipeline, carrying
+// its own budget accountant. A multi-tenant front-end holds one
+// publisher (one dataset, one shared truth cache — the truth is free in
+// privacy terms) but charges each tenant's releases against that
+// tenant's accountant alone, so one tenant exhausting its budget can
+// never block another's releases.
+type Tenant struct {
+	// Name identifies the tenant in stats and logs. Unlike the API key
+	// it is not a secret.
+	Name string
+	// Acct is the tenant's private budget accountant.
+	Acct *Accountant
+}
+
+// Registry maps opaque API keys to tenants. It is safe for concurrent
+// use; registration is expected at configuration time, lookups on every
+// request.
+type Registry struct {
+	mu     sync.RWMutex
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+}
+
+// NewRegistry returns an empty tenant registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey:  make(map[string]*Tenant),
+		byName: make(map[string]*Tenant),
+	}
+}
+
+// Register adds a tenant under the given API key. Names and keys must
+// be non-empty and unique: two tenants sharing a key would alias one
+// budget, and a reused name would make spend attribution ambiguous.
+func (r *Registry) Register(name, key string, a *Accountant) (*Tenant, error) {
+	if name == "" || key == "" {
+		return nil, fmt.Errorf("privacy: tenant name and API key must be non-empty")
+	}
+	if a == nil {
+		return nil, fmt.Errorf("privacy: tenant %q needs an accountant", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return nil, fmt.Errorf("privacy: duplicate tenant name %q", name)
+	}
+	if _, ok := r.byKey[key]; ok {
+		return nil, fmt.Errorf("privacy: duplicate API key for tenant %q", name)
+	}
+	t := &Tenant{Name: name, Acct: a}
+	r.byName[name] = t
+	r.byKey[key] = t
+	return t, nil
+}
+
+// Lookup resolves an API key to its tenant.
+func (r *Registry) Lookup(key string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byKey[key]
+	return t, ok
+}
+
+// Tenant returns the tenant registered under the (non-secret) name.
+func (r *Registry) Tenant(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.byName[name]
+	return t, ok
+}
+
+// Tenants returns every registered tenant, sorted by name so callers
+// iterating the registry (stats endpoints, epoch advances) behave
+// deterministically.
+func (r *Registry) Tenants() []*Tenant {
+	r.mu.RLock()
+	out := make([]*Tenant, 0, len(r.byName))
+	for _, t := range r.byName {
+		out = append(out, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered tenants.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}
+
+// AdvanceEpoch advances every tenant's spend-by-epoch ledger, in name
+// order. The serving layer calls this when its publisher absorbs a
+// quarterly delta, so each tenant's subsequent charges are attributed
+// to the new dataset epoch. Budgets are untouched — epochs compose
+// sequentially, an update never refreshes anyone's privacy.
+func (r *Registry) AdvanceEpoch() {
+	for _, t := range r.Tenants() {
+		t.Acct.AdvanceEpoch()
+	}
+}

@@ -1,0 +1,147 @@
+package privacy
+
+import (
+	"errors"
+	"testing"
+)
+
+func testAccountant(t *testing.T, eps float64) *Accountant {
+	t.Helper()
+	a, err := NewAccountant(WeakEREE, 0.1, eps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	ta, err := r.Register("alice", "key-a", testAccountant(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("bob", "key-b", testAccountant(t, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := r.Lookup("key-a"); !ok || got != ta {
+		t.Fatalf("Lookup(key-a) = %v, %v; want alice's tenant", got, ok)
+	}
+	if _, ok := r.Lookup("key-c"); ok {
+		t.Fatal("Lookup of unregistered key succeeded")
+	}
+	if got, ok := r.Tenant("alice"); !ok || got != ta {
+		t.Fatalf("Tenant(alice) = %v, %v; want alice's tenant", got, ok)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndEmpties(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("alice", "key-a", testAccountant(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		desc, name, key string
+		acct            *Accountant
+	}{
+		{"duplicate name", "alice", "key-x", testAccountant(t, 1)},
+		{"duplicate key", "carol", "key-a", testAccountant(t, 1)},
+		{"empty name", "", "key-y", testAccountant(t, 1)},
+		{"empty key", "dave", "", testAccountant(t, 1)},
+		{"nil accountant", "erin", "key-z", nil},
+	}
+	for _, c := range cases {
+		if _, err := r.Register(c.name, c.key, c.acct); err == nil {
+			t.Errorf("%s: Register succeeded, want error", c.desc)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("failed registrations changed the registry: Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRegistryTenantsSortedByName(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zoe", "alice", "mallory"} {
+		if _, err := r.Register(name, "key-"+name, testAccountant(t, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Tenants()
+	want := []string{"alice", "mallory", "zoe"}
+	for i, w := range want {
+		if got[i].Name != w {
+			t.Fatalf("Tenants()[%d] = %q, want %q", i, got[i].Name, w)
+		}
+	}
+}
+
+// TestRegistryBudgetsAreIsolated: exhausting one tenant's accountant
+// has no effect on another's remaining budget or ability to spend.
+func TestRegistryBudgetsAreIsolated(t *testing.T) {
+	r := NewRegistry()
+	a, _ := r.Register("alice", "key-a", testAccountant(t, 2))
+	b, _ := r.Register("bob", "key-b", testAccountant(t, 10))
+	loss := Loss{Def: WeakEREE, Alpha: 0.1, Eps: 2}
+	if err := a.Acct.Spend(loss); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acct.Spend(loss); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("alice's second spend = %v, want ErrBudgetExhausted", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.Acct.Spend(loss); err != nil {
+			t.Fatalf("bob's spend %d failed after alice exhausted: %v", i, err)
+		}
+	}
+	if eps, _ := b.Acct.Remaining(); eps != 0 {
+		t.Fatalf("bob's remaining eps = %g, want 0", eps)
+	}
+}
+
+// TestRegistryAdvanceEpoch: the registry advances every tenant's ledger
+// in lockstep.
+func TestRegistryAdvanceEpoch(t *testing.T) {
+	r := NewRegistry()
+	a, _ := r.Register("alice", "key-a", testAccountant(t, 10))
+	b, _ := r.Register("bob", "key-b", testAccountant(t, 10))
+	r.AdvanceEpoch()
+	r.AdvanceEpoch()
+	if a.Acct.Epoch() != 2 || b.Acct.Epoch() != 2 {
+		t.Fatalf("epochs = %d, %d; want 2, 2", a.Acct.Epoch(), b.Acct.Epoch())
+	}
+}
+
+// TestAccountantSentinelErrors: the accountant's failure modes carry
+// the typed sentinels callers map to transport status codes.
+func TestAccountantSentinelErrors(t *testing.T) {
+	a := testAccountant(t, 1)
+	cases := []struct {
+		desc string
+		loss Loss
+		want error
+	}{
+		{"eps over budget", Loss{Def: WeakEREE, Alpha: 0.1, Eps: 2}, ErrBudgetExhausted},
+		{"wrong alpha", Loss{Def: WeakEREE, Alpha: 0.5, Eps: 0.1}, ErrIncompatibleLoss},
+		{"wrong definition", Loss{Def: EdgeDP, Eps: 0.1}, ErrIncompatibleLoss},
+	}
+	for _, c := range cases {
+		if err := a.Spend(c.loss); !errors.Is(err, c.want) {
+			t.Errorf("%s: Spend = %v, want errors.Is %v", c.desc, err, c.want)
+		}
+	}
+	// Delta exhaustion carries the same sentinel.
+	ad, err := NewAccountant(WeakEREE, 0.1, 10, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Spend(Loss{Def: WeakEREE, Alpha: 0.1, Eps: 1, Delta: 1e-3}); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("delta over budget: Spend = %v, want ErrBudgetExhausted", err)
+	}
+	// Nothing was spent by any failed charge.
+	if eps, delta := a.Remaining(); eps != 1 || delta != 0 {
+		t.Fatalf("failed spends consumed budget: remaining = %g, %g", eps, delta)
+	}
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Canonical benchmark regeneration for BENCH_baseline.json,
-# BENCH_scan_kernel.json, BENCH_release_path.json and
-# BENCH_incremental.json. The JSON files' numbers come from this
+# BENCH_scan_kernel.json, BENCH_release_path.json, BENCH_incremental.json
+# and BENCH_serve.json (the handler benchmark; its end-to-end load numbers
+# come from scripts/serve_smoke.sh -record). The JSON files' numbers come from this
 # script's flags — never from ad-hoc invocations — so recorded runs
 # stay comparable across PRs:
 #
@@ -32,11 +33,16 @@ out="${1:-bench_output.txt}"
 echo "== micro suite (-benchtime 2s) ==" | tee "$out"
 go test -run '^$' -bench . -benchtime 2s -timeout 60m . | tee -a "$out"
 
+echo "== serving suite (-benchtime 2s) ==" | tee -a "$out"
+go test -run '^$' -bench . -benchtime 2s -timeout 60m ./cmd/ereeserve/server/ | tee -a "$out"
+
 echo "== paper-scale suite (EREE_LARGE_BENCH=1, -benchtime 20x) ==" | tee -a "$out"
 EREE_LARGE_BENCH=1 go test -run '^$' -bench BenchmarkLargeScale -benchtime 20x -timeout 60m . | tee -a "$out"
 
 echo
 echo "Wrote $out. Update BENCH_baseline.json / BENCH_scan_kernel.json /"
-echo "BENCH_release_path.json / BENCH_incremental.json from it. (The advance"
-echo "benchmarks replay a fixed 8-quarter delta chain per op — see"
-echo "BENCH_incremental.json's chain_note before comparing per-quarter numbers.)"
+echo "BENCH_release_path.json / BENCH_incremental.json / BENCH_serve.json from"
+echo "it. (The advance benchmarks replay a fixed 8-quarter delta chain per op —"
+echo "see BENCH_incremental.json's chain_note before comparing per-quarter"
+echo "numbers. BENCH_serve.json's end-to-end load numbers come from"
+echo "scripts/serve_smoke.sh -record, not from this script.)"

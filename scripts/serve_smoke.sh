@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Boots ereeserve -demo on a local port, drives it with ereeload, and
+# fails unless every request comes back 200 and an admin epoch advance
+# lands while the server is warm. CI runs this as the end-to-end smoke
+# of the serving stack: real binaries, real sockets, real JSON.
+#
+# Usage:
+#   scripts/serve_smoke.sh            # bounded smoke (300 requests)
+#   scripts/serve_smoke.sh -record    # canonical cold+warm recording
+#                                     # workload for BENCH_serve.json
+#
+# The recording mode's numbers are host-dependent; BENCH_serve.json's
+# environment block states the recording host. EREE_SMOKE_PORT
+# overrides the default port 18080.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+record=0
+[[ "${1:-}" == "-record" ]] && record=1
+
+port="${EREE_SMOKE_PORT:-18080}"
+base="http://127.0.0.1:$port"
+bin="$(mktemp -d)"
+srv_pid=""
+trap '[[ -n "$srv_pid" ]] && kill "$srv_pid" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+go build -o "$bin/ereeserve" ./cmd/ereeserve
+go build -o "$bin/ereeload" ./cmd/ereeload
+
+"$bin/ereeserve" -demo -addr "127.0.0.1:$port" &
+srv_pid=$!
+for _ in $(seq 1 50); do
+  curl -fs "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs "$base/healthz" >/dev/null
+
+run_load() {
+  "$bin/ereeload" -url "$base" -key tenant-alpha-key -n "$1" -conc 8 -seed 1
+}
+
+if [[ "$record" == 1 ]]; then
+  echo "== cold (first run after boot) =="
+  run_load 2000
+  echo "== warm =="
+  run_load 2000
+  echo "Copy the summaries into BENCH_serve.json (and keep its environment block honest)."
+else
+  out="$(run_load 300)"
+  echo "$out"
+  echo "$out" | grep -q '"errors": 0' || { echo "serve smoke: transport errors" >&2; exit 1; }
+  echo "$out" | grep -q '"200": 300' || { echo "serve smoke: non-200 responses" >&2; exit 1; }
+  curl -fs -X POST -H "X-API-Key: admin-demo-key" -d '{"quarters":1}' "$base/v1/admin/advance" \
+    | grep -q '"epoch":1' || { echo "serve smoke: admin advance failed" >&2; exit 1; }
+  curl -fs "$base/healthz" | grep -q '"epoch":1' \
+    || { echo "serve smoke: new epoch not visible on /healthz" >&2; exit 1; }
+  echo "serve smoke OK"
+fi
