@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 
 	"repro/internal/core"
 )
@@ -19,8 +20,13 @@ import (
 // handler layer maps to status codes the same way.
 
 // errBadBody classifies transport-level decode failures (malformed
-// JSON, unknown fields, out-of-range values) as 400s.
-var errBadBody = errors.New("bad request body")
+// JSON, unknown fields, out-of-range values) as 400s. errBodyTooLarge
+// singles out bodies that blew the http.MaxBytesReader cap, which get
+// the conventional 413 instead.
+var (
+	errBadBody      = errors.New("bad request body")
+	errBodyTooLarge = errors.New("request body too large")
+)
 
 // Hard caps on request shape. They bound work before any of it is
 // done: an index scan is O(rows) regardless, but attrs bounds the
@@ -60,7 +66,12 @@ type releaseBody struct {
 	// the response is then a pure function of (server noise seed,
 	// tenant, seq, request, dataset epoch) regardless of what other
 	// traffic the server is carrying. When omitted the server assigns
-	// the tenant's next sequence number.
+	// the tenant's next sequence number. Reusing a seq only replays
+	// noise for a bit-identical request on the same epoch — the stream
+	// is also derived from the request's content digest and the pinned
+	// epoch, so two *different* requests under one seq (or one request
+	// across an epoch advance) draw independent noise and cannot be
+	// differenced to cancel it.
 	Seq *int64 `json:"seq,omitempty"`
 }
 
@@ -78,14 +89,27 @@ func decodeStrict(r io.Reader, dst any) error {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		return fmt.Errorf("%w: %v", errBadBody, err)
+		return fmt.Errorf("%w: %v", classifyDecodeErr(err), err)
 	}
 	// A second Decode must see EOF: two JSON documents in one body is a
 	// malformed request, not a request plus ignored noise.
 	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		if sentinel := classifyDecodeErr(err); sentinel == errBodyTooLarge {
+			return fmt.Errorf("%w: %v", sentinel, err)
+		}
 		return fmt.Errorf("%w: trailing data after JSON body", errBadBody)
 	}
 	return nil
+}
+
+// classifyDecodeErr separates a body that exceeded the MaxBytesReader
+// cap (413) from every other decode failure (400).
+func classifyDecodeErr(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return errBodyTooLarge
+	}
+	return errBadBody
 }
 
 // validateWire bounds and sanity-checks one wire request, returning the
@@ -189,8 +213,11 @@ func decodeBatch(r io.Reader) ([]core.Request, *int64, error) {
 type advanceBody struct {
 	// Quarters is how many generated quarterly deltas to absorb.
 	Quarters int `json:"quarters"`
-	// Seed overrides the config's delta_seed root for this advance; the
-	// q-th absorbed quarter draws from seed+q.
+	// Seed overrides the config's delta_seed root for this advance. The
+	// root is indexed by the *absolute* quarter count: the q-th quarter
+	// absorbed over the server's lifetime draws from root+q, so a retry
+	// after a partial failure continues the same delta sequence instead
+	// of regenerating already-absorbed quarters over the advanced data.
 	Seed *int64 `json:"seed,omitempty"`
 }
 

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Request digests for the noise-stream derivation.
+//
+// A release's noise stream must be a function of the request *content*,
+// not just (tenant, seq): sequence numbers are client-supplied, so a
+// tenant could otherwise issue two different requests — the same
+// marginal at two different ε, say — under one seq, receive the same
+// base noise twice, and difference the responses to cancel the noise
+// and recover the true counts, while the accountant charges both
+// releases as if their noise were independent. Folding a canonical
+// digest of the request into the stream keeps true replays (same
+// request, same seq) bit-identical while making any parameter change
+// draw fresh noise. The snapshot epoch is folded in separately, inside
+// the publisher, where it is pinned race-free (see core's epochStream).
+//
+// The encoding is collision-free by construction — every field is
+// length- or count-prefixed, floats are hashed as their IEEE-754 bit
+// patterns — and hashed with SHA-256 so colliding stream identities
+// cannot be crafted from structured inputs. (Stream identities are
+// 64-bit, so a ~2³² offline birthday search is the hard floor for any
+// derivation; the digest removes every cheaper path.)
+
+// digestKind tags which endpoint shape a digest covers, so a /v1/cell
+// request can never alias a /v1/release request over the same fields.
+const (
+	digestRelease = "release"
+	digestBatch   = "batch"
+	digestCell    = "cell"
+)
+
+// requestDigest canonically fingerprints a request body: the endpoint
+// kind, every request's attrs, mechanism and parameters, and (for cell
+// releases) the cell values.
+func requestDigest(kind string, reqs []core.Request, values []string) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeStr(kind)
+	writeU64(uint64(len(reqs)))
+	for _, r := range reqs {
+		writeU64(uint64(len(r.Attrs)))
+		for _, a := range r.Attrs {
+			writeStr(a)
+		}
+		writeStr(r.Mechanism.String())
+		writeU64(math.Float64bits(r.Alpha))
+		writeU64(math.Float64bits(r.Eps))
+		writeU64(math.Float64bits(r.Delta))
+		writeU64(uint64(int64(r.Theta)))
+	}
+	writeU64(uint64(len(values)))
+	for _, v := range values {
+		writeStr(v)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

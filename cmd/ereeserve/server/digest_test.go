@@ -1,0 +1,86 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRequestDigest pins the canonical-encoding properties the noise
+// derivation depends on: the digest is deterministic, and any change to
+// any field a release depends on — kind, attrs, mechanism, parameters,
+// cell values — changes it. A collision between two requests a tenant
+// can actually issue would let them share base noise under one seq,
+// which is exactly the differencing attack the digest exists to stop.
+func TestRequestDigest(t *testing.T) {
+	base := core.Request{
+		Attrs:     []string{"place", "industry"},
+		Mechanism: core.MechSmoothGamma,
+		Alpha:     0.1,
+		Eps:       1,
+	}
+	digest := func(kind string, req core.Request, values []string) string {
+		return requestDigest(kind, []core.Request{req}, values)
+	}
+
+	if digest(digestRelease, base, nil) != digest(digestRelease, base, nil) {
+		t.Fatal("digest is not deterministic")
+	}
+
+	variants := map[string]string{
+		"base": digest(digestRelease, base, nil),
+		"kind:batch": requestDigest(digestBatch,
+			[]core.Request{base}, nil),
+		"kind:cell": digest(digestCell, base, []string{"01-A", "44-Retail"}),
+	}
+	{
+		r := base
+		r.Attrs = []string{"place", "ownership"}
+		variants["attrs"] = digest(digestRelease, r, nil)
+	}
+	{
+		r := base
+		r.Mechanism = core.MechLogLaplace
+		variants["mechanism"] = digest(digestRelease, r, nil)
+	}
+	{
+		r := base
+		r.Alpha = 0.2
+		variants["alpha"] = digest(digestRelease, r, nil)
+	}
+	{
+		r := base
+		r.Eps = 2
+		variants["eps"] = digest(digestRelease, r, nil)
+	}
+	{
+		r := base
+		r.Delta = 1e-6
+		variants["delta"] = digest(digestRelease, r, nil)
+	}
+	{
+		r := base
+		r.Theta = 5
+		variants["theta"] = digest(digestRelease, r, nil)
+	}
+	variants["two requests"] = requestDigest(digestBatch, []core.Request{base, base}, nil)
+	variants["values"] = digest(digestCell, base, []string{"01-A", "51-Info"})
+
+	seen := map[string]string{}
+	for name, d := range variants {
+		if prev, dup := seen[d]; dup {
+			t.Errorf("digest collision between %q and %q", name, prev)
+		}
+		seen[d] = name
+	}
+
+	// The encoding is length-prefixed, so shifting bytes between
+	// adjacent strings must not collide: ["ab","c"] vs ["a","bc"].
+	ab := base
+	ab.Attrs = []string{"ab", "c"}
+	aBC := base
+	aBC.Attrs = []string{"a", "bc"}
+	if digest(digestRelease, ab, nil) == digest(digestRelease, aBC, nil) {
+		t.Error(`length-prefix collision: attrs ["ab","c"] and ["a","bc"] digest equal`)
+	}
+}

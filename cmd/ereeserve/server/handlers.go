@@ -37,8 +37,10 @@ func statusFor(err error) int {
 	case errors.Is(err, core.ErrUnknownMarginal), errors.Is(err, core.ErrUnknownCell):
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrInvalidRequest), errors.Is(err, privacy.ErrIncompatibleLoss),
-		errors.Is(err, errBadBody):
+		errors.Is(err, privacy.ErrInvalidLoss), errors.Is(err, errBadBody):
 		return http.StatusBadRequest
+	case errors.Is(err, errBodyTooLarge):
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusInternalServerError
 	}
@@ -73,8 +75,10 @@ func writeError(w http.ResponseWriter, err error, acct *privacy.Accountant) {
 }
 
 // withTenant authenticates the request's API key and hands the handler
-// its tenant. Key comparison is constant-time; an unknown key gets the
-// same opaque 401 as a missing one.
+// its tenant. Keys are matched by SHA-256 digest (privacy.Registry), so
+// lookup time does not depend on how much of a candidate key agrees
+// with a registered one; an unknown key gets the same opaque 401 as a
+// missing one.
 func (s *Server) withTenant(h func(http.ResponseWriter, *http.Request, *privacy.Tenant)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t, ok := s.reg.Lookup(r.Header.Get(apiKeyHeader))
@@ -157,7 +161,8 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, t *privac
 		return
 	}
 	seq := s.resolveSeq(t.Name, explicit)
-	rel, err := s.pub.ReleaseMarginalFor(t.Acct, req, s.tenantStream(t.Name).SplitIndex("req", int(seq)))
+	stream := s.requestStream(t.Name, seq, requestDigest(digestRelease, []core.Request{req}, nil))
+	rel, err := s.pub.ReleaseMarginalFor(t.Acct, req, stream)
 	if err != nil {
 		writeError(w, err, t.Acct)
 		return
@@ -182,7 +187,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, t *privacy.
 		return
 	}
 	seq := s.resolveSeq(t.Name, explicit)
-	rels, err := s.pub.ReleaseBatchFor(t.Acct, reqs, s.tenantStream(t.Name).SplitIndex("req", int(seq)))
+	stream := s.requestStream(t.Name, seq, requestDigest(digestBatch, reqs, nil))
+	rels, err := s.pub.ReleaseBatchFor(t.Acct, reqs, stream)
 	if err != nil {
 		writeError(w, err, t.Acct)
 		return
@@ -213,7 +219,8 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, t *privacy.T
 		return
 	}
 	seq := s.resolveSeq(t.Name, explicit)
-	noisy, _, loss, epoch, err := s.pub.ReleaseSingleCellFor(t.Acct, req, values, s.tenantStream(t.Name).SplitIndex("req", int(seq)))
+	stream := s.requestStream(t.Name, seq, requestDigest(digestCell, []core.Request{req}, values))
+	noisy, _, loss, epoch, err := s.pub.ReleaseSingleCellFor(t.Acct, req, values, stream)
 	if err != nil {
 		writeError(w, err, t.Acct)
 		return
@@ -299,10 +306,30 @@ type advanceQuarter struct {
 	Deaths         int `json:"deaths"`
 }
 
+// advanceErrorJSON is the /v1/admin/advance failure response. Quarters
+// already absorbed before the failure are NOT rolled back (each one was
+// installed and every tenant ledger advanced), so the body reports
+// exactly how far the call got — an admin retrying after a partial
+// failure can see that asking for the remaining quarters continues the
+// same delta sequence a single successful call would have produced.
+type advanceErrorJSON struct {
+	Error            string           `json:"error"`
+	QuartersAbsorbed int              `json:"quarters_absorbed"`
+	Epoch            int              `json:"epoch"`
+	Quarters         []advanceQuarter `json:"quarters,omitempty"`
+}
+
 // handleAdvance serves POST /v1/admin/advance: generate and absorb N
 // quarterly deltas under live load. Serving never stalls — in-flight
 // releases stay pinned to the snapshot they started on — and every
 // tenant's spend ledger advances in lockstep with the dataset epoch.
+//
+// Seeding is by absolute quarter index: the q-th quarter absorbed over
+// the server's lifetime draws from root+q, where root is the configured
+// delta seed or the request's override. Because the index is absolute —
+// not the loop index within one call — any split of N quarters into
+// calls, including a retry after a partial failure, absorbs the exact
+// delta sequence one N-quarter call would have.
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	quarters, seedOverride, err := decodeAdvance(r.Body)
 	if err != nil {
@@ -312,19 +339,29 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 	s.advMu.Lock()
 	defer s.advMu.Unlock()
 	out := advanceJSON{Quarters: make([]advanceQuarter, 0, quarters)}
+	fail := func(q int, err error) {
+		wrapped := fmt.Errorf("quarter %d: %w", q, err)
+		writeJSON(w, statusFor(wrapped), advanceErrorJSON{
+			Error:            wrapped.Error(),
+			QuartersAbsorbed: len(out.Quarters),
+			Epoch:            s.pub.Epoch(),
+			Quarters:         out.Quarters,
+		})
+	}
 	for q := 0; q < quarters; q++ {
-		seed := s.deltaSeed + int64(s.quartersAbsorbed)
+		root := s.deltaSeed
 		if seedOverride != nil {
-			seed = *seedOverride + int64(q)
+			root = *seedOverride
 		}
+		seed := root + int64(s.quartersAbsorbed)
 		data := s.pub.Dataset()
 		dl, err := lodes.GenerateDelta(data, s.deltaCfg, dist.NewStreamFromSeed(seed))
 		if err != nil {
-			writeError(w, fmt.Errorf("quarter %d: %w", q, err), nil)
+			fail(q, err)
 			return
 		}
 		if err := s.pub.Advance(dl); err != nil {
-			writeError(w, fmt.Errorf("quarter %d: %w", q, err), nil)
+			fail(q, err)
 			return
 		}
 		// Every tenant's ledger follows the dataset epoch.

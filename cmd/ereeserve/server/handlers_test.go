@@ -49,7 +49,8 @@ func TestStatusMapping(t *testing.T) {
 		{"cell with unknown value", "POST", "/v1/cell", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"values":["99-Nonsense"]}`, 404},
 		{"cell with wrong arity", "POST", "/v1/cell", keyAlpha, `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"values":["44-Retail","Private"]}`, 404},
 		{"cell under truncated-laplace", "POST", "/v1/cell", keyAlpha, `{"attrs":["industry"],"mechanism":"truncated-laplace","alpha":0.1,"eps":1,"theta":10,"values":["44-Retail"]}`, 400},
-		{"oversized body", "POST", "/v1/release", keyAlpha, `{"attrs":["` + strings.Repeat("x", maxBodyBytes) + `"]}`, 400},
+		{"oversized body", "POST", "/v1/release", keyAlpha, `{"attrs":["` + strings.Repeat("x", maxBodyBytes) + `"]}`, 413},
+		{"oversized batch body", "POST", "/v1/batch", keyAlpha, `{"requests":[{"attrs":["` + strings.Repeat("y", maxBodyBytes) + `"]}]}`, 413},
 		{"missing API key", "POST", "/v1/release", "", valid, 401},
 		{"unknown API key", "POST", "/v1/release", "key-of-nobody", valid, 401},
 		{"tenant key on admin endpoint", "POST", "/v1/admin/advance", keyAlpha, `{"quarters":1}`, 401},

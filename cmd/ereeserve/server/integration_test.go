@@ -21,6 +21,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -179,6 +180,142 @@ func TestWireDeterminism(t *testing.T) {
 			t.Fatalf("request %d: concurrent bytes diverge from sequential:\n  seq: %s\n  conc: %s",
 				i, got1[i], got3[i])
 		}
+	}
+}
+
+// TestRequestNoiseSeparation pins the digest half of the derivation:
+// two *different* requests issued under the same (tenant, seq) must
+// draw independent noise. Without the content digest, both would share
+// base noise, and a tenant could difference the two responses (e.g. the
+// same marginal at two ε) to cancel the noise and recover true counts
+// while being charged for two independent releases.
+func TestRequestNoiseSeparation(t *testing.T) {
+	opts := Options{NoiseSeed: 7}
+	srv, hs := newTestServer(t, 1, opts, nil)
+	attrs := []string{"industry"}
+	bodyFor := func(eps float64) string {
+		return fmt.Sprintf(`{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":%g,"seq":0}`, eps)
+	}
+	status, bodyA := do(t, hs, "POST", "/v1/release", keyAlpha, bodyFor(1))
+	if status != http.StatusOK {
+		t.Fatalf("release A = %d: %s", status, bodyA)
+	}
+	status, bodyB := do(t, hs, "POST", "/v1/release", keyAlpha, bodyFor(2))
+	if status != http.StatusOK {
+		t.Fatalf("release B = %d: %s", status, bodyB)
+	}
+
+	reqA := core.Request{Attrs: attrs, Mechanism: core.MechSmoothGamma, Alpha: 0.1, Eps: 1}
+	reqB := reqA
+	reqB.Eps = 2
+	root := dist.NewStreamFromSeed(opts.NoiseSeed)
+	streamFor := func(digest string) *dist.Stream {
+		return root.Split("tenant:alpha").SplitIndex("req", 0).Split("body:" + digest)
+	}
+	render := func(rel *core.Release) []byte {
+		raw, err := json.Marshal(releaseToJSON(rel, 0, attrs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(raw, '\n')
+	}
+
+	// True replay: B recomputed offline on its own digest reproduces the
+	// wire bytes exactly.
+	relB, err := srv.pub.ReleaseMarginalFor(nil, reqB, streamFor(requestDigest(digestRelease, []core.Request{reqB}, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bodyB, render(relB)) {
+		t.Fatalf("offline recomputation diverges from the wire:\n  got:  %s\n  want: %s", render(relB), bodyB)
+	}
+	// The differencing attack's precondition: B drawn from A's stream —
+	// what a digest-less (tenant, seq)-only derivation would produce —
+	// must NOT be what the server actually sent.
+	relShared, err := srv.pub.ReleaseMarginalFor(nil, reqB, streamFor(requestDigest(digestRelease, []core.Request{reqA}, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bodyB, render(relShared)) {
+		t.Fatal("two different requests under one (tenant, seq) drew the same base noise")
+	}
+}
+
+// TestAdvanceSeedContinuity: with an explicit seed override, the delta
+// sequence depends only on the absolute quarter index — any split of N
+// quarters into calls (including a retry after a partial failure)
+// absorbs the exact lineage one N-quarter call would have.
+func TestAdvanceSeedContinuity(t *testing.T) {
+	opts := Options{NoiseSeed: 7, AdminKey: keyAdmin, DeltaSeed: 100}
+	_, split := newTestServer(t, 1, opts, nil)
+	_, whole := newTestServer(t, 1, opts, nil)
+	advance := func(hs *httptest.Server, body string) advanceJSON {
+		status, raw := do(t, hs, "POST", "/v1/admin/advance", keyAdmin, body)
+		if status != http.StatusOK {
+			t.Fatalf("advance = %d: %s", status, raw)
+		}
+		var out advanceJSON
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a1 := advance(split, `{"quarters":1,"seed":777}`)
+	a2 := advance(split, `{"quarters":1,"seed":777}`)
+	b := advance(whole, `{"quarters":2,"seed":777}`)
+	got := append(append([]advanceQuarter(nil), a1.Quarters...), a2.Quarters...)
+	if !reflect.DeepEqual(got, b.Quarters) {
+		t.Fatalf("split advances diverge from one call:\n  split: %+v\n  whole: %+v", got, b.Quarters)
+	}
+	// The resulting datasets are the same dataset: identical releases,
+	// byte for byte.
+	rel := `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"seq":0}`
+	_, ra := do(t, split, "POST", "/v1/release", keyAlpha, rel)
+	_, rb := do(t, whole, "POST", "/v1/release", keyAlpha, rel)
+	if !bytes.Equal(ra, rb) {
+		t.Fatalf("post-advance releases diverge:\n  split: %s\n  whole: %s", ra, rb)
+	}
+}
+
+// TestAdvanceErrorReportsProgress: a failing advance reports how far it
+// got — quarters absorbed in this call, the epoch actually reached, and
+// the per-quarter summaries — so an admin can resume instead of
+// guessing what applied.
+func TestAdvanceErrorReportsProgress(t *testing.T) {
+	bad := lodes.DefaultDeltaConfig()
+	bad.GrowthSigma = -1 // rejected by DeltaConfig.Validate at generation time
+	opts := Options{NoiseSeed: 7, AdminKey: keyAdmin, DeltaSeed: 100, DeltaConfig: &bad}
+	_, hs := newTestServer(t, 1, opts, nil)
+	status, raw := do(t, hs, "POST", "/v1/admin/advance", keyAdmin, `{"quarters":2}`)
+	// A misconfigured generator is a server fault, not client input.
+	if status != http.StatusInternalServerError {
+		t.Fatalf("advance with broken config = %d, want 500: %s", status, raw)
+	}
+	var out struct {
+		Error            string           `json:"error"`
+		QuartersAbsorbed *int             `json:"quarters_absorbed"`
+		Epoch            *int             `json:"epoch"`
+		Quarters         []advanceQuarter `json:"quarters"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == "" {
+		t.Fatalf("error body carries no message: %s", raw)
+	}
+	if out.QuartersAbsorbed == nil || *out.QuartersAbsorbed != 0 {
+		t.Fatalf("quarters_absorbed = %v, want 0: %s", out.QuartersAbsorbed, raw)
+	}
+	if out.Epoch == nil || *out.Epoch != 0 {
+		t.Fatalf("epoch = %v, want 0: %s", out.Epoch, raw)
+	}
+	if len(out.Quarters) != 0 {
+		t.Fatalf("quarters = %+v, want none absorbed: %s", out.Quarters, raw)
+	}
+	// The failed advance left the dataset untouched.
+	status, raw = do(t, hs, "GET", "/healthz", "", "")
+	if status != http.StatusOK || !bytes.Contains(raw, []byte(`"epoch":0`)) {
+		t.Fatalf("healthz after failed advance = %d: %s", status, raw)
 	}
 }
 
@@ -368,14 +505,17 @@ func TestServeDuringAdvanceFleet(t *testing.T) {
 	wg.Wait()
 
 	// Offline recomputation: one publisher per epoch of the independent
-	// lineage, the server's exact noise derivation, the handler's exact
-	// rendering. Every observed byte must match.
+	// lineage, the server's exact noise derivation — tenant split, seq
+	// split, request-content digest split (the publisher folds in the
+	// epoch itself) — and the handler's exact rendering. Every observed
+	// byte must match.
 	pubs := make([]*core.Publisher, quarters+1)
 	for e := range pubs {
 		pubs[e] = core.NewPublisher(datasets[e])
 	}
 	root := dist.NewStreamFromSeed(opts.NoiseSeed)
 	req := core.Request{Attrs: attrs, Mechanism: core.MechSmoothGamma, Alpha: 0.1, Eps: 0.5}
+	digest := requestDigest(digestRelease, []core.Request{req}, nil)
 	epochsSeen := make(map[int]int)
 	for _, o := range observed {
 		var got releaseJSON
@@ -386,7 +526,8 @@ func TestServeDuringAdvanceFleet(t *testing.T) {
 			t.Fatalf("seq %d reports epoch %d, outside [0,%d]", o.seq, got.Epoch, quarters)
 		}
 		epochsSeen[got.Epoch]++
-		rel, err := pubs[got.Epoch].ReleaseMarginalFor(nil, req, root.Split("tenant:alpha").SplitIndex("req", int(o.seq)))
+		stream := root.Split("tenant:alpha").SplitIndex("req", int(o.seq)).Split("body:" + digest)
+		rel, err := pubs[got.Epoch].ReleaseMarginalFor(nil, req, stream)
 		if err != nil {
 			t.Fatalf("seq %d: offline recomputation: %v", o.seq, err)
 		}

@@ -17,16 +17,24 @@
 //
 // # Determinism contract over the wire
 //
-// A release's noise stream is Split("tenant:"+name).SplitIndex("req",
-// seq) of the server's root noise stream, where seq is either supplied
-// by the client or assigned from the tenant's own counter. Responses
-// are rendered with a fixed field order and Go's deterministic float
-// formatting, so the same (noise seed, dataset, tenant, seq, request,
-// epoch) yields bit-identical response bytes — across runs, across
-// concurrent load, across the race detector. What other tenants do, and
-// how requests interleave, never shows in a tenant's bytes; only the
-// dataset epoch a request lands on is scheduling-dependent (and is
-// reported in the response).
+// A release's noise stream is
+//
+//	Split("tenant:"+name).SplitIndex("req", seq).Split("body:"+digest)
+//
+// of the server's root noise stream, further split by the pinned
+// snapshot epoch inside the publisher (core's epochStream). seq is
+// either supplied by the client or assigned from the tenant's own
+// counter; digest is the SHA-256 of the request's canonical encoding
+// (see digest.go). Responses are rendered with a fixed field order and
+// Go's deterministic float formatting, so the same (noise seed,
+// dataset, tenant, seq, request, epoch) yields bit-identical response
+// bytes — across runs, across concurrent load, across the race
+// detector. Changing any coordinate — a different request under the
+// same seq, the same request on a later epoch — draws independent
+// noise, so no pair of distinct releases can be differenced to cancel
+// the noise. What other tenants do, and how requests interleave, never
+// shows in a tenant's bytes; only the dataset epoch a request lands on
+// is scheduling-dependent (and is reported in the response).
 package server
 
 import (
@@ -112,6 +120,16 @@ func (s *Server) Handler() http.Handler {
 // released values.
 func (s *Server) tenantStream(name string) *dist.Stream {
 	return s.noise.Split("tenant:" + name)
+}
+
+// requestStream derives the noise stream one request draws from: the
+// tenant's root stream, split by sequence number, split by the
+// request-content digest — the wire half of the determinism contract
+// (the publisher folds in the pinned epoch). Deriving from the digest
+// means a client reusing an explicit seq for a *different* request gets
+// independent noise, while a true replay reproduces every byte.
+func (s *Server) requestStream(tenant string, seq int64, digest string) *dist.Stream {
+	return s.tenantStream(tenant).SplitIndex("req", int(seq)).Split("body:" + digest)
 }
 
 // nextSeq assigns the tenant's next request sequence number.

@@ -21,8 +21,10 @@ import (
 //
 //	ReleaseMarginal(reqs[i], s.SplitIndex("batch", i))
 //
-// for each request in order, regardless of scheduling. Releases are
-// returned positionally aligned with the requests.
+// for each request in order, regardless of scheduling (both paths fold
+// the pinned epoch into the derivation — see epochStream — so the
+// equivalence is per-epoch, and the batch pins exactly one). Releases
+// are returned positionally aligned with the requests.
 func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, error) {
 	return p.ReleaseBatchFor(p.accountant, reqs, s)
 }

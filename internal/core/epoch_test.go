@@ -470,6 +470,73 @@ func TestAdvanceSnapshotPinning(t *testing.T) {
 	}
 }
 
+// TestReleaseNoiseEpochSeparation: a caller stream identity reused
+// across an Advance must draw fresh noise. The delta here is a no-op
+// churn (one separation replaced by an identical hire), so every cell's
+// truth is identical across the epoch bump — under a derivation that
+// ignored the epoch, both releases would be bit-identical, and for
+// cells the delta *did* change, differencing the two releases would
+// cancel the noise exactly and expose the true difference.
+func TestReleaseNoiseEpochSeparation(t *testing.T) {
+	d := smallDataset(t, 59)
+	p := NewPublisher(d)
+	req := Request{Attrs: workload1Attrs(), Mechanism: MechSmoothGamma, Alpha: 0.1, Eps: 2}
+	cellValues := []string{lodes.PlaceName(0), "44-Retail", "Private"}
+
+	rel0, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell0, _, _, err := p.ReleaseSingleCell(req, cellValues, dist.NewStreamFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var est int32 = 3
+	if d.Establishments[est].Employment < 1 {
+		t.Fatal("establishment 3 unexpectedly empty")
+	}
+	noop := &lodes.Delta{
+		Separations: []lodes.Separation{{Est: est, Count: 1}},
+		Hires:       []lodes.Hire{{Est: est, Jobs: []lodes.JobRecord{lastRowJob(t, d, est)}}},
+	}
+	if err := p.Advance(noop); err != nil {
+		t.Fatal(err)
+	}
+
+	rel1, err := p.ReleaseMarginal(req, dist.NewStreamFromSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell1, _, _, err := p.ReleaseSingleCell(req, cellValues, dist.NewStreamFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: the no-op delta really did leave the truth unchanged.
+	for i := range rel0.Truth.Counts {
+		if rel0.Truth.Counts[i] != rel1.Truth.Counts[i] {
+			t.Fatalf("cell %d truth changed across the no-op delta: %d -> %d",
+				i, rel0.Truth.Counts[i], rel1.Truth.Counts[i])
+		}
+	}
+	// The released values must not replay: same stream, same truth,
+	// different epoch => fresh noise.
+	same := true
+	for i := range rel0.Noisy {
+		if rel0.Noisy[i] != rel1.Noisy[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("marginal release replayed identical noise across an epoch advance")
+	}
+	if cell0 == cell1 {
+		t.Fatal("single-cell release replayed identical noise across an epoch advance")
+	}
+}
+
 // TestAdvanceRejectsInvalidDelta: a bad delta must leave the current
 // snapshot fully intact.
 func TestAdvanceRejectsInvalidDelta(t *testing.T) {

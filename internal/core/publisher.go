@@ -242,9 +242,25 @@ func lossFor(req Request, def privacy.Definition, schema *table.Schema) (privacy
 	return loss, nil
 }
 
+// epochStream derives the noise stream a release actually draws from:
+// the caller's stream, split by the epoch of the snapshot the release
+// is pinned to. The derivation happens after the snapshot pointer is
+// loaded, so it can never disagree with Release.Epoch even under a
+// concurrent Advance. It guarantees that a caller-supplied stream
+// identity reused across epochs — deliberately (a replayed request) or
+// adversarially (a client naming its own sequence numbers) — yields
+// independent noise on each epoch's truth; identical base noise over
+// two epochs' counts would let a consumer difference the releases and
+// cancel the noise, defeating the privacy guarantee the accountant's
+// budget arithmetic assumes.
+func epochStream(s *dist.Stream, epoch int) *dist.Stream {
+	return s.SplitIndex("epoch", epoch)
+}
+
 // ReleaseMarginal answers a marginal query under the request. The truth
 // is served from the pinned snapshot's marginal cache (computed on
-// first use); the noise is drawn fresh from the given stream per cell.
+// first use); the noise is drawn fresh per cell from the given stream
+// split by the pinned epoch (see epochStream).
 func (p *Publisher) ReleaseMarginal(req Request, s *dist.Stream) (*Release, error) {
 	return p.ReleaseMarginalFor(p.accountant, req, s)
 }
@@ -288,6 +304,11 @@ func (p *Publisher) releaseWithLoss(sn *epochSnapshot, req Request, loss privacy
 		return nil, err
 	}
 	q, truth := entry.q, entry.m
+	// Fold the pinned epoch into the noise derivation (see epochStream):
+	// the same caller stream on successive epochs draws independent
+	// noise, so differencing releases across an Advance cannot cancel
+	// the noise and recover the underlying counts.
+	s = epochStream(s, sn.epoch)
 
 	rel := &Release{Epoch: sn.epoch, Query: q, Truth: truth, Loss: loss}
 	switch req.Mechanism {
@@ -368,7 +389,9 @@ func (p *Publisher) ReleaseSingleCellFor(a *privacy.Accountant, req Request, cel
 	}
 	marg := entry.m
 	in := entry.cells[cell]
-	v, err := m.ReleaseCell(in, s)
+	// Same epoch folding as the marginal path (see epochStream): a
+	// stream reused across an Advance draws fresh noise for the cell.
+	v, err := m.ReleaseCell(in, epochStream(s, sn.epoch))
 	if err != nil {
 		return 0, 0, privacy.Loss{}, epoch, err
 	}

@@ -18,6 +18,10 @@ var (
 	// ErrIncompatibleLoss: the loss's definition or α does not compose
 	// with the accountant's (mixing them has no composition semantics).
 	ErrIncompatibleLoss = errors.New("privacy: loss incompatible with accountant")
+	// ErrInvalidLoss: the loss itself is malformed (non-positive ε,
+	// δ outside [0,1), …) — bad input, not a budget condition, so a
+	// serving layer should map it to a 4xx, never a 5xx.
+	ErrInvalidLoss = errors.New("privacy: invalid loss")
 )
 
 // Loss is a privacy-loss triple (α, ε, δ). δ = 0 for pure definitions.
@@ -247,7 +251,9 @@ func (a *Accountant) SpendAll(losses []Loss) error {
 			return fmt.Errorf("%w: accountant is for %v(alpha=%g), got %v", ErrIncompatibleLoss, a.def, a.alpha, l)
 		}
 		if err := l.Validate(); err != nil {
-			return err
+			// Wrap in the sentinel so a serving layer classifies a
+			// malformed loss as bad input (4xx), not a server fault.
+			return fmt.Errorf("%w: %v", ErrInvalidLoss, err)
 		}
 		sumEps += l.Eps
 		sumDelta += l.Delta

@@ -1,6 +1,7 @@
 package privacy
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,16 +24,29 @@ type Tenant struct {
 // Registry maps opaque API keys to tenants. It is safe for concurrent
 // use; registration is expected at configuration time, lookups on every
 // request.
+//
+// Keys are stored and looked up by SHA-256 digest, never as raw
+// strings: the lookup's timing depends only on the (fixed) digest
+// length, not on how long a prefix of a candidate key matches a
+// registered one, so a caller probing the endpoint cannot recover a key
+// byte-by-byte from response timing.
 type Registry struct {
 	mu     sync.RWMutex
-	byKey  map[string]*Tenant
+	byKey  map[[sha256.Size]byte]*Tenant
 	byName map[string]*Tenant
+}
+
+// keyDigest fixes a key's map identity. SHA-256 is one-way, so even the
+// (non-constant-time) map probe over digests leaks nothing useful about
+// the registered keys themselves.
+func keyDigest(key string) [sha256.Size]byte {
+	return sha256.Sum256([]byte(key))
 }
 
 // NewRegistry returns an empty tenant registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		byKey:  make(map[string]*Tenant),
+		byKey:  make(map[[sha256.Size]byte]*Tenant),
 		byName: make(map[string]*Tenant),
 	}
 }
@@ -52,20 +66,24 @@ func (r *Registry) Register(name, key string, a *Accountant) (*Tenant, error) {
 	if _, ok := r.byName[name]; ok {
 		return nil, fmt.Errorf("privacy: duplicate tenant name %q", name)
 	}
-	if _, ok := r.byKey[key]; ok {
+	digest := keyDigest(key)
+	if _, ok := r.byKey[digest]; ok {
 		return nil, fmt.Errorf("privacy: duplicate API key for tenant %q", name)
 	}
 	t := &Tenant{Name: name, Acct: a}
 	r.byName[name] = t
-	r.byKey[key] = t
+	r.byKey[digest] = t
 	return t, nil
 }
 
-// Lookup resolves an API key to its tenant.
+// Lookup resolves an API key to its tenant. The key is compared by
+// SHA-256 digest (see Registry), so lookup time carries no information
+// about how close a wrong key is to a right one.
 func (r *Registry) Lookup(key string) (*Tenant, bool) {
+	digest := keyDigest(key)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	t, ok := r.byKey[key]
+	t, ok := r.byKey[digest]
 	return t, ok
 }
 

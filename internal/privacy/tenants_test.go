@@ -126,6 +126,8 @@ func TestAccountantSentinelErrors(t *testing.T) {
 		{"eps over budget", Loss{Def: WeakEREE, Alpha: 0.1, Eps: 2}, ErrBudgetExhausted},
 		{"wrong alpha", Loss{Def: WeakEREE, Alpha: 0.5, Eps: 0.1}, ErrIncompatibleLoss},
 		{"wrong definition", Loss{Def: EdgeDP, Eps: 0.1}, ErrIncompatibleLoss},
+		{"invalid loss", Loss{Def: WeakEREE, Alpha: 0.1, Eps: 0}, ErrInvalidLoss},
+		{"invalid delta", Loss{Def: WeakEREE, Alpha: 0.1, Eps: 0.1, Delta: 1.5}, ErrInvalidLoss},
 	}
 	for _, c := range cases {
 		if err := a.Spend(c.loss); !errors.Is(err, c.want) {
