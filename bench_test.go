@@ -249,6 +249,25 @@ func BenchmarkMarginalCompute(b *testing.B) {
 	}
 }
 
+// BenchmarkMarginalComputeUnpacked measures the same Workload 1 marginal
+// through the unpacked scatter path: the attributes are requested in
+// non-canonical order, so the compiled plan has no pack key and the scan
+// decodes each attribute column separately. The gap to
+// BenchmarkMarginalCompute is the bit-packed kernel's contribution (the
+// two marginals hold the same counts under permuted cell indexing).
+func BenchmarkMarginalComputeUnpacked(b *testing.B) {
+	d := benchDataset(b)
+	q := table.MustNewQuery(d.Schema(), lodes.AttrOwnership, lodes.AttrIndustry, lodes.AttrPlace)
+	d.WorkerFull.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := table.Compute(d.WorkerFull, q)
+		if m.Total() == 0 {
+			b.Fatal("empty marginal")
+		}
+	}
+}
+
 // BenchmarkMarginalComputeReference measures the seed engine — the scalar
 // per-(cell, entity) hash-map group-by — on the same marginal, the
 // baseline BENCH_baseline.json tracks the indexed engine against.
@@ -848,6 +867,85 @@ func BenchmarkLargeScaleSingleCells(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := p.ReleaseSingleCell(req, cellValues, dist.NewStreamFromSeed(int64(i))); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- National-scale benchmarks (lodes.NationalConfig) ---
+//
+// These exercise the chunk-streamed generation path at the order of the
+// real national LODES frame (~7M establishments, ~130M jobs). One op is
+// a full pass over the relation, which takes minutes; the group is
+// gated behind EREE_NATIONAL_BENCH=1 (scripts/bench.sh -national sets
+// it) and is meant to be run with -benchtime=1x.
+
+var (
+	benchNationalOnce  sync.Once
+	benchNationalFrame *lodes.Frame
+	benchNationalErr   error
+)
+
+func benchNationalFrameFor(b *testing.B) *lodes.Frame {
+	b.Helper()
+	if os.Getenv("EREE_NATIONAL_BENCH") == "" {
+		b.Skip("national-scale benchmark: set EREE_NATIONAL_BENCH=1 (scripts/bench.sh -national does)")
+	}
+	benchNationalOnce.Do(func() {
+		benchNationalFrame, benchNationalErr =
+			lodes.GenerateFrame(lodes.NationalConfig(), dist.NewStreamFromSeed(1))
+	})
+	if benchNationalErr != nil {
+		b.Fatal(benchNationalErr)
+	}
+	return benchNationalFrame
+}
+
+// BenchmarkNationalStreamIngest measures the end-to-end streaming ingest
+// shape at national scale: draw the job relation chunk-wise off the
+// establishment frame and fold each chunk into an accumulated Workload 1
+// marginal. Peak memory is one chunk plus the frame — the full relation
+// is never materialized. Reports rows/s over the whole relation.
+func BenchmarkNationalStreamIngest(b *testing.B) {
+	f := benchNationalFrameFor(b)
+	q := table.MustNewQuery(f.Schema, lodes.AttrPlace, lodes.AttrIndustry, lodes.AttrOwnership)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Split off a fresh per-iteration stream so every op draws the
+		// identical job sequence.
+		s := dist.NewStreamFromSeed(1).Split("workers-bench")
+		counts := make([]int64, q.NumCells())
+		rows := 0
+		if err := f.StreamJobs(s, lodes.DefaultChunkRows, func(c *table.Table) error {
+			m := table.Compute(c, q)
+			for cell, v := range m.Counts {
+				counts[cell] += v
+			}
+			rows += c.NumRows()
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if rows != f.TotalJobs {
+			b.Fatalf("streamed %d rows, want %d", rows, f.TotalJobs)
+		}
+	}
+	b.ReportMetric(float64(f.TotalJobs)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkNationalFrameGenerate measures drawing the establishment
+// frame alone (places + ~7M establishments, no job rows) — the fixed
+// setup cost every national streaming consumer pays once.
+func BenchmarkNationalFrameGenerate(b *testing.B) {
+	if os.Getenv("EREE_NATIONAL_BENCH") == "" {
+		b.Skip("national-scale benchmark: set EREE_NATIONAL_BENCH=1 (scripts/bench.sh -national does)")
+	}
+	for i := 0; i < b.N; i++ {
+		f, err := lodes.GenerateFrame(lodes.NationalConfig(), dist.NewStreamFromSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.TotalJobs < 100_000_000 {
+			b.Fatalf("national frame implies only %d jobs", f.TotalJobs)
 		}
 	}
 }

@@ -4,6 +4,13 @@
 // Usage:
 //
 //	lodesgen -out data/ [-seed 1] [-establishments 20000] [-places 60]
+//	lodesgen -out data/ -national [-chunk 1048576]
+//
+// With -national (or -stream) the job relation is generated and written
+// chunk-wise: the full table is never held in memory, so the national
+// configuration (~7M establishments, ~130M jobs) is writable on a
+// laptop-sized heap. Streamed output is byte-identical to the
+// materialized path for the same configuration and seed.
 package main
 
 import (
@@ -24,22 +31,41 @@ func main() {
 	establishments := flag.Int("establishments", 0, "number of establishments (default: config default)")
 	places := flag.Int("places", 0, "number of Census places (default: config default)")
 	small := flag.Bool("small", false, "use the small test-scale configuration")
+	national := flag.Bool("national", false, "use the national-scale configuration (~7M establishments, ~130M jobs) and stream the output")
+	stream := flag.Bool("stream", false, "stream job rows to disk chunk-wise instead of materializing the table")
+	chunk := flag.Int("chunk", 0, "rows per streamed chunk (default: 1<<20; implies -stream)")
 	flag.Parse()
 
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *small && *national {
+		log.Fatal("-small and -national are mutually exclusive")
+	}
 
 	cfg := eree.DefaultDataConfig()
-	if *small {
+	switch {
+	case *small:
 		cfg = eree.TestDataConfig()
+	case *national:
+		cfg = eree.NationalDataConfig()
 	}
 	if *establishments > 0 {
 		cfg.NumEstablishments = *establishments
 	}
 	if *places > 0 {
 		cfg.NumPlaces = *places
+	}
+
+	if *national || *stream || *chunk > 0 {
+		nPlaces, nEsts, nJobs, err := eree.GenerateCSV(cfg, *seed, *out, *chunk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (streamed): %d places, %d establishments, %d jobs\n",
+			*out, nPlaces, nEsts, nJobs)
+		return
 	}
 
 	data, err := eree.Generate(cfg, *seed)

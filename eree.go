@@ -78,10 +78,39 @@ func DefaultDataConfig() DataConfig { return lodes.DefaultConfig() }
 // (~2k establishments, ~40k jobs).
 func TestDataConfig() DataConfig { return lodes.TestConfig() }
 
+// NationalDataConfig returns the national-scale generator configuration
+// (~20k places, ~7M establishments, ~130M jobs in expectation — the
+// order of the real national LODES frame). A job relation this size
+// should not be materialized in memory; stream it to disk with
+// GenerateCSV instead of calling Generate.
+func NationalDataConfig() DataConfig { return lodes.NationalConfig() }
+
 // Generate produces a synthetic LODES snapshot. The same configuration
 // and seed always produce the same dataset.
 func Generate(cfg DataConfig, seed int64) (*Dataset, error) {
 	return lodes.Generate(cfg, dist.NewStreamFromSeed(seed))
+}
+
+// GenerateCSV generates the snapshot for cfg and streams it to dir as
+// CSV without ever materializing the full job relation: job rows are
+// drawn in chunks of chunkRows (0 selects the default chunk size) and
+// written as they are produced, so peak memory is the establishment
+// frame plus one chunk regardless of dataset scale. The output is
+// byte-identical to Generate followed by Dataset.WriteCSV with the same
+// configuration and seed. Returns the counts written.
+func GenerateCSV(cfg DataConfig, seed int64, dir string, chunkRows int) (places, establishments, jobs int, err error) {
+	if chunkRows <= 0 {
+		chunkRows = lodes.DefaultChunkRows
+	}
+	s := dist.NewStreamFromSeed(seed)
+	f, err := lodes.GenerateFrame(cfg, s)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := f.WriteCSVStream(dir, s, chunkRows); err != nil {
+		return 0, 0, 0, err
+	}
+	return len(f.Places), len(f.Establishments), f.TotalJobs, nil
 }
 
 // Versioned datasets: a snapshot is one epoch of a longitudinally

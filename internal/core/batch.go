@@ -74,7 +74,7 @@ func (p *Publisher) ReleaseBatchFor(a *privacy.Accountant, reqs []Request, s *di
 	// request's batch position attached.
 	attrSets := make([][]string, 0, len(reqs))
 	for _, req := range reqs {
-		if _, err := sn.canonicalAttrs(req.Attrs); err == nil {
+		if _, err := sn.data.Schema().Resolve(req.Attrs); err == nil {
 			attrSets = append(attrSets, req.Attrs)
 		}
 	}

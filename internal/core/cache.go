@@ -84,15 +84,18 @@ func (cc *cacheCounters) view() CacheStats {
 }
 
 // marginalEntry is one cached truth: the compiled query, its marginal,
-// and the per-cell mechanism inputs derived from it.
+// the per-cell mechanism inputs derived from it, and the query's plan
+// handle — the same handle that keys the index's packed scan columns,
+// so a cached truth names the scan plan that produced it.
 type marginalEntry struct {
-	q     *table.Query
-	m     *table.Marginal
-	cells []mech.CellInput
+	q       *table.Query
+	m       *table.Marginal
+	cells   []mech.CellInput
+	planKey string
 }
 
 func newMarginalEntry(q *table.Query, m *table.Marginal) *marginalEntry {
-	return &marginalEntry{q: q, m: m, cells: CellInputs(m)}
+	return &marginalEntry{q: q, m: m, cells: CellInputs(m), planKey: q.PlanKey()}
 }
 
 // marginalCacheShards is the number of copy-on-write shards. A small
@@ -308,16 +311,20 @@ func (c *marginalCache) insertDerived(key string, e *marginalEntry, gen uint64) 
 // out of the fresh maps.
 func (c *marginalCache) clear() {
 	c.gen.Add(1)
-	var dropped int64
+	// Evictions count distinct truths: an entry committed under several
+	// keys (plan key plus request-order aliases) drops once.
+	dropped := make(map[*marginalEntry]bool)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		dropped += int64(len(*sh.entries.Load()))
+		for _, e := range *sh.entries.Load() {
+			dropped[e] = true
+		}
 		empty := make(map[string]*marginalEntry)
 		sh.entries.Store(&empty)
 		sh.mu.Unlock()
 	}
-	c.stats.evictions.Add(dropped)
+	c.stats.evictions.Add(int64(len(dropped)))
 }
 
 // committed returns every committed entry across the shards — the
@@ -344,33 +351,42 @@ func (c *marginalCache) seed(entries map[string]*marginalEntry) {
 	}
 }
 
-// exactKey identifies an attribute list in request order.
+// exactKey identifies an attribute list in request order. Non-canonical
+// orders are cached under it; canonical entries use canonicalCacheKey.
 func exactKey(attrs []string) string { return strings.Join(attrs, "\x1f") }
 
-// canonicalAttrs returns the attribute names sorted in schema order —
-// the cache's canonical form — or an ErrUnknownMarginal for attribute
-// lists the schema cannot compile.
-func (sn *epochSnapshot) canonicalAttrs(attrs []string) ([]string, error) {
+// canonicalCacheKey derives the canonical shard key from the query's
+// plan handle: a "\x00" prefix (no attribute name contains NUL, so plan
+// keys can never collide with request-order name keys) followed by
+// Query.PlanKey. The cache and the index's packed-column cache are
+// thereby keyed by the same handle — one plan identity from request to
+// cached truth to scan layout.
+func canonicalCacheKey(q *table.Query) string { return "\x00" + q.PlanKey() }
+
+// canonicalQuery compiles the attribute list into its canonical query —
+// attributes sorted in schema order, the cache's canonical form — or an
+// ErrUnknownMarginal for lists the schema cannot compile.
+func (sn *epochSnapshot) canonicalQuery(attrs []string) (*table.Query, error) {
 	schema := sn.data.Schema()
 	idx, err := schema.Resolve(attrs)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownMarginal, err)
 	}
 	sort.Ints(idx)
-	out := make([]string, len(idx))
+	names := make([]string, len(idx))
 	for i, a := range idx {
-		out[i] = schema.Attr(a).Name
+		names[i] = schema.Attr(a).Name
 	}
-	return out, nil
-}
-
-// computeEntry runs the full-table scan for an attribute list.
-func (sn *epochSnapshot) computeEntry(attrs []string) (*marginalEntry, error) {
-	q, err := table.NewQuery(sn.data.Schema(), attrs...)
+	q, err := table.NewQuery(schema, names...)
 	if err != nil {
 		return nil, err
 	}
-	return newMarginalEntry(q, table.Compute(sn.data.WorkerFull, q)), nil
+	return q, nil
+}
+
+// computeEntry runs the full-table scan for a compiled query.
+func (sn *epochSnapshot) computeEntry(q *table.Query) *marginalEntry {
+	return newMarginalEntry(q, table.Compute(sn.data.WorkerFull, q))
 }
 
 // marginalFor returns the cached truth for the attribute set, computing
@@ -383,41 +399,49 @@ func (sn *epochSnapshot) computeEntry(attrs []string) (*marginalEntry, error) {
 // via the table index). Requests for cached marginals never touch a
 // lock.
 func (sn *epochSnapshot) marginalFor(attrs []string) (*marginalEntry, error) {
-	canon, err := sn.canonicalAttrs(attrs)
-	if err != nil {
-		return nil, err
-	}
 	c := sn.cache
 	if c.off.Load() {
-		return sn.computeEntry(attrs)
+		if _, err := sn.canonicalQuery(attrs); err != nil {
+			return nil, err
+		}
+		q, err := table.NewQuery(sn.data.Schema(), attrs...)
+		if err != nil {
+			return nil, err
+		}
+		return sn.computeEntry(q), nil
 	}
+	// The steady-state hit path is one request-order key join and one
+	// lookup — no canonicalization. Scans dedupe under the plan-key form
+	// (canonicalCacheKey), and every request order that has been served
+	// once holds an alias to the shared entry under its own name key.
 	key := exactKey(attrs)
 	if e, ok := c.lookup(key); ok {
 		c.stats.hits.Add(1)
 		return e, nil
 	}
+	canonQ, err := sn.canonicalQuery(attrs)
+	if err != nil {
+		return nil, err
+	}
 	// Snapshot the generation before obtaining the canonical truth: a
-	// derived remap may only be cached if no invalidation intervened
-	// between here and its commit.
+	// derived entry (alias or remap) may only be cached if no
+	// invalidation intervened between here and its commit.
 	gen := c.gen.Load()
-	canonKey := exactKey(canon)
+	canonKey := canonicalCacheKey(canonQ)
 	canonEntry, fresh, err := c.getOrCompute(canonKey, func() (*marginalEntry, error) {
-		return sn.computeEntry(canon)
+		return sn.computeEntry(canonQ), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if key == canonKey {
-		if !fresh {
-			// Raced with a concurrent scan (or its committed result) and
-			// skipped our own: a hit.
-			c.stats.hits.Add(1)
-		}
-		return canonEntry, nil
-	}
 	if !fresh {
-		// Truth reused, only the cell numbering changes: count as a hit.
+		// Raced with a concurrent scan, followed one already in flight,
+		// or reused a committed truth (for non-canonical orders only the
+		// cell numbering changes): a hit either way.
 		c.stats.hits.Add(1)
+	}
+	if key == exactKey(canonQ.AttrNames()) {
+		return c.insertDerived(key, canonEntry, gen), nil
 	}
 	q, err := table.NewQuery(sn.data.Schema(), attrs...)
 	if err != nil {
@@ -495,15 +519,23 @@ func (p *Publisher) PrefetchMarginals(attrSets [][]string) error {
 // prefetchMarginals is PrefetchMarginals pinned to one snapshot (the
 // batch path pins once for losses, prefetch and noise together).
 func (sn *epochSnapshot) prefetchMarginals(attrSets [][]string) error {
-	canons := make([][]string, 0, len(attrSets))
+	c := sn.cache
+	canons := make([]*table.Query, 0, len(attrSets))
 	for _, attrs := range attrSets {
-		canon, err := sn.canonicalAttrs(attrs)
+		// Warm fast path: a set already served in this request order holds
+		// an alias entry under its name key, and invalid attribute lists
+		// can never be cached — so a hit needs no canonicalization at all.
+		if !c.off.Load() {
+			if _, ok := c.lookup(exactKey(attrs)); ok {
+				continue
+			}
+		}
+		canonQ, err := sn.canonicalQuery(attrs)
 		if err != nil {
 			return err
 		}
-		canons = append(canons, canon)
+		canons = append(canons, canonQ)
 	}
-	c := sn.cache
 	if c.off.Load() {
 		return nil
 	}
@@ -521,8 +553,8 @@ func (sn *epochSnapshot) prefetchMarginals(attrSets [][]string) error {
 			c.finishFlight(keys[i], flights[i], gens[i])
 		}
 	}()
-	for _, canon := range canons {
-		key := exactKey(canon)
+	for _, q := range canons {
+		key := canonicalCacheKey(q)
 		if seen[key] {
 			continue
 		}
@@ -540,14 +572,6 @@ func (sn *epochSnapshot) prefetchMarginals(attrSets [][]string) error {
 			// replaces it.)
 			sh.mu.Unlock()
 			continue
-		}
-		q, err := table.NewQuery(sn.data.Schema(), canon...)
-		if err != nil {
-			sh.mu.Unlock()
-			for _, fl := range flights {
-				fl.err = err
-			}
-			return err
 		}
 		fl, gen := c.registerFlight(sh, key)
 		sh.mu.Unlock()

@@ -92,21 +92,32 @@ func survivingEntries(old *marginalCache, baseIx, nextIx *table.Index, touched [
 	if len(entries) == 0 {
 		return nil, 0
 	}
+	// One truth can be committed under several keys (the plan-key form
+	// plus request-order aliases), so the affected-cell check runs once
+	// per distinct entry and evictions count truths, not keys.
 	keys := make([]string, 0, len(entries))
-	qs := make([]*table.Query, 0, len(entries))
+	uniq := make(map[*marginalEntry]int)
+	var qs []*table.Query
+	slot := make([]int, 0, len(entries))
 	for key, e := range entries {
 		keys = append(keys, key)
-		qs = append(qs, e.q)
+		j, ok := uniq[e]
+		if !ok {
+			j = len(qs)
+			uniq[e] = j
+			qs = append(qs, e.q)
+		}
+		slot = append(slot, j)
 	}
 	affected := table.Affected(baseIx, nextIx, touched, qs)
 	carried := make(map[string]*marginalEntry)
-	var evicted int64
+	evictedSet := make(map[*marginalEntry]bool)
 	for i, key := range keys {
-		if !affected[i] {
+		if !affected[slot[i]] {
 			carried[key] = entries[key]
 		} else {
-			evicted++
+			evictedSet[entries[key]] = true
 		}
 	}
-	return carried, evicted
+	return carried, int64(len(evictedSet))
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/lodes"
+	"repro/internal/table"
 )
 
 // TestMarginalCacheStampedeSingleScan is the cache-stampede contract:
@@ -74,7 +75,7 @@ func TestInvalidateDuringScanDoesNotResurrect(t *testing.T) {
 
 	e, fresh, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 		p.InvalidateMarginalCache() // the dataset "mutated" mid-scan
-		return p.snap.Load().computeEntry(workload1Attrs())
+		return computeEntryFor(p.snap.Load(), workload1Attrs())
 	})
 	if err != nil || e == nil {
 		t.Fatalf("getOrCompute: %v, %v", e, err)
@@ -103,7 +104,7 @@ func TestPostInvalidationRequestDoesNotFollowStaleFlight(t *testing.T) {
 	p := testPublisher(t, 46)
 	key := exactKey(workload1Attrs())
 
-	staleEntry, err := p.snap.Load().computeEntry(workload1Attrs())
+	staleEntry, err := computeEntryFor(p.snap.Load(), workload1Attrs())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestPostInvalidationRequestDoesNotFollowStaleFlight(t *testing.T) {
 	// This request begins strictly after the invalidation: it must not
 	// receive staleEntry even though the leader's flight is still open.
 	e, fresh, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
-		return p.snap.Load().computeEntry(workload1Attrs())
+		return computeEntryFor(p.snap.Load(), workload1Attrs())
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +156,7 @@ func TestDisableRaceStaysCold(t *testing.T) {
 	// Disable lands mid-scan: the flight predates the disable.
 	if _, _, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 		p.SetMarginalCacheEnabled(false)
-		return p.snap.Load().computeEntry(workload1Attrs())
+		return computeEntryFor(p.snap.Load(), workload1Attrs())
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestDisableRaceStaysCold(t *testing.T) {
 	// Racer registered after the disable (it read off==false just before):
 	// its commit while off must be blocked by the off check.
 	if _, _, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
-		return p.snap.Load().computeEntry(workload1Attrs())
+		return computeEntryFor(p.snap.Load(), workload1Attrs())
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestDisableRaceStaysCold(t *testing.T) {
 	// generation bump on enable.
 	if _, _, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 		p.SetMarginalCacheEnabled(true)
-		return p.snap.Load().computeEntry(workload1Attrs())
+		return computeEntryFor(p.snap.Load(), workload1Attrs())
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestScanPanicReleasesFollowers(t *testing.T) {
 		_, _, err := p.snap.Load().cache.getOrCompute(key, func() (*marginalEntry, error) {
 			// By the time a second compute can start, the flight table must
 			// be clean again; computing normally proves the key recovered.
-			return p.snap.Load().computeEntry(workload1Attrs())
+			return computeEntryFor(p.snap.Load(), workload1Attrs())
 		})
 		follower <- err
 	}()
@@ -291,4 +292,15 @@ func TestMarginalCacheStampedeMixedOrders(t *testing.T) {
 	if a.Total() != b.Total() {
 		t.Fatalf("totals differ across orders: %d vs %d", a.Total(), b.Total())
 	}
+}
+
+// computeEntryFor compiles the attribute list and runs the scan — the
+// request-order form of epochSnapshot.computeEntry, for tests that
+// drive the cache internals directly.
+func computeEntryFor(sn *epochSnapshot, attrs []string) (*marginalEntry, error) {
+	q, err := table.NewQuery(sn.data.Schema(), attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return sn.computeEntry(q), nil
 }

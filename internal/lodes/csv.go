@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"repro/internal/dist"
 	"repro/internal/table"
 )
 
@@ -28,6 +29,35 @@ func (d *Dataset) WriteCSV(dir string) error {
 		return err
 	}
 	return writeCSVFile(filepath.Join(dir, "jobs.csv"), d.writeJobs)
+}
+
+// WriteCSVStream writes the frame's snapshot to dir, drawing the job
+// relation chunk-wise with StreamJobs so the full WorkerFull table is
+// never materialized — peak memory is the frame plus one chunk. s must
+// be the stream GenerateFrame consumed. The output is byte-identical to
+// generating the full dataset and calling WriteCSV, which is what makes
+// national-scale snapshots writable at all.
+func (f *Frame) WriteCSVStream(dir string, s *dist.Stream, chunkRows int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("lodes: creating %s: %w", dir, err)
+	}
+	if err := writeCSVFile(filepath.Join(dir, "places.csv"), func(w *csv.Writer) error {
+		return writePlacesTo(w, f.Places)
+	}); err != nil {
+		return err
+	}
+	if err := writeCSVFile(filepath.Join(dir, "establishments.csv"), func(w *csv.Writer) error {
+		return writeEstablishmentsTo(w, f.Schema, f.Establishments)
+	}); err != nil {
+		return err
+	}
+	return writeCSVFile(filepath.Join(dir, "jobs.csv"), func(w *csv.Writer) error {
+		jw, err := newJobsWriter(w, f.Schema)
+		if err != nil {
+			return err
+		}
+		return f.StreamJobs(s, chunkRows, jw.writeChunk)
+	})
 }
 
 func writeCSVFile(path string, write func(w *csv.Writer) error) error {
@@ -52,10 +82,26 @@ func writeCSVFile(path string, write func(w *csv.Writer) error) error {
 }
 
 func (d *Dataset) writePlaces(w *csv.Writer) error {
+	return writePlacesTo(w, d.Places)
+}
+
+func (d *Dataset) writeEstablishments(w *csv.Writer) error {
+	return writeEstablishmentsTo(w, d.Schema(), d.Establishments)
+}
+
+func (d *Dataset) writeJobs(w *csv.Writer) error {
+	jw, err := newJobsWriter(w, d.Schema())
+	if err != nil {
+		return err
+	}
+	return jw.writeChunk(d.WorkerFull)
+}
+
+func writePlacesTo(w *csv.Writer, places []Place) error {
 	if err := w.Write([]string{"name", "population"}); err != nil {
 		return err
 	}
-	for _, p := range d.Places {
+	for _, p := range places {
 		if err := w.Write([]string{p.Name, strconv.Itoa(p.Population)}); err != nil {
 			return err
 		}
@@ -63,15 +109,14 @@ func (d *Dataset) writePlaces(w *csv.Writer) error {
 	return nil
 }
 
-func (d *Dataset) writeEstablishments(w *csv.Writer) error {
+func writeEstablishmentsTo(w *csv.Writer, s *table.Schema, ests []Establishment) error {
 	if err := w.Write([]string{"id", "place", "industry", "ownership", "employment"}); err != nil {
 		return err
 	}
-	s := d.Schema()
 	placeDom := s.Attr(s.MustAttrIndex(AttrPlace))
 	indDom := s.Attr(s.MustAttrIndex(AttrIndustry))
 	ownDom := s.Attr(s.MustAttrIndex(AttrOwnership))
-	for _, e := range d.Establishments {
+	for _, e := range ests {
 		rec := []string{
 			strconv.Itoa(int(e.ID)),
 			placeDom.Value(e.Place),
@@ -86,23 +131,34 @@ func (d *Dataset) writeEstablishments(w *csv.Writer) error {
 	return nil
 }
 
-func (d *Dataset) writeJobs(w *csv.Writer) error {
+// jobsWriter emits the jobs.csv relation incrementally: the header once
+// at construction, then any number of row chunks — the shared tail of
+// Dataset.WriteCSV (one chunk: the whole table) and Frame.WriteCSVStream.
+type jobsWriter struct {
+	w       *csv.Writer
+	attrIdx []int
+	rec     []string
+}
+
+func newJobsWriter(w *csv.Writer, s *table.Schema) (*jobsWriter, error) {
 	header := append([]string{"establishment"}, WorkerAttrs()...)
 	if err := w.Write(header); err != nil {
-		return err
+		return nil, err
 	}
-	s := d.Schema()
 	attrIdx := make([]int, len(WorkerAttrs()))
 	for i, name := range WorkerAttrs() {
 		attrIdx[i] = s.MustAttrIndex(name)
 	}
-	rec := make([]string, 1+len(attrIdx))
-	for row := 0; row < d.WorkerFull.NumRows(); row++ {
-		rec[0] = strconv.Itoa(int(d.WorkerFull.Entity(row)))
-		for i, a := range attrIdx {
-			rec[1+i] = d.WorkerFull.Value(row, a)
+	return &jobsWriter{w: w, attrIdx: attrIdx, rec: make([]string, 1+len(attrIdx))}, nil
+}
+
+func (jw *jobsWriter) writeChunk(chunk *table.Table) error {
+	for row := 0; row < chunk.NumRows(); row++ {
+		jw.rec[0] = strconv.Itoa(int(chunk.Entity(row)))
+		for i, a := range jw.attrIdx {
+			jw.rec[1+i] = chunk.Value(row, a)
 		}
-		if err := w.Write(rec); err != nil {
+		if err := jw.w.Write(jw.rec); err != nil {
 			return err
 		}
 	}

@@ -72,6 +72,24 @@ func LargeConfig() Config {
 	return c
 }
 
+// NationalConfig returns the national-scale configuration: ~20k places
+// and 7 million establishments, on the order of 130 million jobs — the
+// magnitude of the full national LODES the paper's production system
+// serves, an order of magnitude past LargeConfig. The tail probability
+// is trimmed so the mean establishment size lands near the national
+// ~18.6 jobs per establishment rather than the 3-state sample's ~20.7.
+// A materialized WorkerFull at this scale is multiple gigabytes, so
+// nothing builds it in one piece: national datasets exist only as a
+// Frame whose job relation is drawn chunk-wise (GenerateFrame,
+// Frame.StreamJobs) into a bounded reusable buffer.
+func NationalConfig() Config {
+	c := DefaultConfig()
+	c.NumPlaces = 20_000
+	c.NumEstablishments = 7_000_000
+	c.TailProb = 0.0075
+	return c
+}
+
 // Validate returns an error describing the first invalid field, if any.
 func (c Config) Validate() error {
 	if c.NumPlaces < 4 {
@@ -198,10 +216,74 @@ func sampleCat(s *dist.Stream, weights []float64) int {
 	return len(weights) - 1
 }
 
-// Generate produces a synthetic LODES snapshot from the configuration and
-// stream. The same configuration and stream seed always produce the same
-// dataset.
-func Generate(cfg Config, s *dist.Stream) (*Dataset, error) {
+// linearSampleMax is the weight-list size up to which catSampler keeps
+// the plain subtractive scan. Every pre-national configuration (≤120
+// places) stays below it, so their draw sequences — and therefore every
+// recorded dataset and delta chain — are unchanged; only national-scale
+// place lists switch to the log-time sampler, whose draws differ from
+// the linear scan's only by floating-point association at bin edges.
+const linearSampleMax = 256
+
+// catSampler draws from one fixed categorical distribution many times.
+// Small weight lists use sampleCat verbatim; large ones precompute the
+// prefix-sum table once and binary-search it, turning the O(places)
+// per-establishment placement draw — untenable at 20k places × 7M
+// establishments — into O(log places).
+type catSampler struct {
+	weights []float64
+	cum     []float64 // nil for linear sampling
+}
+
+func newCatSampler(weights []float64) *catSampler {
+	cs := &catSampler{weights: weights}
+	if len(weights) > linearSampleMax {
+		cs.cum = make([]float64, len(weights))
+		total := 0.0
+		for i, w := range weights {
+			total += w
+			cs.cum[i] = total
+		}
+	}
+	return cs
+}
+
+func (cs *catSampler) sample(s *dist.Stream) int {
+	if cs.cum == nil {
+		return sampleCat(s, cs.weights)
+	}
+	u := s.Float64() * cs.cum[len(cs.cum)-1]
+	lo, hi := 0, len(cs.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if u < cs.cum[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Frame is the entity-level half of a snapshot: place metadata and the
+// establishment frame, with the job relation not yet drawn. At national
+// scale the job relation is gigabytes, so the frame is the object that
+// gets materialized and the jobs exist only as a chunk stream
+// (StreamJobs) — a consumer that aggregates or writes as it goes never
+// holds more than one chunk of job rows.
+type Frame struct {
+	Schema         *table.Schema
+	Places         []Place
+	Establishments []Establishment
+	// TotalJobs is the number of job records StreamJobs will produce,
+	// known at frame time because employment is drawn per establishment.
+	TotalJobs int
+}
+
+// GenerateFrame draws the places and the establishment frame from the
+// configuration and stream — everything except the job relation. The
+// draws are identical to the first two phases of Generate: a frame plus
+// its StreamJobs chunks reproduce Generate's dataset exactly.
+func GenerateFrame(cfg Config, s *dist.Stream) (*Frame, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -234,6 +316,7 @@ func Generate(cfg Config, s *dist.Stream) (*Dataset, error) {
 	for i, p := range places {
 		placeWeights[i] = math.Sqrt(float64(p.Population)) + 2
 	}
+	placePicker := newCatSampler(placeWeights)
 
 	sizeDist := dist.NewSkewedSize(cfg.SizeBody, cfg.SizeTail, cfg.TailProb)
 	estStream := s.Split("establishments")
@@ -241,7 +324,7 @@ func Generate(cfg Config, s *dist.Stream) (*Dataset, error) {
 	ests := make([]Establishment, cfg.NumEstablishments)
 	totalJobs := 0
 	for i := range ests {
-		place := sampleCat(estStream, placeWeights)
+		place := placePicker.sample(estStream)
 		sector := sampleCat(estStream, sectorWeights[:])
 		own := 0
 		if estStream.Float64() < publicOwnershipProb(sector) {
@@ -253,25 +336,71 @@ func Generate(cfg Config, s *dist.Stream) (*Dataset, error) {
 		}
 		totalJobs += size
 	}
+	return &Frame{Schema: schema, Places: places, Establishments: ests, TotalJobs: totalJobs}, nil
+}
 
-	// Jobs: one WorkerFull record per employee, with worker attributes
-	// drawn from sector-conditioned distributions.
+// DefaultChunkRows is the default StreamJobs chunk granularity: large
+// enough that per-chunk overheads vanish, small enough that a chunk of
+// the 8-attribute worker relation stays in the tens of megabytes.
+const DefaultChunkRows = 1 << 20
+
+// StreamJobs draws the frame's job relation in establishment-ordered
+// chunks, calling fn with a reused buffer table after each fills to at
+// least chunkRows rows (establishments are never split across chunks,
+// so every chunk is entity-sorted and a chunk can overshoot by at most
+// one establishment's workforce). s must be the same stream GenerateFrame
+// consumed — Split is a pure function of stream identity, so the worker
+// draws land exactly where Generate's would, and concatenating the
+// chunks reproduces Generate's WorkerFull bit for bit. The buffer is
+// reset after every call; fn must copy anything it keeps.
+func (f *Frame) StreamJobs(s *dist.Stream, chunkRows int, fn func(chunk *table.Table) error) error {
+	if chunkRows < 1 {
+		chunkRows = DefaultChunkRows
+	}
 	workerStream := s.Split("workers")
-	full := table.NewWithCapacity(schema, totalJobs)
+	buf := table.NewWithCapacity(f.Schema, chunkRows)
 	var eduW [4]float64
-	for _, est := range ests {
+	for _, est := range f.Establishments {
 		edu := educationDist(est.Industry)
 		copy(eduW[:], edu[:])
 		fProb := femaleProb(est.Industry)
 		for j := 0; j < est.Employment; j++ {
 			jr := drawJob(workerStream, fProb, eduW[:])
-			full.AppendRow(est.ID,
+			buf.AppendRow(est.ID,
 				est.Place, est.Industry, est.Ownership,
 				jr.Sex, jr.Age, jr.Race, jr.Ethnicity, jr.Education)
 		}
+		if buf.NumRows() >= chunkRows {
+			if err := fn(buf); err != nil {
+				return err
+			}
+			buf.Reset()
+		}
 	}
+	if buf.NumRows() > 0 {
+		return fn(buf)
+	}
+	return nil
+}
 
-	return &Dataset{WorkerFull: full, Establishments: ests, Places: places}, nil
+// Generate produces a synthetic LODES snapshot from the configuration and
+// stream. The same configuration and stream seed always produce the same
+// dataset. It is GenerateFrame plus StreamJobs materialized into one
+// table; callers that can consume the job relation incrementally should
+// stream instead and skip the full materialization.
+func Generate(cfg Config, s *dist.Stream) (*Dataset, error) {
+	f, err := GenerateFrame(cfg, s)
+	if err != nil {
+		return nil, err
+	}
+	full := table.NewWithCapacity(f.Schema, f.TotalJobs)
+	if err := f.StreamJobs(s, DefaultChunkRows, func(chunk *table.Table) error {
+		full.AppendSpan(chunk, 0, chunk.NumRows())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return &Dataset{WorkerFull: full, Establishments: f.Establishments, Places: f.Places}, nil
 }
 
 // MustGenerate is Generate but panics on configuration errors; for use

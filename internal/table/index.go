@@ -45,15 +45,25 @@ type Index struct {
 	// entity-less rows).
 	entities []int32
 	// cols are the table's code columns re-materialized in index row
-	// order (cols[a][p] == t.cols[a][rows[p]]), so the scan kernel reads
-	// every column strictly sequentially instead of gathering through
-	// the row permutation. Materialization is lazy, per column, on the
-	// first query that touches the attribute (guarded by colsMu): a
-	// throwaway index — the node-DP baseline computes one marginal over
-	// a freshly truncated table per release — only pays the gather for
-	// the columns it actually queries.
-	colsMu sync.Mutex
-	cols   [][]uint16
+	// order (cols[a].data[p] == t.cols[a][rows[p]]), so the scan kernel
+	// reads every column strictly sequentially instead of gathering
+	// through the row permutation. Materialization is lazy, per column,
+	// on the first query that touches the attribute, and each column has
+	// its own once-guard: a first-touch gather of one attribute (an O(n)
+	// pass) never serializes workers resolving a different, already
+	// materialized attribute. A throwaway index — the node-DP baseline
+	// computes one marginal over a freshly truncated table per release —
+	// only pays the gather for the columns it actually queries.
+	cols []lazyCol
+	// packMu guards packs, the per-plan cache of bit-packed composite-key
+	// columns (see pack.go). The map is tiny (one entry per distinct
+	// canonical attribute set ever queried); builds happen outside the
+	// lock under each entry's own once-guard, mirroring cols.
+	packMu sync.Mutex
+	packs  map[string]*packedPlan
+	// noPack disables the packed fast path (tests use it to force the
+	// unpacked kernel as the differential oracle).
+	noPack bool
 	// maxGroup is the largest group size, for sizing per-worker scratch.
 	maxGroup int
 
@@ -64,9 +74,27 @@ type Index struct {
 	scratch sync.Pool
 }
 
+// lazyCol is one lazily materialized index-order column: data is built
+// (or aliased, in identity mode) under the column's own once-guard.
+type lazyCol struct {
+	once sync.Once
+	data []uint16
+}
+
 // BuildIndex constructs the entity-sorted index for the table's current
 // rows. Most callers want Table.Index, which builds lazily and caches.
+//
+// Tables whose rows are already grouped by non-decreasing entity with no
+// entity-less rows — as chunk-streamed ingest appends them — take the
+// streaming path: one chunked pass over the entity column derives the
+// group boundaries directly and the index is built in identity mode
+// (rows == nil), so peak memory is the boundary arrays alone — no O(n)
+// row permutation, no counting-sort offsets, and no per-attribute
+// gathers ever (identity-mode columns alias the table's).
 func BuildIndex(t *Table) *Index {
+	if ix := buildSortedIndex(t); ix != nil {
+		return ix
+	}
 	n := t.NumRows()
 	numEnt := t.NumEntities()
 	// Counting sort over entity IDs. Entity-less rows are appended after
@@ -122,8 +150,59 @@ func BuildIndex(t *Table) *Index {
 		ix.maxGroup = 1
 	}
 	ix.starts = append(ix.starts, int32(n))
-	ix.cols = make([][]uint16, len(t.cols))
+	ix.cols = make([]lazyCol, len(t.cols))
 	return ix
+}
+
+// sortedScanChunk is the span size of the streamed entity-column pass in
+// buildSortedIndex; it only bounds the scan loop's working set, never an
+// allocation, so its exact value is immaterial to correctness.
+const sortedScanChunk = 1 << 16
+
+// buildSortedIndex returns an identity-mode index when the table's rows
+// are already grouped by non-decreasing, non-negative entity, streaming
+// the entity column in fixed-size chunks. It returns nil — and BuildIndex
+// falls back to the counting sort — at the first out-of-order or
+// entity-less row.
+func buildSortedIndex(t *Table) *Index {
+	ents := t.entities
+	n := t.NumRows()
+	ix := &Index{t: t, n: n}
+	if n == 0 {
+		ix.starts = []int32{0}
+		ix.cols = make([]lazyCol, len(t.cols))
+		return ix
+	}
+	prev := int32(-1)
+	groupStart := 0
+	for lo := 0; lo < n; lo += sortedScanChunk {
+		hi := min(lo+sortedScanChunk, n)
+		for p := lo; p < hi; p++ {
+			e := ents[p]
+			if e < 0 || e < prev {
+				return nil
+			}
+			if e != prev {
+				if p > groupStart {
+					ix.addSortedGroup(prev, groupStart, p)
+				}
+				prev = e
+				groupStart = p
+			}
+		}
+	}
+	ix.addSortedGroup(prev, groupStart, n)
+	ix.starts = append(ix.starts, int32(n))
+	ix.cols = make([]lazyCol, len(t.cols))
+	return ix
+}
+
+func (ix *Index) addSortedGroup(e int32, lo, hi int) {
+	ix.starts = append(ix.starts, int32(lo))
+	ix.entities = append(ix.entities, e)
+	if hi-lo > ix.maxGroup {
+		ix.maxGroup = hi - lo
+	}
 }
 
 // col returns attribute a's code column in index row order,
@@ -134,47 +213,58 @@ func BuildIndex(t *Table) *Index {
 // index (rows == nil) skips the gather entirely and aliases the
 // table's column, which is already in index order.
 func (ix *Index) col(a int) []uint16 {
-	ix.colsMu.Lock()
-	defer ix.colsMu.Unlock()
-	if ix.cols[a] == nil {
+	lc := &ix.cols[a]
+	lc.once.Do(func() {
 		src := ix.t.cols[a]
 		if ix.rows == nil {
-			ix.cols[a] = src
-		} else {
-			re := make([]uint16, ix.n)
-			for p, row := range ix.rows {
-				re[p] = src[row]
-			}
-			ix.cols[a] = re
+			lc.data = src
+			return
 		}
-	}
-	return ix.cols[a]
+		re := make([]uint16, ix.n)
+		for p, row := range ix.rows {
+			re[p] = src[row]
+		}
+		lc.data = re
+	})
+	return lc.data
 }
 
 // NumGroups returns the number of entity groups (singleton groups for
 // entity-less rows included).
 func (ix *Index) NumGroups() int { return len(ix.entities) }
 
+// cellStats is one cell's accumulated statistics. The four counters live
+// in one 32-byte struct — half a cache line — so a fold touches one line
+// where four parallel arrays would touch four; at paper scale the
+// accumulator overflows L1 and the fold's random accesses dominate the
+// scan, making this layout the difference between one and four L2 hits
+// per touched cell.
+type cellStats struct {
+	count    int64
+	max      int64
+	second   int64
+	entities int64
+}
+
 // partial is one worker's per-cell accumulator for one query.
 type partial struct {
-	counts   []int64
-	max      []int64
-	second   []int64
-	entities []int64
-	hist     []CellEntityCount
+	stats []cellStats
+	hist  []CellEntityCount
 }
 
 // reset prepares a (possibly reused) partial for a query of the given
-// size. Accumulator arrays are grown or zeroed; the detailed histogram,
+// size. The stats array is grown or zeroed; the detailed histogram,
 // which grows with the number of (cell, entity) runs — bounded by the
 // shard's row count, not by the cell count — is sized from rowsHint on
 // first detailed use and keeps its capacity across reuses. The
 // non-detailed path carries no histogram at all.
 func (p *partial) reset(size int, detailed bool, rowsHint int) {
-	p.counts = resizeZeroed(p.counts, size)
-	p.max = resizeZeroed(p.max, size)
-	p.second = resizeZeroed(p.second, size)
-	p.entities = resizeZeroed(p.entities, size)
+	if cap(p.stats) < size {
+		p.stats = make([]cellStats, size)
+	} else {
+		p.stats = p.stats[:size]
+		clear(p.stats)
+	}
 	if detailed {
 		if p.hist == nil {
 			p.hist = make([]CellEntityCount, 0, rowsHint)
@@ -185,27 +275,17 @@ func (p *partial) reset(size int, detailed bool, rowsHint int) {
 	}
 }
 
-// resizeZeroed returns an all-zero int64 slice of the given length,
-// reusing buf's storage when it is large enough.
-func resizeZeroed(buf []int64, n int) []int64 {
-	if cap(buf) < n {
-		return make([]int64, n)
-	}
-	buf = buf[:n]
-	clear(buf)
-	return buf
-}
-
 // addRun folds one (cell, entity, count) contribution into the partial.
 func (p *partial) addRun(cell int, entity int32, c int64, detailed bool) {
-	p.counts[cell] += c
-	p.entities[cell]++
+	st := &p.stats[cell]
+	st.count += c
+	st.entities++
 	switch {
-	case c > p.max[cell]:
-		p.second[cell] = p.max[cell]
-		p.max[cell] = c
-	case c > p.second[cell]:
-		p.second[cell] = c
+	case c > st.max:
+		st.second = st.max
+		st.max = c
+	case c > st.second:
+		st.second = c
 	}
 	if detailed {
 		p.hist = append(p.hist, CellEntityCount{Cell: cell, Entity: entity, Count: c})
@@ -215,18 +295,19 @@ func (p *partial) addRun(cell int, entity int32, c int64, detailed bool) {
 // merge folds another worker's partial into p. Sums are order-free; the
 // top-two contributions merge as the two largest of the four candidates.
 func (p *partial) merge(o *partial) {
-	for i := range p.counts {
-		p.counts[i] += o.counts[i]
-		p.entities[i] += o.entities[i]
-		hi, lo := o.max[i], o.second[i]
-		if hi > p.max[i] {
-			p.second[i] = max64(p.max[i], lo)
-			p.max[i] = hi
-		} else if hi > p.second[i] {
-			p.second[i] = hi
+	for i := range p.stats {
+		a, b := &p.stats[i], &o.stats[i]
+		a.count += b.count
+		a.entities += b.entities
+		hi, lo := b.max, b.second
+		if hi > a.max {
+			a.second = max64(a.max, lo)
+			a.max = hi
+		} else if hi > a.second {
+			a.second = hi
 		}
-		if lo > p.second[i] {
-			p.second[i] = lo
+		if lo > a.second {
+			a.second = lo
 		}
 	}
 	p.hist = append(p.hist, o.hist...)
@@ -248,7 +329,10 @@ func max64(a, b int64) int64 {
 type scanScratch struct {
 	// cells is the scatter array, indexed by cell key. All-zero outside
 	// the group currently being folded (see the Index.scratch invariant).
-	cells []int64
+	// int32 halves the array's cache footprint vs int64; a single group's
+	// per-cell count is bounded by the group's row count, which int32
+	// covers for any table addressable by the int32 row IDs.
+	cells []int32
 	// touched records which cells the current (group, query) hit, so the
 	// reset after folding is O(touched), not O(cells).
 	touched []int
@@ -260,7 +344,7 @@ type scanScratch struct {
 // maxSize over a shard of rows rows.
 func (sc *scanScratch) checkout(qs []*Query, maxSize int, detailed bool, rows, maxGroup int) {
 	if cap(sc.cells) < maxSize {
-		sc.cells = make([]int64, maxSize) // fresh ⇒ all-zero, preserving the pool invariant
+		sc.cells = make([]int32, maxSize) // fresh ⇒ all-zero, preserving the pool invariant
 	} else {
 		sc.cells = sc.cells[:maxSize]
 	}
@@ -303,16 +387,22 @@ func (ix *Index) computeQueries(qs []*Query, detailed bool) ([]*Marginal, [][]Ce
 			maxSize = q.size
 		}
 	}
-	// Resolve each query's columns once, against the index-ordered
-	// materialization (built lazily per attribute), so the scan reads
-	// raw code slices sequentially. The resolved views are read-only
-	// and shared by every worker.
-	qcols := make([][][]uint16, len(qs))
+	// Resolve each query's scan plan once. Packable queries read the
+	// bit-packed composite-key column (built lazily per canonical
+	// attribute set, see pack.go); the rest stream the per-attribute
+	// index-order materializations. The resolved views are read-only and
+	// shared by every worker.
+	plans := make([]scanPlan, len(qs))
 	for k, q := range qs {
-		qcols[k] = make([][]uint16, len(q.attrs))
-		for i, a := range q.attrs {
-			qcols[k][i] = ix.col(a)
+		if pc := ix.packedFor(q); pc != nil {
+			plans[k].pc = pc
+			continue
 		}
+		cols := make([][]uint16, len(q.attrs))
+		for i, a := range q.attrs {
+			cols[i] = ix.col(a)
+		}
+		plans[k].cols = cols
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > ix.NumGroups() {
@@ -326,7 +416,7 @@ func (ix *Index) computeQueries(qs []*Query, detailed bool) ([]*Marginal, [][]Ce
 	if len(shards) == 1 {
 		// Single shard: scan inline — no goroutine, no synchronization.
 		states[0] = ix.getScratch(qs, maxSize, detailed, ix.shardRows(shards[0]))
-		ix.scanShard(shards[0][0], shards[0][1], qs, qcols, states[0], detailed)
+		ix.scanShard(shards[0][0], shards[0][1], qs, plans, states[0], detailed)
 	} else {
 		var wg sync.WaitGroup
 		for w := range shards {
@@ -334,7 +424,7 @@ func (ix *Index) computeQueries(qs []*Query, detailed bool) ([]*Marginal, [][]Ce
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				ix.scanShard(shards[w][0], shards[w][1], qs, qcols, states[w], detailed)
+				ix.scanShard(shards[w][0], shards[w][1], qs, plans, states[w], detailed)
 			}(w)
 		}
 		wg.Wait()
@@ -356,13 +446,21 @@ func (ix *Index) computeQueries(qs []*Query, detailed bool) ([]*Marginal, [][]Ce
 	}
 	for k, q := range qs {
 		p := acc.ps[k]
-		outM[k] = &Marginal{
+		m := &Marginal{
 			Query:                    q,
-			Counts:                   append([]int64(nil), p.counts...),
-			MaxEntityContribution:    append([]int64(nil), p.max...),
-			SecondEntityContribution: append([]int64(nil), p.second...),
-			EntityCount:              append([]int64(nil), p.entities...),
+			Counts:                   make([]int64, q.size),
+			MaxEntityContribution:    make([]int64, q.size),
+			SecondEntityContribution: make([]int64, q.size),
+			EntityCount:              make([]int64, q.size),
 		}
+		for i := range p.stats {
+			st := &p.stats[i]
+			m.Counts[i] = st.count
+			m.MaxEntityContribution[i] = st.max
+			m.SecondEntityContribution[i] = st.second
+			m.EntityCount[i] = st.entities
+		}
+		outM[k] = m
 		if detailed {
 			hist := append([]CellEntityCount(nil), p.hist...)
 			sort.Slice(hist, func(i, j int) bool {
@@ -409,6 +507,14 @@ func (ix *Index) shardGroups(workers int) [][2]int {
 	return shards
 }
 
+// scanPlan is one query's resolved scan inputs: either the bit-packed
+// composite-key column (pc != nil, the fast path) or the per-attribute
+// index-order column views for the unpacked fallback kernel.
+type scanPlan struct {
+	cols [][]uint16
+	pc   *packedColumn
+}
+
 // scanShard accumulates the groups [gLo, gHi) into the scratch's
 // per-query partials with the sort-free scatter kernel: each group is a
 // single O(g) pass that counts cell keys into the scatch array, records
@@ -416,11 +522,25 @@ func (ix *Index) shardGroups(workers int) [][2]int {
 // order is first-touch order — sums, top-two tracking and entity counts
 // are order-free, and the detailed histogram is sorted afterwards, so
 // the results are identical to the sorted-runs kernel this replaces.
-func (ix *Index) scanShard(gLo, gHi int, qs []*Query, qcols [][][]uint16, sc *scanScratch, detailed bool) {
+// Packed and unpacked plans visit rows in the same order and compute the
+// same mixed-radix keys, so the two kernels are bit-identical.
+func (ix *Index) scanShard(gLo, gHi int, qs []*Query, plans []scanPlan, sc *scanScratch, detailed bool) {
 	cells, touched := sc.cells, sc.touched
 	for k, q := range qs {
-		cols := qcols[k]
 		p := sc.ps[k]
+		if pc := plans[k].pc; pc != nil {
+			for g := gLo; g < gHi; g++ {
+				lo, hi := int(ix.starts[g]), int(ix.starts[g+1])
+				entity := ix.entities[g]
+				if hi-lo == 1 {
+					p.addRun(pc.key(lo), entity, 1, detailed)
+					continue
+				}
+				pc.foldRuns(p, lo, hi, entity, detailed)
+			}
+			continue
+		}
+		cols := plans[k].cols
 		for g := gLo; g < gHi; g++ {
 			lo, hi := int(ix.starts[g]), int(ix.starts[g+1])
 			entity := ix.entities[g]
@@ -432,7 +552,7 @@ func (ix *Index) scanShard(gLo, gHi int, qs []*Query, qcols [][][]uint16, sc *sc
 			}
 			nt := scatterGroup(cells, touched, cols, q.radices, lo, hi)
 			for _, key := range touched[:nt] {
-				p.addRun(key, entity, cells[key], detailed)
+				p.addRun(key, entity, int64(cells[key]), detailed)
 				cells[key] = 0
 			}
 		}
@@ -454,7 +574,7 @@ func keyAt(cols [][]uint16, radices []int, p int) int {
 // touched cells. The loops are specialized by query arity so the
 // per-row key computation is fully unrolled for the common marginal
 // shapes (the 0-ary body folds the whole group into cell 0 directly).
-func scatterGroup(cells []int64, touched []int, cols [][]uint16, radices []int, lo, hi int) int {
+func scatterGroup(cells []int32, touched []int, cols [][]uint16, radices []int, lo, hi int) int {
 	nt := 0
 	note := func(key int) {
 		if cells[key] == 0 {
@@ -465,7 +585,7 @@ func scatterGroup(cells []int64, touched []int, cols [][]uint16, radices []int, 
 	}
 	switch len(cols) {
 	case 0:
-		cells[0] = int64(hi - lo)
+		cells[0] = int32(hi - lo)
 		touched[0] = 0
 		return 1
 	case 1:

@@ -18,6 +18,20 @@ type Query struct {
 	attrs   []int
 	radices []int
 	size    int
+
+	// planKey is the canonical plan handle: the query's attribute
+	// positions encoded as big-endian uint16 pairs, set only when attrs
+	// are in canonical (strictly ascending schema) order. It keys both
+	// the index's packed-column cache and — prefixed — the publisher's
+	// canonical marginal-cache shards, so a cached truth and its packed
+	// scan column are the same plan by construction.
+	planKey string
+	// packWidth is the packed cell-key width, ⌈log2(size)⌉ (min 1).
+	packWidth uint
+	// packable reports whether the query scans via the packed kernel: a
+	// non-empty canonical attribute set whose key width fits
+	// maxPackedWidth. Everything else takes the unpacked fallback.
+	packable bool
 }
 
 // NewQuery compiles a marginal query over the named attributes.
@@ -29,9 +43,23 @@ func NewQuery(schema *Schema, names ...string) (*Query, error) {
 	q := &Query{schema: schema, attrs: attrs}
 	q.size = 1
 	q.radices = make([]int, len(attrs))
+	canonical := true
 	for i, a := range attrs {
 		q.radices[i] = schema.Attr(a).Size()
 		q.size *= q.radices[i]
+		if i > 0 && attrs[i-1] >= a {
+			canonical = false
+		}
+	}
+	if canonical {
+		enc := make([]byte, 2*len(attrs))
+		for i, a := range attrs {
+			enc[2*i] = byte(a >> 8)
+			enc[2*i+1] = byte(a)
+		}
+		q.planKey = string(enc)
+		q.packWidth = packedKeyWidth(q.size)
+		q.packable = len(attrs) > 0 && q.packWidth <= maxPackedWidth
 	}
 	return q, nil
 }
@@ -47,6 +75,14 @@ func MustNewQuery(schema *Schema, names ...string) *Query {
 
 // Schema returns the schema the query was compiled against.
 func (q *Query) Schema() *Schema { return q.schema }
+
+// PlanKey returns the query's canonical plan handle: a compact encoding
+// of its attribute positions, non-empty exactly when the attributes are
+// in canonical (strictly ascending schema) order — q∅, the empty query,
+// canonically encodes to "". Queries sharing a plan key share the
+// index's packed scan column, and the publisher derives its canonical
+// cache keys from the same handle. Non-canonical queries return "".
+func (q *Query) PlanKey() string { return q.planKey }
 
 // Attrs returns the schema positions of the query's attributes.
 func (q *Query) Attrs() []int { return q.attrs }

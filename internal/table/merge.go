@@ -100,7 +100,7 @@ func MergeIndex(base *Index, next *Table, touched []int32, touchedRows []int32) 
 				g, e, lo, hi, ents[lo], ents[hi-1])
 		}
 	}
-	ix.cols = make([][]uint16, len(next.cols))
+	ix.cols = make([]lazyCol, len(next.cols))
 	return ix, nil
 }
 

@@ -1,0 +1,361 @@
+package table
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+// Bit-packed composite-key columns: the scan-specialized layout of the
+// data plane (DESIGN.md §10).
+//
+// The unpacked kernel reads one uint16 per row per query attribute and
+// recomputes the mixed-radix cell key per row — at paper scale the scan
+// is memory-bound, so the next multiple comes from reading fewer bytes
+// per row. A packedColumn stores the *fused* cell key of every index
+// position in ⌈log2(q.size)⌉ bits, packed LSB-first into 64-bit words
+// with keys never straddling a word (the top 64 mod width bits of each
+// word are padding). A W1 scan (place×industry×ownership, 1200 cells,
+// 11-bit keys) reads 11 bits per row instead of 48 — five keys per
+// 8-byte load — and does no multiplies in the inner loop.
+//
+// Packed columns are built lazily and adaptively, once per canonical
+// attribute set, and cached on the index keyed by the query's plan key,
+// beside the existing per-attribute materializations. Building costs
+// about as much as a few unpacked scans (fuse, per-group sort, emit),
+// so a plan packs only after packScanThreshold unpacked scans of the
+// same index — repeated-scan workloads cross the threshold immediately
+// and amortize the build, while the scan-once-then-cache pattern of the
+// epoch chain (each Advance merges a fresh index and warms each
+// marginal exactly once) never pays for a column it would use once.
+//
+// The unpacked path remains both the differential oracle and the
+// fallback: queries whose attributes are not in canonical (ascending
+// schema) order or whose key width exceeds maxPackedWidth always scan
+// unpacked, and both kernels produce the same multiset aggregates per
+// group, so results are bit-identical.
+
+// maxPackedWidth bounds the packed key width. Wider keys fit fewer than
+// two per word, so the packed read amplifies — at 33+ bits per key the
+// per-attribute uint16 columns are already the denser layout for every
+// query of up to four attributes.
+const maxPackedWidth = 32
+
+// packScanThreshold is the number of unpacked scans a plan tolerates on
+// one index before its packed column is built. The build costs roughly
+// two to three unpacked scans, so the third scan is where packing
+// starts paying for itself.
+const packScanThreshold = 2
+
+// packedColumn holds one canonical attribute set's fused cell keys for
+// every index position, LSB-first within each 64-bit word.
+type packedColumn struct {
+	width   uint   // bits per key, ⌈log2(size)⌉ (min 1)
+	perWord int    // keys per word, 64/width
+	mask    uint64 // low `width` bits
+	// rep replicates a key across a word: key*rep is the word whose
+	// perWord key slots all hold key (padding bits zero). A full word
+	// equal to the open run's replicated pattern extends the run by
+	// perWord rows with a single compare — the common case for marginals
+	// over entity-level attributes, where a whole group is one run.
+	rep   uint64
+	words []uint64
+}
+
+// packedPlan is one pack-cache entry: the column is built under the
+// entry's own once-guard, outside the cache map's mutex, mirroring the
+// per-column guards of Index.col. scans counts the plan's lookups on
+// this index (guarded by packMu) and gates the build.
+type packedPlan struct {
+	scans int
+	once  sync.Once
+	col   *packedColumn
+}
+
+// packedFor returns the packed column for q, building and caching it
+// once the plan's scan count on this index crosses packScanThreshold,
+// or nil when q doesn't pack (see Query.packable), packing is disabled
+// on the index, or the plan hasn't yet scanned often enough to make the
+// build worthwhile.
+func (ix *Index) packedFor(q *Query) *packedColumn {
+	if !q.packable || ix.noPack {
+		return nil
+	}
+	ix.packMu.Lock()
+	if ix.packs == nil {
+		ix.packs = make(map[string]*packedPlan)
+	}
+	pl := ix.packs[q.planKey]
+	if pl == nil {
+		pl = &packedPlan{}
+		ix.packs[q.planKey] = pl
+	}
+	pl.scans++
+	if pl.scans <= packScanThreshold {
+		ix.packMu.Unlock()
+		return nil
+	}
+	ix.packMu.Unlock()
+	pl.once.Do(func() { pl.col = ix.buildPacked(q) })
+	return pl.col
+}
+
+// buildPacked fuses q's attribute codes into a packed column, group by
+// group, reading through the row permutation when the index is not in
+// identity mode. Each group's keys are sorted ascending before packing —
+// the within-group row order is semantically free (every statistic the
+// kernel produces is a multiset aggregate over the group), and sorted
+// keys are what turn the scan into branch-predictable run-length folding
+// with no scatter array at all. The group buffer bounds the build's
+// transient memory at maxGroup keys; the output words are the single
+// retained allocation, smaller than any one uint16 column.
+func (ix *Index) buildPacked(q *Query) *packedColumn {
+	width := q.packWidth
+	per := 64 / int(width)
+	pc := &packedColumn{
+		width:   width,
+		perWord: per,
+		mask:    1<<width - 1,
+		words:   make([]uint64, (ix.n+per-1)/per),
+	}
+	for j := 0; j < per; j++ {
+		pc.rep = pc.rep<<width | 1
+	}
+	srcs := make([][]uint16, len(q.attrs))
+	for i, a := range q.attrs {
+		srcs[i] = ix.t.cols[a]
+	}
+	radices := q.radices
+	rows := ix.rows
+	var w uint64
+	var shift uint
+	wi := 0
+	emit := func(key int32) {
+		w |= uint64(key) << shift
+		shift += width
+		if shift+width > 64 {
+			pc.words[wi] = w
+			wi++
+			w = 0
+			shift = 0
+		}
+	}
+	bufCap := ix.maxGroup
+	if bufCap < 1 {
+		bufCap = 1
+	}
+	buf := make([]int32, bufCap)
+	for g := 0; g < ix.NumGroups(); g++ {
+		glo, ghi := int(ix.starts[g]), int(ix.starts[g+1])
+		b := buf[:ghi-glo]
+		switch len(srcs) {
+		case 1:
+			c0 := srcs[0]
+			if rows == nil {
+				for p := glo; p < ghi; p++ {
+					b[p-glo] = int32(c0[p])
+				}
+			} else {
+				for p := glo; p < ghi; p++ {
+					b[p-glo] = int32(c0[rows[p]])
+				}
+			}
+		case 2:
+			r1 := int32(radices[1])
+			c0, c1 := srcs[0], srcs[1]
+			if rows == nil {
+				for p := glo; p < ghi; p++ {
+					b[p-glo] = int32(c0[p])*r1 + int32(c1[p])
+				}
+			} else {
+				for p := glo; p < ghi; p++ {
+					row := rows[p]
+					b[p-glo] = int32(c0[row])*r1 + int32(c1[row])
+				}
+			}
+		case 3:
+			r1, r2 := int32(radices[1]), int32(radices[2])
+			c0, c1, c2 := srcs[0], srcs[1], srcs[2]
+			if rows == nil {
+				for p := glo; p < ghi; p++ {
+					b[p-glo] = (int32(c0[p])*r1+int32(c1[p]))*r2 + int32(c2[p])
+				}
+			} else {
+				for p := glo; p < ghi; p++ {
+					row := rows[p]
+					b[p-glo] = (int32(c0[row])*r1+int32(c1[row]))*r2 + int32(c2[row])
+				}
+			}
+		default:
+			for p := glo; p < ghi; p++ {
+				row := p
+				if rows != nil {
+					row = int(rows[p])
+				}
+				key := int32(0)
+				for j, src := range srcs {
+					key = key*int32(radices[j]) + int32(src[row])
+				}
+				b[p-glo] = key
+			}
+		}
+		if len(b) > 1 {
+			slices.Sort(b)
+		}
+		for _, k := range b {
+			emit(k)
+		}
+	}
+	if shift > 0 {
+		pc.words[wi] = w
+	}
+	return pc
+}
+
+// key returns the cell key stored at index position p. Because groups
+// are key-sorted at pack time, position p's packed key only corresponds
+// to index position p's row for singleton groups — whole groups must be
+// read as multisets (foldRuns).
+func (pc *packedColumn) key(p int) int {
+	return int(pc.words[p/pc.perWord] >> (uint(p%pc.perWord) * pc.width) & pc.mask)
+}
+
+// foldRuns folds the group spanning index positions [lo, hi) directly
+// into the partial. Keys were sorted within the group at pack time, so
+// equal cells form runs and the kernel is pure run-length folding —
+// decode, compare against the open run's key, extend or fold — with no
+// scatter array, no touched list, and no reset. Full words are first
+// compared whole against the open run's replicated pattern: marginals
+// over entity-level attributes make an entire group one run, so the
+// overwhelmingly common step is a single 64-bit compare advancing
+// perWord rows. The word cursor advances incrementally; the single
+// integer division below is the group's only one. The stats updates are
+// addRun's body spelled out inline — an out-of-line call per run forces
+// the loop's cursors out of registers, which costs more than the fold.
+func (pc *packedColumn) foldRuns(pt *partial, lo, hi int, entity int32, detailed bool) {
+	width, per, mask, words := pc.width, pc.perWord, pc.mask, pc.words
+	stats := pt.stats
+	wi := lo / per
+	off := lo - wi*per
+	w := words[wi] >> (uint(off) * width)
+	// The span's first key opens the first run.
+	cur := int(w & mask)
+	w >>= width
+	off++
+	p := lo + 1
+	run := int64(1)
+	pattern := uint64(cur) * pc.rep
+	// Head: finish the word the span starts inside, row by row.
+	for off < per && p < hi {
+		key := int(w & mask)
+		w >>= width
+		off++
+		p++
+		if key == cur {
+			run++
+			continue
+		}
+		st := &stats[cur]
+		st.count += run
+		st.entities++
+		switch {
+		case run > st.max:
+			st.second = st.max
+			st.max = run
+		case run > st.second:
+			st.second = run
+		}
+		if detailed {
+			pt.hist = append(pt.hist, CellEntityCount{Cell: cur, Entity: entity, Count: run})
+		}
+		cur = key
+		run = 1
+		pattern = uint64(cur) * pc.rep
+	}
+	if off == per {
+		wi++
+	}
+	// Full words: pattern compare first, per-key decode on mismatch.
+	for ; p+per <= hi; wi++ {
+		w = words[wi]
+		p += per
+		if w == pattern {
+			run += int64(per)
+			continue
+		}
+		for j := 0; j < per; j++ {
+			key := int(w & mask)
+			w >>= width
+			if key == cur {
+				run++
+				continue
+			}
+			st := &stats[cur]
+			st.count += run
+			st.entities++
+			switch {
+			case run > st.max:
+				st.second = st.max
+				st.max = run
+			case run > st.second:
+				st.second = run
+			}
+			if detailed {
+				pt.hist = append(pt.hist, CellEntityCount{Cell: cur, Entity: entity, Count: run})
+			}
+			cur = key
+			run = 1
+		}
+		pattern = uint64(cur) * pc.rep
+	}
+	// Tail: the span ends mid-word.
+	if p < hi {
+		w = words[wi]
+		for ; p < hi; p++ {
+			key := int(w & mask)
+			w >>= width
+			if key == cur {
+				run++
+				continue
+			}
+			st := &stats[cur]
+			st.count += run
+			st.entities++
+			switch {
+			case run > st.max:
+				st.second = st.max
+				st.max = run
+			case run > st.second:
+				st.second = run
+			}
+			if detailed {
+				pt.hist = append(pt.hist, CellEntityCount{Cell: cur, Entity: entity, Count: run})
+			}
+			cur = key
+			run = 1
+		}
+	}
+	st := &stats[cur]
+	st.count += run
+	st.entities++
+	switch {
+	case run > st.max:
+		st.second = st.max
+		st.max = run
+	case run > st.second:
+		st.second = run
+	}
+	if detailed {
+		pt.hist = append(pt.hist, CellEntityCount{Cell: cur, Entity: entity, Count: run})
+	}
+}
+
+// packedKeyWidth returns the packed key width for a query of the given
+// cell count: ⌈log2(size)⌉, minimum 1 bit.
+func packedKeyWidth(size int) uint {
+	w := uint(bits.Len(uint(size - 1)))
+	if w == 0 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,83 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPackedSetup builds a packed column plus matching unpacked views
+// over a synthetic W1-shaped workload: ~41k rows in groups of ~20, 1200
+// cells (11-bit keys) — the BenchmarkMarginalCompute shape.
+func benchPackedSetup(b *testing.B) (*Index, *Query, *packedColumn, [][]uint16) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	doms := make([]*Domain, 4)
+	sizes := []int{30, 20, 2, 8}
+	names := []string{"place", "industry", "ownership", "age"}
+	for i, n := range sizes {
+		vals := make([]string, n)
+		for v := range vals {
+			vals[v] = names[i] + "-" + string(rune('a'+v%26)) + string(rune('a'+v/26))
+		}
+		doms[i] = NewDomain(names[i], vals...)
+	}
+	s := NewSchema(doms...)
+	t := New(s)
+	rows := 41000
+	groups := 2000
+	perGroup := rows / groups
+	row := 0
+	for g := 0; g < groups; g++ {
+		for i := 0; i < perGroup; i++ {
+			t.AppendRow(int32(g),
+				rng.Intn(s.Attr(0).Size()),
+				rng.Intn(s.Attr(1).Size()),
+				rng.Intn(s.Attr(2).Size()),
+				rng.Intn(s.Attr(3).Size()),
+			)
+			row++
+		}
+	}
+	ix := BuildIndex(t)
+	q := MustNewQuery(s, s.Attr(0).Name, s.Attr(1).Name, s.Attr(2).Name)
+	var pc *packedColumn
+	for i := 0; i <= packScanThreshold; i++ {
+		pc = ix.packedFor(q)
+	}
+	if pc == nil {
+		b.Fatal("query did not pack")
+	}
+	cols := make([][]uint16, len(q.attrs))
+	for i, a := range q.attrs {
+		cols[i] = ix.col(a)
+	}
+	return ix, q, pc, cols
+}
+
+func BenchmarkScatterSpanPacked(b *testing.B) {
+	ix, q, pc, _ := benchPackedSetup(b)
+	var pt partial
+	pt.reset(q.size, false, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < ix.NumGroups(); g++ {
+			pc.foldRuns(&pt, int(ix.starts[g]), int(ix.starts[g+1]), ix.entities[g], false)
+		}
+	}
+}
+
+func BenchmarkScatterSpanUnpacked(b *testing.B) {
+	ix, q, _, cols := benchPackedSetup(b)
+	cells := make([]int32, q.size)
+	touched := make([]int, ix.maxGroup)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < ix.NumGroups(); g++ {
+			lo, hi := int(ix.starts[g]), int(ix.starts[g+1])
+			nt := scatterGroup(cells, touched, cols, q.radices, lo, hi)
+			for _, key := range touched[:nt] {
+				cells[key] = 0
+			}
+		}
+	}
+}

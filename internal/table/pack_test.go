@@ -1,0 +1,400 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Differential and structural tests of the bit-packed scan kernel
+// (pack.go) against both the unpacked kernel and the scalar hash-map
+// oracle. Packing is adaptive — a plan packs only after
+// packScanThreshold scans of one index — so every test here scans past
+// the threshold and checks that results before and after the kernel
+// switch are bit-identical.
+
+// computePastThreshold evaluates q on tab's index enough times to cross
+// the pack threshold, checking every scan (unpacked warm-ups and packed
+// steady state alike) against the oracle. It returns the final, packed
+// result.
+func computePastThreshold(t *testing.T, tab *Table, q *Query, label string) *Marginal {
+	t.Helper()
+	ix := tab.Index()
+	wantM, wantH := ComputeReferenceDetailed(tab, q)
+	var got *Marginal
+	for scan := 0; scan <= packScanThreshold+1; scan++ {
+		var gotH []CellEntityCount
+		got, gotH = ix.ComputeDetailed(q)
+		l := fmt.Sprintf("%s scan=%d", label, scan)
+		marginalsEqual(t, got, wantM, l)
+		if len(gotH) != len(wantH) {
+			t.Fatalf("%s: histogram length %d, want %d", l, len(gotH), len(wantH))
+		}
+		for i := range gotH {
+			if gotH[i] != wantH[i] {
+				t.Fatalf("%s: histogram[%d] = %+v, want %+v", l, i, gotH[i], wantH[i])
+			}
+		}
+	}
+	if q.packable {
+		ix.packMu.Lock()
+		pl := ix.packs[q.planKey]
+		ix.packMu.Unlock()
+		if pl == nil || pl.col == nil {
+			t.Fatalf("%s: packable query did not build a packed column after %d scans",
+				label, packScanThreshold+2)
+		}
+	}
+	return got
+}
+
+// TestPackedKernelPropertyDifferential mirrors the unpacked property
+// test over the same adversarial entity shapes, but drives every trial
+// past the pack threshold so the packed run-length kernel is what gets
+// compared against the oracle. Canonical subsets take the packed path;
+// the shuffled ones exercise the fallback — both must agree with the
+// oracle bit for bit.
+func TestPackedKernelPropertyDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(314159))
+	shapes := []string{"all-anonymous", "single-giant", "giant-plus-dust", "few-heavy", "mixed"}
+	for _, s := range []*Schema{testSchema(), wideSchema()} {
+		for _, shape := range shapes {
+			for _, rows := range []int{0, 1, 2, 65, 700} {
+				tab := shapedTable(rng, s, shape, rows)
+				for trial := 0; trial < 3; trial++ {
+					names := randomAttrSubset(rng, s)
+					q := MustNewQuery(s, names...)
+					label := fmt.Sprintf("shape=%s rows=%d attrs=%v", shape, rows, names)
+					computePastThreshold(t, tab, q, label)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedMatchesUnpackedExactly pins kernel-vs-kernel bit identity
+// directly: the same query on two indexes over the same table, one with
+// packing disabled, at several worker counts including more workers
+// than groups.
+func TestPackedMatchesUnpackedExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(161803))
+	for _, workers := range []int{1, 2, 8} {
+		prev := runtime.GOMAXPROCS(workers)
+		for _, shape := range []string{"single-giant", "giant-plus-dust", "mixed"} {
+			tab := shapedTable(rng, wideSchema(), shape, 900)
+			packed := BuildIndex(tab)
+			unpacked := BuildIndex(tab)
+			unpacked.noPack = true
+			q := MustNewQuery(tab.Schema(), "place", "industry", "sex")
+			if !q.packable {
+				t.Fatal("canonical three-attribute query should be packable")
+			}
+			for scan := 0; scan <= packScanThreshold+1; scan++ {
+				gotM, gotH := packed.ComputeDetailed(q)
+				wantM, wantH := unpacked.ComputeDetailed(q)
+				label := fmt.Sprintf("workers=%d shape=%s scan=%d", workers, shape, scan)
+				marginalsEqual(t, gotM, wantM, label)
+				if len(gotH) != len(wantH) {
+					t.Fatalf("%s: histogram length %d, want %d", label, len(gotH), len(wantH))
+				}
+				for i := range gotH {
+					if gotH[i] != wantH[i] {
+						t.Fatalf("%s: histogram[%d] = %+v, want %+v", label, i, gotH[i], wantH[i])
+					}
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// widthSchema builds a two-or-three attribute schema whose marginal over
+// all attributes has exactly the given packed key width, including the
+// boundary widths where keys exactly fill a word (16, 32) and the first
+// width past the packable limit.
+func widthSchema(t *testing.T, sizes ...int) *Schema {
+	t.Helper()
+	doms := make([]*Domain, len(sizes))
+	for i, n := range sizes {
+		vals := make([]string, n)
+		for v := range vals {
+			vals[v] = fmt.Sprintf("a%d_%d", i, v)
+		}
+		doms[i] = NewDomain(fmt.Sprintf("attr%d", i), vals...)
+	}
+	return NewSchema(doms...)
+}
+
+// TestPackedWidthBoundaries sweeps computable key widths across
+// word-packing regimes: width 1 (64 keys/word), widths with padding
+// bits (5, 11, 17), and width 16, where keys exactly fill the word.
+// Wider marginals can't be evaluated at all — the dense result vectors
+// are sized by the cell count, so a 2^32-cell marginal is out of reach
+// for any kernel — which is why the 32/33 boundary is pinned at the
+// plan-compilation level in TestPackedWidthLimit instead.
+func TestPackedWidthBoundaries(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		width uint
+	}{
+		{[]int{2}, 1},         // 64 keys per word
+		{[]int{16, 2}, 5},     // 12 per word, 4 padding bits
+		{[]int{40, 40}, 11},   // 5 per word, 9 padding bits
+		{[]int{256, 256}, 16}, // exactly 4 per word, no padding
+		{[]int{512, 200}, 17}, // 3 per word, 13 padding bits
+	}
+	rng := rand.New(rand.NewSource(577215))
+	for _, c := range cases {
+		s := widthSchema(t, c.sizes...)
+		names := make([]string, s.NumAttrs())
+		for i := range names {
+			names[i] = s.Attr(i).Name
+		}
+		q := MustNewQuery(s, names...)
+		if q.packWidth != c.width {
+			t.Fatalf("sizes %v: packWidth = %d, want %d", c.sizes, q.packWidth, c.width)
+		}
+		if !q.packable {
+			t.Fatalf("sizes %v: width-%d query should be packable", c.sizes, c.width)
+		}
+		tab := New(s)
+		for i := 0; i < 400; i++ {
+			codes := make([]int, s.NumAttrs())
+			for a := range codes {
+				// Bias toward domain extremes so the top bits of the
+				// packed key are exercised.
+				if rng.Intn(3) == 0 {
+					codes[a] = s.Attr(a).Size() - 1 - rng.Intn(2)
+				} else {
+					codes[a] = rng.Intn(s.Attr(a).Size())
+				}
+			}
+			tab.AppendRow(int32(rng.Intn(30)), codes...)
+		}
+		computePastThreshold(t, tab, q, fmt.Sprintf("sizes=%v", c.sizes))
+	}
+}
+
+// TestPackedWidthLimit pins the maxPackedWidth boundary at the plan
+// level: a 2^32-cell marginal (width exactly 32) still compiles as
+// packable, one more bit does not, and packedFor never builds a column
+// for the over-wide plan no matter how often it scans.
+func TestPackedWidthLimit(t *testing.T) {
+	at := widthSchema(t, 2048, 2048, 1024) // 2^32 cells
+	names := []string{"attr0", "attr1", "attr2"}
+	q32 := MustNewQuery(at, names...)
+	if q32.packWidth != 32 || !q32.packable {
+		t.Fatalf("2^32-cell query: packWidth=%d packable=%v, want 32/true", q32.packWidth, q32.packable)
+	}
+	over := widthSchema(t, 2048, 2048, 2048) // 2^33 cells
+	q33 := MustNewQuery(over, names...)
+	if q33.packWidth != 33 || q33.packable {
+		t.Fatalf("2^33-cell query: packWidth=%d packable=%v, want 33/false", q33.packWidth, q33.packable)
+	}
+	if q33.PlanKey() == "" {
+		t.Fatal("over-wide canonical query still has a plan key (only packing is refused)")
+	}
+	tab := New(over)
+	tab.AppendRow(0, 1, 2, 3)
+	ix := BuildIndex(tab)
+	for scan := 0; scan < packScanThreshold+3; scan++ {
+		if ix.packedFor(q33) != nil {
+			t.Fatal("packedFor built a column past maxPackedWidth")
+		}
+	}
+}
+
+// TestPackedSingleRunGroups pins the word-pattern fast path: when a
+// group's rows all share one cell (the LODES shape for entity-level
+// attributes), whole words collapse to a single pattern compare. The
+// group sizes straddle word boundaries for the 11-bit width (5 keys per
+// word): 1, 4, 5, 6, 10, 11, and a 10k-row giant.
+func TestPackedSingleRunGroups(t *testing.T) {
+	s := widthSchema(t, 40, 40) // width 11
+	tab := New(s)
+	entity := int32(0)
+	for _, size := range []int{1, 4, 5, 6, 10, 11, 10000} {
+		c0, c1 := int(entity)%40, (int(entity)*7)%40
+		for i := 0; i < size; i++ {
+			tab.AppendRow(entity, c0, c1)
+		}
+		entity++
+	}
+	q := MustNewQuery(s, "attr0", "attr1")
+	computePastThreshold(t, tab, q, "single-run groups")
+}
+
+// TestPackedPlanAdaptiveThreshold pins the packing policy itself: no
+// packed column before packScanThreshold scans, one after, the noPack
+// knob disables packing entirely, and non-canonical attribute orders
+// never pack.
+func TestPackedPlanAdaptiveThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(662607))
+	tab := randomTable(t, rng, 300)
+	q := MustNewQuery(tab.Schema(), "place", "industry")
+
+	ix := BuildIndex(tab)
+	for scan := 1; scan <= packScanThreshold; scan++ {
+		if pc := ix.packedFor(q); pc != nil {
+			t.Fatalf("scan %d built a packed column before the threshold (%d)", scan, packScanThreshold)
+		}
+	}
+	if pc := ix.packedFor(q); pc == nil {
+		t.Fatalf("scan %d (past threshold) did not build a packed column", packScanThreshold+1)
+	}
+
+	off := BuildIndex(tab)
+	off.noPack = true
+	for scan := 0; scan < packScanThreshold+3; scan++ {
+		if off.packedFor(q) != nil {
+			t.Fatal("noPack index built a packed column")
+		}
+	}
+
+	nc := MustNewQuery(tab.Schema(), "industry", "place")
+	if nc.packable || nc.PlanKey() != "" {
+		t.Fatal("non-canonical attribute order must not be packable")
+	}
+	ix2 := BuildIndex(tab)
+	for scan := 0; scan < packScanThreshold+3; scan++ {
+		if ix2.packedFor(nc) != nil {
+			t.Fatal("non-canonical query built a packed column")
+		}
+	}
+}
+
+// TestPackedPlanKeySharing verifies that two query objects compiled over
+// the same canonical attribute set share one packed column via the plan
+// key, rather than building twice.
+func TestPackedPlanKeySharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(141421))
+	tab := randomTable(t, rng, 300)
+	q1 := MustNewQuery(tab.Schema(), "place", "industry")
+	q2 := MustNewQuery(tab.Schema(), "place", "industry")
+	if q1 == q2 || q1.PlanKey() != q2.PlanKey() {
+		t.Fatal("distinct query objects over one attribute set must share a plan key")
+	}
+	ix := BuildIndex(tab)
+	var pc1, pc2 *packedColumn
+	for scan := 0; scan <= packScanThreshold; scan++ {
+		pc1 = ix.packedFor(q1)
+	}
+	pc2 = ix.packedFor(q2)
+	if pc1 == nil || pc1 != pc2 {
+		t.Fatalf("plan-key sharing broken: %p vs %p", pc1, pc2)
+	}
+}
+
+// TestSortedIndexIdentityMode pins the streamed identity-mode build:
+// tables appended in non-decreasing entity order (every generated LODES
+// frame) index with no row permutation at all, while out-of-order or
+// anonymous tables fall back to the counting sort — and both modes
+// produce identical marginals, packed and unpacked.
+func TestSortedIndexIdentityMode(t *testing.T) {
+	s := testSchema()
+	sorted := New(s)
+	rng := rand.New(rand.NewSource(299792))
+	for e := int32(0); e < 40; e++ {
+		for i := 0; i < int(e%5)+1; i++ {
+			sorted.AppendRow(e, rng.Intn(3), rng.Intn(2), rng.Intn(2))
+		}
+	}
+	ix := BuildIndex(sorted)
+	if ix.rows != nil {
+		t.Fatal("entity-sorted table built a permutation index; want identity mode")
+	}
+
+	shuffled := New(s)
+	perm := rng.Perm(sorted.NumRows())
+	for _, row := range perm {
+		codes := make([]int, s.NumAttrs())
+		for a := range codes {
+			codes[a] = sorted.Code(row, a)
+		}
+		shuffled.AppendRow(sorted.Entity(row), codes...)
+	}
+	if sx := BuildIndex(shuffled); sx.rows == nil {
+		t.Fatal("shuffled table indexed in identity mode")
+	}
+
+	anon := New(s)
+	anon.AppendRow(-1, 0, 0, 0)
+	if ax := BuildIndex(anon); ax.rows == nil {
+		t.Fatal("anonymous rows must take the counting-sort path (negative entities)")
+	}
+
+	q := MustNewQuery(s, "place", "sex")
+	got := computePastThreshold(t, sorted, q, "identity-mode")
+	want := computePastThreshold(t, shuffled, q, "permuted-mode")
+	marginalsEqual(t, got, want, "identity vs permuted")
+}
+
+// TestPackedComputeSteadyStateAllocs extends the §6 allocation pins to
+// the packed steady state: once the plan has packed, Compute's only
+// allocations are still the documented result constants — the packed
+// kernel has no per-scan scratch at all (no scatter array, no touched
+// list).
+func TestPackedComputeSteadyStateAllocs(t *testing.T) {
+	singleShard(t)
+	rng := rand.New(rand.NewSource(602214))
+	tab := randomTable(t, rng, 2000)
+	q := MustNewQuery(tab.Schema(), "place", "industry")
+	ix := tab.Index()
+	for scan := 0; scan <= packScanThreshold+1; scan++ {
+		ix.Compute(q) // cross the pack threshold and warm the pool
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if ix.Compute(q) == nil {
+			t.Fatal("nil marginal")
+		}
+	})
+	if allocs > computeSteadyAllocs {
+		t.Fatalf("packed Compute steady state allocates %v per op, documented bound is %d",
+			allocs, computeSteadyAllocs)
+	}
+}
+
+// FuzzPackedKernelDifferential drives the packed kernel from raw bytes,
+// always scanning past the pack threshold: each byte pair becomes
+// (entity selector, row codes); the query is chosen from the first
+// byte, covering packed canonical sets and the unpacked shuffled
+// fallback.
+func FuzzPackedKernelDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x80, 0x80, 0x80, 0x80, 0x01, 0x02})
+	f.Add([]byte{0x21, 0x08, 0x21, 0x08, 0x21, 0x08, 0x21, 0x08, 0x21, 0x08})
+	queries := [][]string{{}, {"place"}, {"place", "industry"}, {"place", "industry", "sex"}, {"sex", "place"}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := testSchema()
+		tab := New(s)
+		for i := 0; i+1 < len(data); i += 2 {
+			ent := int32(data[i]%7) - 1
+			c := int(data[i+1])
+			tab.AppendRow(ent,
+				c%s.Attr(0).Size(),
+				(c/4)%s.Attr(1).Size(),
+				(c/8)%s.Attr(2).Size())
+		}
+		qsel := 0
+		if len(data) > 0 {
+			qsel = int(data[0]) % len(queries)
+		}
+		q := MustNewQuery(s, queries[qsel]...)
+		ix := tab.Index()
+		wantM, wantH := ComputeReferenceDetailed(tab, q)
+		for scan := 0; scan <= packScanThreshold+1; scan++ {
+			gotM, gotH := ix.ComputeDetailed(q)
+			marginalsEqual(t, gotM, wantM, "fuzz")
+			if len(gotH) != len(wantH) {
+				t.Fatalf("histogram length %d, want %d", len(gotH), len(wantH))
+			}
+			for i := range gotH {
+				if gotH[i] != wantH[i] {
+					t.Fatalf("histogram[%d] = %+v, want %+v", i, gotH[i], wantH[i])
+				}
+			}
+		}
+	})
+}

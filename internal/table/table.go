@@ -112,6 +112,21 @@ func (t *Table) AppendSpan(src *Table, lo, hi int) {
 	t.n += hi - lo
 }
 
+// Reset truncates the table to zero rows, keeping column capacity, so a
+// chunk buffer can be refilled without reallocating. Any cached index is
+// dropped; indexes or column views handed out earlier must not be used
+// across a Reset.
+func (t *Table) Reset() {
+	for i := range t.cols {
+		t.cols[i] = t.cols[i][:0]
+	}
+	t.entities = t.entities[:0]
+	t.n = 0
+	t.idxMu.Lock()
+	t.idx = nil
+	t.idxMu.Unlock()
+}
+
 // Code returns the value code of attribute attr for record row.
 func (t *Table) Code(row, attr int) int {
 	t.checkRow(row)

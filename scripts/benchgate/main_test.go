@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sweepOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.10GHz
+BenchmarkMarginalCompute    	   10000	    100000 ns/op	     160 B/op	      11 allocs/op
+BenchmarkMarginalCompute-2  	   20000	     60000 ns/op
+BenchmarkMarginalCompute-4  	   30000	     40000 ns/op
+BenchmarkMarginalCompute-4  	   30000	     42000 ns/op
+BenchmarkReleaseBatch-2     	     500	   1200000 ns/op
+PASS
+`
+
+func TestParseBenchOutputSplitsCPUSuffix(t *testing.T) {
+	measured, err := parseBenchOutput(strings.NewReader(sweepOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[benchKey]float64{
+		{"BenchmarkMarginalCompute", 1}: 100000,
+		{"BenchmarkMarginalCompute", 2}: 60000,
+		{"BenchmarkMarginalCompute", 4}: 40000, // fastest of the two -4 samples
+		{"BenchmarkReleaseBatch", 2}:    1200000,
+	}
+	if len(measured) != len(want) {
+		t.Fatalf("parsed %d samples, want %d: %v", len(measured), len(want), measured)
+	}
+	for key, ns := range want {
+		if measured[key] != ns {
+			t.Errorf("%s-%d = %v, want %v", key.name, key.cpu, measured[key], ns)
+		}
+	}
+}
+
+func TestWriteMulticoreRecord(t *testing.T) {
+	measured, err := parseBenchOutput(strings.NewReader(sweepOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_multicore.json")
+	if err := writeMulticore(path, measured); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Environment map[string]any                `json:"environment"`
+		SweepNsOp   map[string]map[string]float64 `json:"sweep_ns_op"`
+		SpeedupVs1  map[string]map[string]float64 `json:"speedup_vs_1cpu"`
+		GateByCPU   map[string]map[string]float64 `json:"gate_by_cpu"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.SweepNsOp["BenchmarkMarginalCompute"]["4"]; got != 40000 {
+		t.Errorf("sweep[-4] = %v, want 40000 (fastest sample)", got)
+	}
+	if got := rec.SpeedupVs1["BenchmarkMarginalCompute"]["4"]; got != 2.5 {
+		t.Errorf("speedup[-4] = %v, want 2.5", got)
+	}
+	// ReleaseBatch has no 1-cpu column, so it gets no speedup curve —
+	// but its sample must still land in the per-cpu gate.
+	if _, ok := rec.SpeedupVs1["BenchmarkReleaseBatch"]; ok {
+		t.Error("speedup curve emitted without a 1-cpu baseline column")
+	}
+	if got := rec.GateByCPU["2"]["BenchmarkReleaseBatch"]; got != 1200000 {
+		t.Errorf("gate_by_cpu[2] = %v, want 1200000", got)
+	}
+	if _, ok := rec.Environment["host_caveat"]; !ok {
+		t.Error("environment block is missing the host core-count caveat")
+	}
+}
