@@ -5,14 +5,19 @@
 // Usage:
 //
 //	ereeload -url http://localhost:8080 -key tenant-alpha-key \
-//	         [-n 2000] [-conc 8] [-seed 1] [-zipf 1.1] [-eps 0.5]
+//	         [-n 2000] [-conc 8] [-seed 1] [-zipf 1.1] [-eps 0.5] \
+//	         [-retries 3] [-retry-base 100ms] [-retry-max 2s]
 //
 // The whole request sequence is planned up front from -seed: request i
 // queries the marginal drawn by a Zipf(-zipf) pick over a fixed query
 // catalog and carries explicit sequence number i. The plan — and with
 // it every noisy count the server returns — is therefore reproducible
 // run over run against the same server configuration; only the timings
-// differ. Popularity concentrates on the catalog head the way real
+// differ. That determinism extends to failure handling: 5xx and
+// transport errors are retried with exponential backoff whose jitter is
+// drawn from the plan stream (never the wall clock), and every retry
+// resends the identical body with the same explicit seq, so a durable
+// server deduplicates instead of double-charging. Popularity concentrates on the catalog head the way real
 // query traffic does, so the server's marginal cache sees a realistic
 // hit/miss mix.
 package main
@@ -60,11 +65,14 @@ func catalog() [][]string {
 }
 
 // planEntry is one pre-planned request: explicit seq i with a
-// catalog query drawn by the Zipf mix.
+// catalog query drawn by the Zipf mix. Retry is the request's private
+// backoff stream — jitter comes from the plan, never the clock, so a
+// rerun against a flaky server sleeps the same schedule.
 type planEntry struct {
 	Seq   int64
 	Attrs []string
 	Body  []byte
+	Retry *dist.Stream
 }
 
 // buildPlan lays out the entire request sequence deterministically:
@@ -83,7 +91,8 @@ func buildPlan(seed int64, n int, s, eps float64) []planEntry {
 	root := dist.NewStreamFromSeed(seed)
 	plan := make([]planEntry, n)
 	for i := range plan {
-		u := root.SplitIndex("plan", i).Float64() * total
+		entry := root.SplitIndex("plan", i)
+		u := entry.Float64() * total
 		k := sort.SearchFloat64s(cum, u)
 		if k == len(cum) {
 			k--
@@ -98,15 +107,44 @@ func buildPlan(seed int64, n int, s, eps float64) []planEntry {
 		if err != nil {
 			panic(err) // fixed struct; cannot fail
 		}
-		plan[i] = planEntry{Seq: int64(i), Attrs: cat[k], Body: body}
+		plan[i] = planEntry{Seq: int64(i), Attrs: cat[k], Body: body, Retry: entry.Split("retry")}
 	}
 	return plan
 }
 
-// summary is the run's JSON report.
+// backoffFor is the deterministic retry schedule: exponential growth
+// with full-range jitter drawn from the request's plan stream, capped.
+// Attempt a of request i sleeps base·2^a·(0.5+u) where u is the Float64
+// of the (i, "retry", a) stream — a pure function of the plan seed, so
+// two runs of the same plan against the same flaky server back off
+// identically. Retried requests resend the identical body (same seq):
+// the server's replay cache deduplicates a charge that did land, so a
+// retry can never double-spend.
+func backoffFor(e planEntry, attempt int, base, max time.Duration) time.Duration {
+	u := e.Retry.SplitIndex("attempt", attempt).Float64()
+	d := time.Duration(float64(base) * math.Pow(2, float64(attempt)) * (0.5 + u))
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// transient reports whether an attempt's outcome warrants a retry:
+// transport failure (code 0) or a 5xx — the server shedding load,
+// draining, or briefly away. 4xx are final: the request itself is
+// wrong, and resending it cannot help.
+func transient(code int) bool {
+	return code == 0 || code >= 500
+}
+
+// summary is the run's JSON report. Statuses counts each request's
+// final status; Retries counts every extra attempt across the run, and
+// Errors the requests that never got an HTTP status even after their
+// retry budget.
 type summary struct {
 	Requests int            `json:"requests"`
 	Errors   int            `json:"errors"`
+	Retries  int            `json:"retries"`
 	Statuses map[string]int `json:"statuses"`
 	Seconds  float64        `json:"seconds"`
 	QPS      float64        `json:"qps"`
@@ -123,6 +161,9 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "plan seed")
 	zipf := fs.Float64("zipf", 1.1, "Zipf exponent of the query-popularity mix")
 	eps := fs.Float64("eps", 0.5, "privacy-loss parameter per release (Smooth Gamma needs eps > 5·ln(1+alpha))")
+	retries := fs.Int("retries", 3, "extra attempts per request on 5xx or transport error")
+	retryBase := fs.Duration("retry-base", 100*time.Millisecond, "first retry backoff (doubles per attempt, jittered from the plan seed)")
+	retryMax := fs.Duration("retry-max", 2*time.Second, "backoff ceiling")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -132,12 +173,15 @@ func run(args []string, out io.Writer) error {
 	if *n < 1 || *conc < 1 {
 		return fmt.Errorf("-n and -conc must be positive")
 	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be non-negative")
+	}
 
 	plan := buildPlan(*seed, *n, *zipf, *eps)
 	client := &http.Client{Timeout: 30 * time.Second}
 	lat := make([]time.Duration, len(plan))
 	status := make([]int, len(plan))
-	var next atomic.Int64
+	var next, retried atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *conc; w++ {
@@ -149,27 +193,42 @@ func run(args []string, out io.Writer) error {
 				if i >= len(plan) {
 					return
 				}
-				t0 := time.Now()
-				req, err := http.NewRequest("POST", *url+"/v1/release", bytes.NewReader(plan[i].Body))
-				if err != nil {
-					continue // status stays 0 = transport error
+				// Attempts resend the identical body — same explicit seq —
+				// so a charge that landed before a lost response is served
+				// from the server's replay cache, not charged again.
+				for a := 0; ; a++ {
+					t0 := time.Now()
+					code := 0
+					req, err := http.NewRequest("POST", *url+"/v1/release", bytes.NewReader(plan[i].Body))
+					if err == nil {
+						req.Header.Set("X-API-Key", *key)
+						if resp, err := client.Do(req); err == nil {
+							io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+							code = resp.StatusCode
+						}
+					}
+					if transient(code) && a < *retries {
+						retried.Add(1)
+						time.Sleep(backoffFor(plan[i], a, *retryBase, *retryMax))
+						continue
+					}
+					lat[i] = time.Since(t0)
+					status[i] = code
+					break
 				}
-				req.Header.Set("X-API-Key", *key)
-				resp, err := client.Do(req)
-				if err != nil {
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				lat[i] = time.Since(t0)
-				status[i] = resp.StatusCode
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	sum := summary{Requests: len(plan), Statuses: make(map[string]int), Seconds: elapsed.Seconds()}
+	sum := summary{
+		Requests: len(plan),
+		Retries:  int(retried.Load()),
+		Statuses: make(map[string]int),
+		Seconds:  elapsed.Seconds(),
+	}
 	ok := make([]time.Duration, 0, len(plan))
 	for i := range plan {
 		if status[i] == 0 {

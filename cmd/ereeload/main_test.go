@@ -2,10 +2,16 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/cmd/ereeserve/config"
 	"repro/cmd/ereeserve/server"
@@ -83,6 +89,151 @@ func TestPlanBodies(t *testing.T) {
 		if w.Seq != int64(i) || w.Eps != 0.25 || w.Mechanism != "smooth-gamma" {
 			t.Fatalf("plan[%d] body = %s", i, p.Body)
 		}
+	}
+}
+
+// TestBackoffDeterministic: the retry schedule is a pure function of
+// the plan seed — two independently built plans sleep identically,
+// different requests and attempts jitter independently, growth is
+// exponential with full jitter in [0.5, 1.5)·base·2^a, and the cap
+// holds.
+func TestBackoffDeterministic(t *testing.T) {
+	base, max := 10*time.Millisecond, 2*time.Second
+	a := buildPlan(1, 8, 1.1, 0.5)
+	b := buildPlan(1, 8, 1.1, 0.5)
+	seen := make(map[time.Duration]bool)
+	for i := range a {
+		for attempt := 0; attempt < 4; attempt++ {
+			d1 := backoffFor(a[i], attempt, base, max)
+			d2 := backoffFor(b[i], attempt, base, max)
+			if d1 != d2 {
+				t.Fatalf("req %d attempt %d: %v vs %v across identical plans", i, attempt, d1, d2)
+			}
+			scale := time.Duration(1 << attempt)
+			if lo, hi := base*scale/2, base*scale*3/2; d1 < lo || d1 >= hi {
+				t.Errorf("req %d attempt %d: backoff %v outside [%v, %v)", i, attempt, d1, lo, hi)
+			}
+			seen[d1] = true
+		}
+	}
+	if len(seen) < 20 {
+		t.Errorf("only %d distinct backoffs across 32 (request, attempt) pairs; jitter is not per-pair", len(seen))
+	}
+	if d := backoffFor(a[0], 30, base, max); d != max {
+		t.Errorf("attempt 30 backoff = %v, want the %v cap", d, max)
+	}
+}
+
+// TestRunRetriesTransient: a server that 503s every first attempt must
+// end with all-200 statuses, one retry per request, zero errors — and
+// every retry must carry byte-identical bodies (same seq), the contract
+// that lets a durable server deduplicate instead of double-charging.
+func TestRunRetriesTransient(t *testing.T) {
+	var mu sync.Mutex
+	firstBody := make(map[int64][]byte)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var wire struct {
+			Seq int64 `json:"seq"`
+		}
+		if err := json.Unmarshal(body, &wire); err != nil {
+			t.Errorf("bad body: %v", err)
+		}
+		mu.Lock()
+		prev, again := firstBody[wire.Seq]
+		if !again {
+			firstBody[wire.Seq] = body
+		}
+		mu.Unlock()
+		if !again {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"overloaded"}`, http.StatusServiceUnavailable)
+			return
+		}
+		if string(prev) != string(body) {
+			t.Errorf("retry of seq %d changed the body:\n  first: %s\n  retry: %s", wire.Seq, prev, body)
+		}
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	defer hs.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-url", hs.URL, "-n", "20", "-conc", "4", "-seed", "1",
+		"-retries", "3", "-retry-base", "1ms", "-retry-max", "10ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Statuses["200"] != 20 || sum.Errors != 0 {
+		t.Fatalf("summary = %+v, want 20× 200 and 0 errors", sum)
+	}
+	if sum.Retries != 20 {
+		t.Fatalf("retries = %d, want exactly one per request", sum.Retries)
+	}
+}
+
+// TestRunRetriesExhausted: a permanently failing server burns the whole
+// retry budget and the summary says so — final status recorded, retry
+// count = retries × requests, no hang.
+func TestRunRetriesExhausted(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	var out strings.Builder
+	if err := run([]string{
+		"-url", hs.URL, "-n", "5", "-conc", "2", "-seed", "1",
+		"-retries", "2", "-retry-base", "1ms", "-retry-max", "5ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Statuses["500"] != 5 {
+		t.Fatalf("statuses = %v, want 5× 500", sum.Statuses)
+	}
+	if sum.Retries != 10 {
+		t.Fatalf("retries = %d, want 2 per request", sum.Retries)
+	}
+}
+
+// TestRunNoRetryOnClientError: 4xx is final — resending a malformed or
+// over-budget request cannot help, and retrying a 429 would just spend
+// the tail of an exhausted budget faster.
+func TestRunNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		hits.Add(1)
+		http.Error(w, `{"error":"privacy budget exhausted"}`, http.StatusTooManyRequests)
+	}))
+	defer hs.Close()
+
+	var out strings.Builder
+	if err := run([]string{
+		"-url", hs.URL, "-n", "6", "-conc", "3", "-seed", "1",
+		"-retries", "5", "-retry-base", "1ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Retries != 0 || sum.Statuses["429"] != 6 {
+		t.Fatalf("summary = %+v, want 6× 429 and no retries", sum)
+	}
+	if hits.Load() != 6 {
+		t.Fatalf("server saw %d requests, want exactly 6", hits.Load())
 	}
 }
 

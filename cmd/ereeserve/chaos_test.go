@@ -1,0 +1,441 @@
+package main
+
+// Kill-9 chaos harness. The test re-executes this test binary as a
+// real ereeserve process (TestMain intercepts via EREE_CHAOS_SERVER),
+// arms a crash point via EREE_CRASH (internal/crashpoint), drives a
+// fixed request script over real HTTP until the process SIGKILLs
+// itself, restarts it over the same state directory, and then acts as
+// a well-behaved client: it retries exactly the requests whose
+// responses it never fully observed.
+//
+// Three invariants, checked on every crash schedule:
+//
+//  1. No lost charges: the recovered spend covers every response the
+//     client fully observed before the crash (the write-ahead
+//     contract; the safe failure direction is over-charge, never
+//     under-charge).
+//  2. Budget safety: total recorded spend never exceeds the tenant's
+//     budget, across any crash/restart/retry schedule. The script is
+//     sized to land exactly on the budget, so any double charge
+//     surfaces as a 429 on a later step.
+//  3. Determinism through crashes: every response — observed before
+//     the crash, replayed after recovery, or charged fresh on retry —
+//     is byte-identical to the same step of an uninterrupted run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary serve as the ereeserve process itself:
+// with EREE_CHAOS_SERVER=1 it runs main's run() with the args from
+// EREE_CHAOS_ARGS instead of any tests. The child therefore carries
+// the exact production serving, recovery, and crash-point code paths.
+func TestMain(m *testing.M) {
+	if os.Getenv("EREE_CHAOS_SERVER") == "1" {
+		var args []string
+		if err := json.Unmarshal([]byte(os.Getenv("EREE_CHAOS_ARGS")), &args); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos server args:", err)
+			os.Exit(2)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		if err := run(args, os.Stdout, sig); err != nil {
+			fmt.Fprintln(os.Stderr, "ereeserve:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+const (
+	chaosTenantKey = "chaos-tenant-key"
+	chaosAdminKey  = "chaos-admin-key"
+	// chaosBudgetEps is exactly the script's summed loss: 13 charges of
+	// eps 0.5. Any step double-charged by a crash bug pushes a later
+	// step over budget and fails the run with a 429.
+	chaosBudgetEps = 6.5
+)
+
+type chaosStep struct {
+	name    string
+	path    string
+	body    string
+	eps     float64
+	advance bool
+}
+
+// chaosScript is the fixed workload: five releases in epoch 0, an
+// admin advance, then five releases, an atomic batch and a cell in
+// epoch 1. Every request carries an explicit seq so a retry is
+// wire-identical to the original.
+func chaosScript() []chaosStep {
+	steps := make([]chaosStep, 0, 13)
+	for i := 0; i < 5; i++ {
+		steps = append(steps, chaosStep{
+			name: fmt.Sprintf("epoch0-release-%d", i),
+			path: "/v1/release",
+			body: fmt.Sprintf(`{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5,"seq":%d}`, i),
+			eps:  0.5,
+		})
+	}
+	steps = append(steps, chaosStep{
+		name:    "advance",
+		path:    "/v1/admin/advance",
+		body:    `{"quarters":1}`,
+		advance: true,
+	})
+	for i := 0; i < 5; i++ {
+		steps = append(steps, chaosStep{
+			name: fmt.Sprintf("epoch1-release-%d", i),
+			path: "/v1/release",
+			body: fmt.Sprintf(`{"attrs":["ownership"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5,"seq":%d}`, 5+i),
+			eps:  0.5,
+		})
+	}
+	steps = append(steps, chaosStep{
+		name: "batch",
+		path: "/v1/batch",
+		body: `{"seq":10,"requests":[{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5},{"attrs":["ownership"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5}]}`,
+		eps:  1.0,
+	})
+	steps = append(steps, chaosStep{
+		name: "cell",
+		path: "/v1/cell",
+		body: `{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5,"values":["44-Retail"],"seq":11}`,
+		eps:  0.5,
+	})
+	return steps
+}
+
+func writeChaosConfig(t *testing.T, dir string) string {
+	t.Helper()
+	cfg := fmt.Sprintf(`{
+		"addr": "127.0.0.1:0",
+		"admin_key": %q,
+		"noise_seed": 7,
+		"data_seed": 1,
+		"delta_seed": 100,
+		"tenants": [
+			{"name": "chaos", "key": %q, "definition": "weak-er-ee", "alpha": 0.1, "budget_eps": %g, "budget_delta": 0.5}
+		]
+	}`, chaosAdminKey, chaosTenantKey, chaosBudgetEps)
+	path := filepath.Join(dir, "chaos.json")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// chaosProc is one child ereeserve process.
+type chaosProc struct {
+	cmd  *exec.Cmd
+	out  *syncBuf
+	addr string
+}
+
+// startChaos boots the re-exec'd server; crash, when non-empty, arms a
+// kill point ("name:N" SIGKILLs the process on the Nth hit).
+func startChaos(t *testing.T, cfgPath, stateDir, crash string) *chaosProc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-config", cfgPath, "-addr", "127.0.0.1:0", "-state-dir", stateDir}
+	raw, _ := json.Marshal(args)
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"EREE_CHAOS_SERVER=1",
+		"EREE_CHAOS_ARGS="+string(raw),
+		"EREE_CRASH="+crash,
+	)
+	out := &syncBuf{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProc{cmd: cmd, out: out}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listeningRE.FindStringSubmatch(out.String()); m != nil {
+			p.addr = m[1]
+			break
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			t.Fatalf("chaos server never listened; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Serve only after /readyz: recovery must be complete.
+	for {
+		resp, err := http.Get("http://" + p.addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chaos server never became ready; output:\n%s", p.out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitKilled waits for the armed crash to fire and asserts the process
+// died by SIGKILL (it killed itself at the crash point).
+func (p *chaosProc) waitKilled(t *testing.T) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("chaos server exited cleanly, want SIGKILL; output:\n%s", p.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("chaos server did not die at its crash point; output:\n%s", p.out.String())
+	}
+}
+
+// stop shuts the child down gracefully and requires a clean exit.
+func (p *chaosProc) stop(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown failed: %v; output:\n%s", err, p.out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("graceful shutdown hung; output:\n%s", p.out.String())
+	}
+}
+
+var chaosClient = &http.Client{Timeout: 10 * time.Second}
+
+// send drives one step. A step counts as observed only if the full
+// response body arrived with status 200 — a torn body (mid-response
+// kill) or transport error is unobserved and must be retried.
+func send(addr string, step chaosStep) (observed bool, body []byte) {
+	key := chaosTenantKey
+	if step.advance {
+		key = chaosAdminKey
+	}
+	req, err := http.NewRequest("POST", "http://"+addr+step.path, strings.NewReader(step.body))
+	if err != nil {
+		return false, nil
+	}
+	req.Header.Set("X-API-Key", key)
+	resp, err := chaosClient.Do(req)
+	if err != nil {
+		return false, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return false, raw
+	}
+	return true, raw
+}
+
+type chaosStats struct {
+	SpentEps     float64 `json:"spent_eps"`
+	SpentDelta   float64 `json:"spent_delta"`
+	RemainingEps float64 `json:"remaining_eps"`
+	Releases     int     `json:"releases"`
+	Epoch        int     `json:"epoch"`
+	SpendByEpoch []struct {
+		Epoch    int     `json:"epoch"`
+		Eps      float64 `json:"eps"`
+		Delta    float64 `json:"delta"`
+		Releases int     `json:"releases"`
+	} `json:"spend_by_epoch"`
+}
+
+func readStats(t *testing.T, addr string) chaosStats {
+	t.Helper()
+	req, _ := http.NewRequest("GET", "http://"+addr+"/v1/stats", nil)
+	req.Header.Set("X-API-Key", chaosTenantKey)
+	resp, err := chaosClient.Do(req)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st chaosStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	return st
+}
+
+func readEpoch(t *testing.T, addr string) int {
+	t.Helper()
+	resp, err := chaosClient.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Epoch int `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	return h.Epoch
+}
+
+// TestChaosKillRecovery is the crash matrix. Each leg arms one crash
+// point, drives the script into the kill, restarts over the same state
+// directory, retries the unobserved steps, and checks the three
+// invariants against a baseline uninterrupted run.
+func TestChaosKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness boots real processes; skipped in -short")
+	}
+	steps := chaosScript()
+
+	// Baseline: the same script against an uninterrupted server.
+	base := t.TempDir()
+	cfgPath := writeChaosConfig(t, base)
+	baseline := make([][]byte, len(steps))
+	var baseStats chaosStats
+	{
+		proc := startChaos(t, cfgPath, filepath.Join(base, "state"), "")
+		for i, step := range steps {
+			ok, body := send(proc.addr, step)
+			if !ok {
+				t.Fatalf("baseline step %s failed: %s", step.name, body)
+			}
+			baseline[i] = body
+		}
+		baseStats = readStats(t, proc.addr)
+		proc.stop(t)
+	}
+	if baseStats.SpentEps != chaosBudgetEps {
+		t.Fatalf("baseline spent %g, want the exact budget %g", baseStats.SpentEps, chaosBudgetEps)
+	}
+
+	// Crash legs. Sync counts are deterministic under this serial
+	// client: boot journals 1 tenant registration (sync 1), each charge
+	// is one sync, the advance's dataset record is sync 7.
+	legs := []struct {
+		name  string
+		crash string
+	}{
+		// Charge fsynced, killed before any response byte.
+		{"before-response", "serve-before-response:3"},
+		// Killed halfway through the response body (torn response).
+		{"mid-response", "serve-mid-response:2"},
+		// Killed before the spend record's fsync: charge lost with the
+		// process, client saw nothing — retry must charge fresh.
+		{"before-sync", "wal-before-sync:4"},
+		// Killed right after the fsync: charge durable, response lost.
+		{"after-sync", "wal-after-sync:5"},
+		// Killed after the dataset-advance record was durable but before
+		// tenant ledgers advanced: recovery must complete the epoch.
+		{"advance-after-record", "advance-after-record:1"},
+		// Killed before the dataset-advance record's fsync: the advance
+		// must be absent after recovery, and the retry must continue the
+		// exact seed lineage.
+		{"advance-lost", "wal-before-sync:7"},
+	}
+	for _, leg := range legs {
+		t.Run(leg.name, func(t *testing.T) {
+			dir := t.TempDir()
+			stateDir := filepath.Join(dir, "state")
+			proc := startChaos(t, writeChaosConfig(t, dir), stateDir, leg.crash)
+
+			observed := make([]bool, len(steps))
+			crashBodies := make([][]byte, len(steps))
+			var observedEps float64
+			for i, step := range steps {
+				observed[i], crashBodies[i] = send(proc.addr, step)
+				if observed[i] {
+					observedEps += step.eps
+				}
+			}
+			proc.waitKilled(t)
+
+			// Invariant 3 (first half): everything fully observed before
+			// the crash matches the uninterrupted run byte for byte.
+			for i := range steps {
+				if observed[i] && !steps[i].advance && string(crashBodies[i]) != string(baseline[i]) {
+					t.Fatalf("step %s observed before crash differs from baseline:\n  crash:    %s\n  baseline: %s",
+						steps[i].name, crashBodies[i], baseline[i])
+				}
+			}
+
+			// Restart over the same state directory.
+			proc2 := startChaos(t, writeChaosConfig(t, dir), stateDir, "")
+			recovered := readStats(t, proc2.addr)
+
+			// Invariant 1: no observed response without a recovered charge.
+			if recovered.SpentEps+1e-9 < observedEps {
+				t.Fatalf("recovered spend %g < observed charges %g: a response escaped without a durable record",
+					recovered.SpentEps, observedEps)
+			}
+			// Invariant 2: never over budget.
+			if recovered.SpentEps > chaosBudgetEps+1e-9 {
+				t.Fatalf("recovered spend %g exceeds budget %g", recovered.SpentEps, chaosBudgetEps)
+			}
+
+			// Retry every step whose response was lost. The advance is
+			// retried only if its epoch is genuinely absent — a client can
+			// see that from /healthz, and re-advancing a recovered epoch
+			// would be a new advance, not a retry.
+			for i, step := range steps {
+				if observed[i] {
+					continue
+				}
+				if step.advance && readEpoch(t, proc2.addr) >= 1 {
+					continue
+				}
+				ok, body := send(proc2.addr, step)
+				if !ok {
+					t.Fatalf("retry of %s failed after recovery: %s", step.name, body)
+				}
+				if !step.advance && string(body) != string(baseline[i]) {
+					t.Fatalf("retry of %s differs from baseline:\n  retry:    %s\n  baseline: %s",
+						step.name, body, baseline[i])
+				}
+			}
+
+			// Invariant 2 again after the retries, then full convergence:
+			// the crashed-and-recovered world ends bit-identical to the
+			// uninterrupted one.
+			final := readStats(t, proc2.addr)
+			if final.SpentEps > chaosBudgetEps+1e-9 {
+				t.Fatalf("final spend %g exceeds budget %g", final.SpentEps, chaosBudgetEps)
+			}
+			if !reflect.DeepEqual(final, baseStats) {
+				t.Fatalf("final stats diverge from baseline:\n  final:    %+v\n  baseline: %+v", final, baseStats)
+			}
+			proc2.stop(t)
+		})
+	}
+}

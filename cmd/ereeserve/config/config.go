@@ -87,8 +87,13 @@ type Config struct {
 	DataScale string `json:"data_scale"` // "test" (~40k jobs) or "default" (~0.4M jobs)
 	// DeltaSeed roots admin-advance delta generation (seed + quarter
 	// index per quarter), so an advance sequence is reproducible too.
-	DeltaSeed int64    `json:"delta_seed"`
-	Tenants   []Tenant `json:"tenants"`
+	DeltaSeed int64 `json:"delta_seed"`
+	// StateDir, when set, makes budget accounting durable: every charge
+	// is written ahead to a log under this directory and recovered on
+	// restart. Empty means in-memory accounting (budgets reset on
+	// restart) — fine for demos, not for real budgets.
+	StateDir string   `json:"state_dir"`
+	Tenants  []Tenant `json:"tenants"`
 }
 
 // Default returns the baseline configuration with no tenants: test

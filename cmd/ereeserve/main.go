@@ -8,6 +8,14 @@
 //	ereeserve -demo                      # two demo tenants, generated data
 //	ereeserve -config server.json        # full configuration from a file
 //	ereeserve -demo -addr :9090          # override the listen address
+//	ereeserve -demo -state-dir ./state   # durable, crash-safe accounting
+//
+// With -state-dir (or "state_dir" in the config) every budget charge is
+// written ahead to a log before its response leaves the process, and a
+// restart recovers the exact accounting state — kill -9 included. The
+// server is not ready (GET /readyz) until recovery finishes, and
+// SIGTERM/SIGINT drain gracefully: in-flight requests complete, new
+// ones are refused, then the log is compacted and closed.
 //
 // See cmd/ereeserve/config for the configuration schema and
 // cmd/ereeserve/server for the endpoints and the wire determinism
@@ -15,13 +23,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/cmd/ereeserve/config"
 	"repro/cmd/ereeserve/server"
@@ -33,19 +44,26 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ereeserve: ")
-	if err := run(os.Args[1:], os.Stdout, http.ListenAndServe); err != nil {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, sig); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// run is the whole command behind a testable seam; serve stands in for
-// http.ListenAndServe so tests can capture the handler instead of
-// binding a port.
-func run(args []string, out io.Writer, serve func(addr string, h http.Handler) error) error {
+// shutdownGrace bounds the drain: in-flight requests get this long to
+// finish before the listener is torn down under them.
+const shutdownGrace = 30 * time.Second
+
+// run is the whole command behind a testable seam: tests pass their own
+// signal channel to drive shutdown and read the bound address (the
+// "listening on" line supports ":0") from out.
+func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs := flag.NewFlagSet("ereeserve", flag.ContinueOnError)
 	cfgPath := fs.String("config", "", "JSON configuration file (see cmd/ereeserve/config)")
 	demo := fs.Bool("demo", false, "serve the built-in two-tenant demo configuration")
 	addr := fs.String("addr", "", "override the configured listen address")
+	stateDir := fs.String("state-dir", "", "directory for durable accounting state (overrides the configured state_dir)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -70,6 +88,9 @@ func run(args []string, out io.Writer, serve func(addr string, h http.Handler) e
 	if *addr != "" {
 		cfg.Addr = *addr
 	}
+	if *stateDir != "" {
+		cfg.StateDir = *stateDir
+	}
 
 	data, err := buildDataset(cfg)
 	if err != nil {
@@ -79,15 +100,36 @@ func run(args []string, out io.Writer, serve func(addr string, h http.Handler) e
 	if err != nil {
 		return err
 	}
-	srv := server.New(core.NewPublisher(data), reg, server.Options{
+	srv, err := server.Open(core.NewPublisher(data), reg, server.Options{
 		NoiseSeed: cfg.NoiseSeed,
 		AdminKey:  cfg.AdminKey,
 		DeltaSeed: cfg.DeltaSeed,
+		StateDir:  cfg.StateDir,
 	})
+	if err != nil {
+		return err
+	}
+	svc, err := srv.Start(cfg.Addr, server.RunOptions{})
+	if err != nil {
+		return err
+	}
 
-	fmt.Fprintf(out, "serving %d jobs / %d establishments for %d tenant(s) on %s\n",
-		data.NumJobs(), data.NumEstablishments(), reg.Len(), cfg.Addr)
-	return serve(cfg.Addr, srv.Handler())
+	fmt.Fprintf(out, "serving %d jobs / %d establishments for %d tenant(s)\n",
+		data.NumJobs(), data.NumEstablishments(), reg.Len())
+	if cfg.StateDir != "" {
+		fmt.Fprintf(out, "durable accounting under %s\n", cfg.StateDir)
+	}
+	fmt.Fprintf(out, "listening on %s\n", svc.Addr())
+
+	select {
+	case err := <-svc.Done():
+		return err
+	case <-sig:
+		fmt.Fprintln(out, "shutting down: draining in-flight requests")
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		return svc.Shutdown(ctx)
+	}
 }
 
 // buildDataset loads the configured CSV snapshot, or generates a

@@ -1,51 +1,107 @@
 package main
 
 import (
+	"fmt"
+	"io"
 	"net/http"
-	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
-// capture is a stand-in for http.ListenAndServe that records what run
-// would have served.
-type capture struct {
-	addr    string
-	handler http.Handler
+// syncBuf is an io.Writer safe to read while run writes to it from the
+// test goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
 }
 
-func (c *capture) serve(addr string, h http.Handler) error {
-	c.addr, c.handler = addr, h
-	return nil
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listeningRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startRun launches run in a goroutine on a kernel-assigned port and
+// waits for the bound address. The returned stop func signals shutdown
+// and waits for run to return.
+func startRun(t *testing.T, args []string) (addr string, out *syncBuf, stop func() error) {
+	t.Helper()
+	out = &syncBuf{}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(args, out, sig) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listeningRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited before listening: %v\noutput: %s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address; output: %s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var once sync.Once
+	stop = func() error {
+		var err error
+		once.Do(func() {
+			sig <- os.Interrupt
+			select {
+			case err = <-done:
+			case <-time.After(15 * time.Second):
+				err = fmt.Errorf("run did not return after signal")
+			}
+		})
+		return err
+	}
+	t.Cleanup(func() { stop() })
+	return addr, out, stop
 }
 
 func TestRunDemo(t *testing.T) {
-	var c capture
-	var out strings.Builder
-	if err := run([]string{"-demo"}, &out, c.serve); err != nil {
-		t.Fatal(err)
-	}
-	if c.addr != ":8080" {
-		t.Errorf("addr = %q, want :8080", c.addr)
-	}
+	addr, out, stop := startRun(t, []string{"-demo", "-addr", "127.0.0.1:0"})
 	if !strings.Contains(out.String(), "2 tenant(s)") {
-		t.Errorf("startup line = %q, want it to mention 2 tenant(s)", out.String())
+		t.Errorf("startup output = %q, want it to mention 2 tenant(s)", out.String())
 	}
-	// The captured handler is a live server: demo tenants can release.
-	rec := httptest.NewRecorder()
-	req := httptest.NewRequest("POST", "/v1/release",
+	// The bound server is live: demo tenants can release.
+	req, _ := http.NewRequest("POST", "http://"+addr+"/v1/release",
 		strings.NewReader(`{"attrs":["industry"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1}`))
 	req.Header.Set("X-API-Key", "tenant-alpha-key")
-	c.handler.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("demo release = %d: %s", rec.Code, rec.Body.Bytes())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("demo release = %d: %s", resp.StatusCode, body)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
 	}
 }
 
-func TestRunConfigFile(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "server.json")
+func TestRunConfigFileWithState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "server.json")
 	cfg := `{
 		"addr": ":7070",
 		"noise_seed": 3,
@@ -57,30 +113,40 @@ func TestRunConfigFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	var c capture
-	var out strings.Builder
-	if err := run([]string{"-config", path, "-addr", ":9999"}, &out, c.serve); err != nil {
-		t.Fatal(err)
+	stateDir := filepath.Join(dir, "state")
+	addr, out, stop := startRun(t, []string{
+		"-config", path, "-addr", "127.0.0.1:0", "-state-dir", stateDir,
+	})
+	if !strings.Contains(out.String(), "durable accounting under "+stateDir) {
+		t.Errorf("startup output = %q, want the state dir announced", out.String())
 	}
-	if c.addr != ":9999" {
-		t.Errorf("-addr override not applied: addr = %q", c.addr)
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get("http://" + addr + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", probe, resp.StatusCode)
+		}
 	}
-	rec := httptest.NewRecorder()
-	req := httptest.NewRequest("GET", "/healthz", nil)
-	c.handler.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("healthz = %d", rec.Code)
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The -state-dir flag reached the durability layer: a log exists.
+	entries, err := os.ReadDir(stateDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("state dir after shutdown: entries=%v err=%v", entries, err)
 	}
 }
 
 func TestRunFlagErrors(t *testing.T) {
-	var c capture
 	for _, args := range [][]string{
 		{},                        // neither -config nor -demo
 		{"-demo", "-config", "x"}, // mutually exclusive
 		{"-config", "/does/not/exist.json"},
 	} {
-		if err := run(args, &strings.Builder{}, c.serve); err == nil {
+		if err := run(args, &strings.Builder{}, nil); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}

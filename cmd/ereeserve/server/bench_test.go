@@ -57,3 +57,53 @@ func BenchmarkServeMarginal(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServeMarginalDurable is BenchmarkServeMarginal with the
+// write-ahead accounting store on: every release fsyncs its spend
+// record before responding. The gap between the two benchmarks is the
+// durability tax — group commit amortizes it under concurrency, but
+// this single-goroutine run pays one fsync per release, the honest
+// worst case. Gated in CI against BENCH_serve.json.
+func BenchmarkServeMarginalDurable(b *testing.B) {
+	cfg := lodes.TestConfig()
+	cfg.NumEstablishments = 500
+	data := lodes.MustGenerate(cfg, dist.NewStreamFromSeed(1))
+	acct, err := privacy.NewAccountant(privacy.WeakEREE, 0.1, 1e18, 0.999999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := privacy.NewRegistry()
+	if _, err := reg.Register("bench", "bench-key", acct); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := Open(core.NewPublisher(data), reg, Options{NoiseSeed: 7, StateDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.closePersistent()
+	h := srv.Handler()
+
+	warm := httptest.NewRequest("POST", "/v1/release", strings.NewReader(
+		`{"attrs":["place","industry","ownership"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5,"seq":0}`))
+	warm.Header.Set(apiKeyHeader, "bench-key")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup = %d: %s", rec.Code, rec.Body.Bytes())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(
+			`{"attrs":["place","industry","ownership"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5,"seq":%d}`,
+			1+i%(maxSeq-1))
+		req := httptest.NewRequest("POST", "/v1/release", strings.NewReader(body))
+		req.Header.Set(apiKeyHeader, "bench-key")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("release = %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/crashpoint"
 	"repro/internal/dist"
 	"repro/internal/lodes"
 	"repro/internal/privacy"
@@ -41,6 +42,10 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, errBodyTooLarge):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, privacy.ErrPersistence):
+		// The accounting store cannot make the charge durable; the
+		// charge was refused, the request is retryable elsewhere/later.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -71,7 +76,38 @@ func writeError(w http.ResponseWriter, err error, acct *privacy.Accountant) {
 		body.RemainingEps = &eps
 		body.RemainingDelta = &delta
 	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, body)
+}
+
+// writeRelease renders a charged success response. It hosts the two
+// response-side crash points the chaos harness kills at: before any
+// byte leaves (charge durable, response lost — the client must be able
+// to re-fetch it as a replay) and mid-body (a torn response must never
+// be mistaken for a fresh charge on retry).
+func writeRelease(w http.ResponseWriter, body any) {
+	crashpoint.Maybe(crashBeforeResponse)
+	raw, err := json.Marshal(body)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	raw = append(raw, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if crashpoint.Armed(crashMidResponse) && len(raw) > 1 {
+		half := len(raw) / 2
+		w.Write(raw[:half])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		crashpoint.Maybe(crashMidResponse)
+		w.Write(raw[half:])
+		return
+	}
+	w.Write(raw)
 }
 
 // withTenant authenticates the request's API key and hands the handler
@@ -144,12 +180,59 @@ func releaseToJSON(rel *core.Release, seq int64, attrs []string) releaseJSON {
 	}
 }
 
-// handleHealth is the unauthenticated liveness probe.
+// handleHealth is the unauthenticated liveness probe: it answers 200
+// whenever the process can serve HTTP at all — during recovery, while
+// ready, and while draining. Orchestrators that restart on failed
+// liveness must not kill a server that is merely recovering or
+// draining; that is what /readyz distinguishes.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		OK    bool `json:"ok"`
 		Epoch int  `json:"epoch"`
 	}{true, s.pub.Epoch()})
+}
+
+// handleReady is the unauthenticated readiness probe: 200 only when
+// the server is accepting release traffic — recovery finished, drain
+// not begun. Load balancers route on this, and the smoke/chaos
+// harnesses poll it instead of sleeping.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	type readyBody struct {
+		Ready bool   `json:"ready"`
+		State string `json:"state"`
+	}
+	switch s.state.Load() {
+	case stateReady:
+		writeJSON(w, http.StatusOK, readyBody{true, "ready"})
+	case stateDraining:
+		writeJSON(w, http.StatusServiceUnavailable, readyBody{false, "draining"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, readyBody{false, "starting"})
+	}
+}
+
+// replayed serves a request whose charge is already durable (the
+// client retried after losing the response). The release is recomputed
+// with a nil accountant — wire determinism makes it byte-identical to
+// the lost one — so the tenant is not charged twice. It reports false,
+// deferring to the normal charged path, when the identity misses the
+// cache or the current epoch no longer matches the recorded one (then
+// the retry is semantically a fresh request and must pay).
+func (s *Server) replayed(tenant string, seq int64, digest string) bool {
+	if s.persist == nil {
+		return false
+	}
+	return s.replay.has(tenant, replayKey{Seq: seq, Digest: digest, Epoch: s.pub.Epoch()})
+}
+
+// noteCharged records a durably charged request identity for replay
+// detection. Called after the charge succeeded, which means its spend
+// record — tagged with exactly this identity — is on disk.
+func (s *Server) noteCharged(tenant string, seq int64, digest string, epoch int) {
+	if s.persist == nil {
+		return
+	}
+	s.replay.add(tenant, replayKey{Seq: seq, Digest: digest, Epoch: epoch})
 }
 
 // handleRelease serves POST /v1/release: one marginal, charged to the
@@ -161,13 +244,21 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request, t *privac
 		return
 	}
 	seq := s.resolveSeq(t.Name, explicit)
-	stream := s.requestStream(t.Name, seq, requestDigest(digestRelease, []core.Request{req}, nil))
-	rel, err := s.pub.ReleaseMarginalFor(t.Acct, req, stream)
+	digest := requestDigest(digestRelease, []core.Request{req}, nil)
+	stream := s.requestStream(t.Name, seq, digest)
+	if s.replayed(t.Name, seq, digest) {
+		if rel, err := s.pub.ReleaseMarginalFor(nil, req, stream); err == nil && rel.Epoch == s.pub.Epoch() {
+			writeRelease(w, releaseToJSON(rel, seq, req.Attrs))
+			return
+		}
+	}
+	rel, err := s.pub.ReleaseMarginalTagged(t.Acct, req, stream, &privacy.SpendTag{Seq: seq, Digest: digest})
 	if err != nil {
 		writeError(w, err, t.Acct)
 		return
 	}
-	writeJSON(w, http.StatusOK, releaseToJSON(rel, seq, req.Attrs))
+	s.noteCharged(t.Name, seq, digest, rel.Epoch)
+	writeRelease(w, releaseToJSON(rel, seq, req.Attrs))
 }
 
 // batchJSON is the /v1/batch success response.
@@ -187,17 +278,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, t *privacy.
 		return
 	}
 	seq := s.resolveSeq(t.Name, explicit)
-	stream := s.requestStream(t.Name, seq, requestDigest(digestBatch, reqs, nil))
-	rels, err := s.pub.ReleaseBatchFor(t.Acct, reqs, stream)
+	digest := requestDigest(digestBatch, reqs, nil)
+	stream := s.requestStream(t.Name, seq, digest)
+	if s.replayed(t.Name, seq, digest) {
+		if rels, err := s.pub.ReleaseBatchFor(nil, reqs, stream); err == nil &&
+			len(rels) > 0 && rels[0].Epoch == s.pub.Epoch() {
+			out := batchJSON{Seq: seq, Releases: make([]releaseJSON, len(rels))}
+			for i, rel := range rels {
+				out.Releases[i] = releaseToJSON(rel, seq, reqs[i].Attrs)
+			}
+			writeRelease(w, out)
+			return
+		}
+	}
+	rels, err := s.pub.ReleaseBatchTagged(t.Acct, reqs, stream, &privacy.SpendTag{Seq: seq, Digest: digest})
 	if err != nil {
 		writeError(w, err, t.Acct)
 		return
+	}
+	if len(rels) > 0 {
+		s.noteCharged(t.Name, seq, digest, rels[0].Epoch)
 	}
 	out := batchJSON{Seq: seq, Releases: make([]releaseJSON, len(rels))}
 	for i, rel := range rels {
 		out.Releases[i] = releaseToJSON(rel, seq, reqs[i].Attrs)
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeRelease(w, out)
 }
 
 // cellJSON is the /v1/cell success response.
@@ -219,13 +325,24 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, t *privacy.T
 		return
 	}
 	seq := s.resolveSeq(t.Name, explicit)
-	stream := s.requestStream(t.Name, seq, requestDigest(digestCell, []core.Request{req}, values))
-	noisy, _, loss, epoch, err := s.pub.ReleaseSingleCellFor(t.Acct, req, values, stream)
+	digest := requestDigest(digestCell, []core.Request{req}, values)
+	stream := s.requestStream(t.Name, seq, digest)
+	if s.replayed(t.Name, seq, digest) {
+		if noisy, _, loss, epoch, err := s.pub.ReleaseSingleCellFor(nil, req, values, stream); err == nil && epoch == s.pub.Epoch() {
+			writeRelease(w, cellJSON{
+				Epoch: epoch, Seq: seq, Attrs: req.Attrs, Values: values,
+				Loss: lossToJSON(loss), Count: noisy,
+			})
+			return
+		}
+	}
+	noisy, _, loss, epoch, err := s.pub.ReleaseSingleCellTagged(t.Acct, req, values, stream, &privacy.SpendTag{Seq: seq, Digest: digest})
 	if err != nil {
 		writeError(w, err, t.Acct)
 		return
 	}
-	writeJSON(w, http.StatusOK, cellJSON{
+	s.noteCharged(t.Name, seq, digest, epoch)
+	writeRelease(w, cellJSON{
 		Epoch:  epoch,
 		Seq:    seq,
 		Attrs:  req.Attrs,
@@ -364,9 +481,29 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 			fail(q, err)
 			return
 		}
-		// Every tenant's ledger follows the dataset epoch.
-		s.reg.AdvanceEpoch()
+		// The dataset advance is journaled after Advance succeeded (so
+		// recovery never replays a record whose delta deterministically
+		// fails to apply) and before any tenant ledger moves. A crash
+		// before this record leaves the advance absent after recovery; a
+		// crash after it finds the record, re-derives the delta from the
+		// seed, and reconciles every tenant ledger — the advance is
+		// atomic-on-recovery, never half-applied.
+		if s.persist != nil {
+			if err := s.persist.LogDatasetAdvance(s.quartersAbsorbed, seed); err != nil {
+				fail(q, fmt.Errorf("%w: %v", privacy.ErrPersistence, err))
+				return
+			}
+		}
+		crashpoint.Maybe(crashAfterAdvance)
+		// Every tenant's ledger follows the dataset epoch (each advance
+		// durable before its ledger moves; a partial sweep heals on
+		// recovery via the lineage reconcile).
+		if err := s.reg.AdvanceEpoch(); err != nil {
+			fail(q, err)
+			return
+		}
 		s.quartersAbsorbed++
+		s.quarterSeeds = append(s.quarterSeeds, seed)
 		next := s.pub.Dataset()
 		out.Quarters = append(out.Quarters, advanceQuarter{
 			Epoch:          s.pub.Epoch(),

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// RunOptions bound a served socket's patience. Zero values take the
+// defaults below; a negative value disables that bound. These exist so
+// one stuck client cannot pin a connection (and its in-flight slot)
+// forever — the load-shedding bound is only meaningful if slots are
+// eventually reclaimed.
+type RunOptions struct {
+	// ReadHeaderTimeout bounds the wait for a request's header
+	// (default 5s) — the cheapest slow-loris defense.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading a full request (default 30s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing a full response (default 60s).
+	WriteTimeout time.Duration
+	// IdleTimeout bounds keep-alive idleness (default 120s).
+	IdleTimeout time.Duration
+	// RequestTimeout bounds each release endpoint's handler time via
+	// http.TimeoutHandler (default 30s). The admin advance is exempt —
+	// multi-quarter absorption legitimately runs long and every quarter
+	// is journaled before it applies.
+	RequestTimeout time.Duration
+}
+
+func orDefault(v, def time.Duration) time.Duration {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	}
+	return v
+}
+
+func (ro RunOptions) withDefaults() RunOptions {
+	ro.ReadHeaderTimeout = orDefault(ro.ReadHeaderTimeout, 5*time.Second)
+	ro.ReadTimeout = orDefault(ro.ReadTimeout, 30*time.Second)
+	ro.WriteTimeout = orDefault(ro.WriteTimeout, 60*time.Second)
+	ro.IdleTimeout = orDefault(ro.IdleTimeout, 120*time.Second)
+	ro.RequestTimeout = orDefault(ro.RequestTimeout, 30*time.Second)
+	return ro
+}
+
+// Service is a Server bound to a listening socket.
+type Service struct {
+	srv  *Server
+	hs   *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// Start binds addr (":0" picks a free port — see Addr) and serves in a
+// background goroutine until Shutdown or a serve error (watch Done).
+func (s *Server) Start(addr string, ro RunOptions) (*Service, error) {
+	ro = ro.withDefaults()
+	s.reqTimeout = ro.RequestTimeout
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	svc := &Service{
+		srv: s,
+		hs: &http.Server{
+			Handler:           s.Handler(),
+			ReadHeaderTimeout: ro.ReadHeaderTimeout,
+			ReadTimeout:       ro.ReadTimeout,
+			WriteTimeout:      ro.WriteTimeout,
+			IdleTimeout:       ro.IdleTimeout,
+		},
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := svc.hs.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		svc.done <- err
+	}()
+	return svc, nil
+}
+
+// Addr is the bound listen address (with the real port for ":0").
+func (s *Service) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Done reports the serve loop's exit: nil after a clean Shutdown, the
+// serve error otherwise.
+func (s *Service) Done() <-chan error {
+	return s.done
+}
+
+// Shutdown drains gracefully: the server stops admitting /v1 requests
+// (readiness flips immediately, so load balancers stop routing here),
+// in-flight requests run to completion — including their response
+// bodies — within ctx, and only then is the accounting store compacted
+// and closed. A request that was mid-charge can therefore never race
+// the store's close, and an admin advance either completes (journaled)
+// before the drain or is refused by it, never half-applied.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.srv.beginDrain()
+	err := s.hs.Shutdown(ctx)
+	if cerr := s.srv.closePersistent(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,641 @@
+package server
+
+// Durable accounting for the release service, built on internal/wal.
+//
+// The write-ahead contract: a spend record reaches the log — and
+// fsync — before the release's response bytes leave the process, so
+// no observed response exists without a durable record of its charge.
+// The safe failure direction is over-charging (a crash after the
+// record but before the response wastes budget); under-charging would
+// let a restarted tenant re-spend, which is a privacy violation.
+//
+// The log carries four record kinds: tenant registration (budget
+// parameters, so recovery can rebuild an accountant before replaying
+// its charges), spends (the summed (ε, δ) of one charge plus its
+// request identity when tagged), per-tenant ledger advances, and
+// dataset advances (the absolute quarter index and generation seed —
+// deltas are generated deterministically from the seed, so recovery
+// replays the dataset lineage instead of persisting datasets).
+//
+// Floats travel as IEEE-754 bit patterns and recovery re-applies the
+// same additions in the same per-tenant order the live accountant
+// performed them (the journal write happens under the accountant's
+// mutex), so a recovered Registry is bit-identical to the one that
+// crashed — spent totals, per-epoch ledgers, everything.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/crashpoint"
+	"repro/internal/privacy"
+	"repro/internal/wal"
+)
+
+// Record kinds. Values are part of the on-disk format; never renumber.
+const (
+	recRegister       byte = 1
+	recSpend          byte = 2
+	recAdvanceTenant  byte = 3
+	recAdvanceDataset byte = 4
+)
+
+const snapshotVersion byte = 1
+
+// replayWindow bounds the per-tenant ring of remembered request
+// identities for duplicate detection. A retry older than the window
+// re-charges — the safe direction (never a free fresh release).
+const replayWindow = 4096
+
+// Crash-point names (armed via EREE_CRASH, see internal/crashpoint).
+const (
+	crashBeforeSync     = "wal-before-sync"
+	crashAfterSync      = "wal-after-sync"
+	crashBeforeResponse = "serve-before-response"
+	crashMidResponse    = "serve-mid-response"
+	crashAfterAdvance   = "advance-after-record"
+)
+
+// ---- binary codec -------------------------------------------------
+
+// recWriter builds a record/snapshot payload. All integers big-endian,
+// strings length-prefixed, floats as Float64bits — the same canonical
+// style as the request digest encoding (digest.go).
+type recWriter struct{ b []byte }
+
+func (w *recWriter) u8(v byte)     { w.b = append(w.b, v) }
+func (w *recWriter) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *recWriter) u64(v uint64)  { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *recWriter) i64(v int64)   { w.u64(uint64(v)) }
+func (w *recWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *recWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+var errTruncatedRecord = errors.New("truncated record")
+
+type recReader struct {
+	b   []byte
+	off int
+}
+
+func (r *recReader) u8() (byte, error) {
+	if r.off+1 > len(r.b) {
+		return 0, errTruncatedRecord
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *recReader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, errTruncatedRecord
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *recReader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, errTruncatedRecord
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *recReader) i64() (int64, error) { v, err := r.u64(); return int64(v), err }
+
+func (r *recReader) f64() (float64, error) { v, err := r.u64(); return math.Float64frombits(v), err }
+
+func (r *recReader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if uint32(len(r.b)-r.off) < n {
+		return "", errTruncatedRecord
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *recReader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("record has %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// ---- journal ------------------------------------------------------
+
+// Persistence adapts the WAL store into the privacy.Journal the
+// accountants write through, plus the server-level dataset-advance
+// record. Every Log method is durable on return (wal.Store.Append
+// fsyncs, group-committed under concurrency).
+type Persistence struct {
+	store *wal.Store
+}
+
+func (p *Persistence) LogSpend(rec privacy.SpendRecord) error {
+	var w recWriter
+	w.u8(recSpend)
+	w.str(rec.Tenant)
+	w.f64(rec.Eps)
+	w.f64(rec.Delta)
+	w.u32(uint32(rec.Releases))
+	if rec.Tag != nil {
+		w.u8(1)
+		w.i64(rec.Tag.Seq)
+		w.str(rec.Tag.Digest)
+		w.u64(uint64(rec.Tag.Epoch))
+	} else {
+		w.u8(0)
+	}
+	return p.store.Append(w.b)
+}
+
+func (p *Persistence) LogAdvance(rec privacy.AdvanceRecord) error {
+	var w recWriter
+	w.u8(recAdvanceTenant)
+	w.str(rec.Tenant)
+	w.u64(uint64(rec.Epoch))
+	return p.store.Append(w.b)
+}
+
+func (p *Persistence) LogRegister(rec privacy.RegisterRecord) error {
+	var w recWriter
+	w.u8(recRegister)
+	w.str(rec.Tenant)
+	w.u32(uint32(rec.Def))
+	w.f64(rec.Alpha)
+	w.f64(rec.BudgetEps)
+	w.f64(rec.BudgetDelta)
+	return p.store.Append(w.b)
+}
+
+// LogDatasetAdvance records that the server absorbed its quarter-th
+// quarterly delta, generated from seed. Recovery regenerates the delta
+// from the seed — generation is deterministic — and re-advances.
+func (p *Persistence) LogDatasetAdvance(quarter int, seed int64) error {
+	var w recWriter
+	w.u8(recAdvanceDataset)
+	w.u64(uint64(quarter))
+	w.i64(seed)
+	return p.store.Append(w.b)
+}
+
+// ---- recovered state ----------------------------------------------
+
+// replayKey is the dedup identity of a charged request: with wire
+// determinism, (tenant, seq, digest, epoch) fully determines the
+// response bytes, so a repeat under the same key can be re-served
+// without a second charge.
+type replayKey struct {
+	Seq    int64
+	Digest string
+	Epoch  int
+}
+
+// tenantState is one tenant's accounting as recovered from disk.
+type tenantState struct {
+	Def         privacy.Definition
+	Alpha       float64
+	BudgetEps   float64
+	BudgetDelta float64
+	SpentEps    float64
+	SpentDelta  float64
+	Releases    int
+	Ledger      []privacy.EpochSpend
+	NextSeq     int64
+	Recent      []replayKey // oldest first, ≤ replayWindow
+}
+
+// persistentState is everything the snapshot carries (and the log
+// patches): the dataset lineage and every tenant's accounting.
+type persistentState struct {
+	QuarterSeeds []int64
+	Tenants      map[string]*tenantState
+}
+
+func newPersistentState() *persistentState {
+	return &persistentState{Tenants: make(map[string]*tenantState)}
+}
+
+// applyRecord replays one log record onto the state. Records are
+// CRC-clean by the time they get here, so a semantic violation means
+// the log and snapshot disagree structurally — that is corruption, and
+// recovery fails rather than guessing at spend totals.
+func (st *persistentState) applyRecord(payload []byte) error {
+	r := &recReader{b: payload}
+	kind, err := r.u8()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case recRegister:
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		def, err := r.u32()
+		if err != nil {
+			return err
+		}
+		alpha, err := r.f64()
+		if err != nil {
+			return err
+		}
+		beps, err := r.f64()
+		if err != nil {
+			return err
+		}
+		bdelta, err := r.f64()
+		if err != nil {
+			return err
+		}
+		if err := r.done(); err != nil {
+			return err
+		}
+		if t, ok := st.Tenants[name]; ok {
+			// Re-registration (every boot journals the registry): budgets
+			// may have been reconfigured; identity must not change.
+			if t.Def != privacy.Definition(def) || t.Alpha != alpha {
+				return fmt.Errorf("tenant %q re-registered under a different definition", name)
+			}
+			t.BudgetEps, t.BudgetDelta = beps, bdelta
+			return nil
+		}
+		st.Tenants[name] = &tenantState{
+			Def: privacy.Definition(def), Alpha: alpha,
+			BudgetEps: beps, BudgetDelta: bdelta,
+			Ledger: []privacy.EpochSpend{{Epoch: 0}},
+		}
+		return nil
+
+	case recSpend:
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		eps, err := r.f64()
+		if err != nil {
+			return err
+		}
+		delta, err := r.f64()
+		if err != nil {
+			return err
+		}
+		releases, err := r.u32()
+		if err != nil {
+			return err
+		}
+		tagged, err := r.u8()
+		if err != nil {
+			return err
+		}
+		var tag replayKey
+		if tagged == 1 {
+			if tag.Seq, err = r.i64(); err != nil {
+				return err
+			}
+			if tag.Digest, err = r.str(); err != nil {
+				return err
+			}
+			epoch, err := r.u64()
+			if err != nil {
+				return err
+			}
+			tag.Epoch = int(epoch)
+		}
+		if err := r.done(); err != nil {
+			return err
+		}
+		t, ok := st.Tenants[name]
+		if !ok {
+			return fmt.Errorf("spend for unregistered tenant %q", name)
+		}
+		// Same additions, same order as the live accountant — the
+		// journal append happens under its mutex — so the recovered
+		// floats are bit-identical.
+		t.SpentEps += eps
+		t.SpentDelta += delta
+		t.Releases += int(releases)
+		cur := &t.Ledger[len(t.Ledger)-1]
+		cur.Eps += eps
+		cur.Delta += delta
+		cur.Releases += int(releases)
+		if tagged == 1 {
+			t.Recent = append(t.Recent, tag)
+			if len(t.Recent) > replayWindow {
+				t.Recent = t.Recent[len(t.Recent)-replayWindow:]
+			}
+			if tag.Seq+1 > t.NextSeq {
+				t.NextSeq = tag.Seq + 1
+			}
+		}
+		return nil
+
+	case recAdvanceTenant:
+		name, err := r.str()
+		if err != nil {
+			return err
+		}
+		epoch, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if err := r.done(); err != nil {
+			return err
+		}
+		t, ok := st.Tenants[name]
+		if !ok {
+			return fmt.Errorf("advance for unregistered tenant %q", name)
+		}
+		last := t.Ledger[len(t.Ledger)-1].Epoch
+		if int(epoch) != last+1 {
+			return fmt.Errorf("tenant %q ledger advance to epoch %d from %d", name, epoch, last)
+		}
+		t.Ledger = append(t.Ledger, privacy.EpochSpend{Epoch: int(epoch)})
+		return nil
+
+	case recAdvanceDataset:
+		quarter, err := r.u64()
+		if err != nil {
+			return err
+		}
+		seed, err := r.i64()
+		if err != nil {
+			return err
+		}
+		if err := r.done(); err != nil {
+			return err
+		}
+		if int(quarter) != len(st.QuarterSeeds) {
+			return fmt.Errorf("dataset advance for quarter %d, expected %d", quarter, len(st.QuarterSeeds))
+		}
+		st.QuarterSeeds = append(st.QuarterSeeds, seed)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown record kind %d", kind)
+	}
+}
+
+// encodeSnapshot serializes the full state (sorted tenant order, so
+// identical state is identical bytes).
+func encodeSnapshot(st *persistentState) []byte {
+	var w recWriter
+	w.u8(snapshotVersion)
+	w.u32(uint32(len(st.QuarterSeeds)))
+	for _, seed := range st.QuarterSeeds {
+		w.i64(seed)
+	}
+	names := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.u32(uint32(len(names)))
+	for _, name := range names {
+		t := st.Tenants[name]
+		w.str(name)
+		w.u32(uint32(t.Def))
+		w.f64(t.Alpha)
+		w.f64(t.BudgetEps)
+		w.f64(t.BudgetDelta)
+		w.f64(t.SpentEps)
+		w.f64(t.SpentDelta)
+		w.u64(uint64(t.Releases))
+		w.i64(t.NextSeq)
+		w.u32(uint32(len(t.Ledger)))
+		for _, e := range t.Ledger {
+			w.u64(uint64(e.Epoch))
+			w.f64(e.Eps)
+			w.f64(e.Delta)
+			w.u64(uint64(e.Releases))
+		}
+		w.u32(uint32(len(t.Recent)))
+		for _, k := range t.Recent {
+			w.i64(k.Seq)
+			w.str(k.Digest)
+			w.u64(uint64(k.Epoch))
+		}
+	}
+	return w.b
+}
+
+func decodeSnapshot(payload []byte) (*persistentState, error) {
+	r := &recReader{b: payload}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != snapshotVersion {
+		return nil, fmt.Errorf("snapshot version %d not supported", ver)
+	}
+	st := newPersistentState()
+	nq, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nq; i++ {
+		seed, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		st.QuarterSeeds = append(st.QuarterSeeds, seed)
+	}
+	nt, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nt; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		t := &tenantState{}
+		var def uint32
+		if def, err = r.u32(); err != nil {
+			return nil, err
+		}
+		t.Def = privacy.Definition(def)
+		if t.Alpha, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if t.BudgetEps, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if t.BudgetDelta, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if t.SpentEps, err = r.f64(); err != nil {
+			return nil, err
+		}
+		if t.SpentDelta, err = r.f64(); err != nil {
+			return nil, err
+		}
+		rel, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		t.Releases = int(rel)
+		if t.NextSeq, err = r.i64(); err != nil {
+			return nil, err
+		}
+		nl, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nl == 0 {
+			return nil, fmt.Errorf("tenant %q snapshot has an empty ledger", name)
+		}
+		for j := uint32(0); j < nl; j++ {
+			var e privacy.EpochSpend
+			ep, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			e.Epoch = int(ep)
+			if e.Eps, err = r.f64(); err != nil {
+				return nil, err
+			}
+			if e.Delta, err = r.f64(); err != nil {
+				return nil, err
+			}
+			rel, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			e.Releases = int(rel)
+			t.Ledger = append(t.Ledger, e)
+		}
+		nr, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < nr; j++ {
+			var k replayKey
+			if k.Seq, err = r.i64(); err != nil {
+				return nil, err
+			}
+			if k.Digest, err = r.str(); err != nil {
+				return nil, err
+			}
+			ep, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			k.Epoch = int(ep)
+			t.Recent = append(t.Recent, k)
+		}
+		st.Tenants[name] = t
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// openState opens the WAL in dir and reconstructs the persistent
+// state: decode the snapshot, then replay every post-snapshot record.
+func openState(dir string) (*Persistence, *persistentState, error) {
+	store, recovered, err := wal.Open(dir, wal.Options{
+		BeforeSync: func() { crashpoint.Maybe(crashBeforeSync) },
+		AfterSync:  func() { crashpoint.Maybe(crashAfterSync) },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := newPersistentState()
+	if recovered.Snapshot != nil {
+		st, err = decodeSnapshot(recovered.Snapshot)
+		if err != nil {
+			store.Close()
+			return nil, nil, fmt.Errorf("server: state snapshot: %w", err)
+		}
+	}
+	for i, raw := range recovered.Records {
+		if err := st.applyRecord(raw); err != nil {
+			store.Close()
+			return nil, nil, fmt.Errorf("server: state log record %d: %w", i, err)
+		}
+	}
+	return &Persistence{store: store}, st, nil
+}
+
+// ---- replay cache -------------------------------------------------
+
+// replayCache is the live mirror of each tenant's Recent ring: the
+// request identities whose charges are on disk, so a repeat can be
+// served as a free replay. Bounded per tenant; eviction is
+// oldest-first, and an evicted identity simply re-charges on retry.
+type replayCache struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantReplay
+}
+
+type tenantReplay struct {
+	seen map[replayKey]struct{}
+	fifo []replayKey
+}
+
+func newReplayCache() *replayCache {
+	return &replayCache{tenants: make(map[string]*tenantReplay)}
+}
+
+func (c *replayCache) add(tenant string, k replayKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.tenants[tenant]
+	if !ok {
+		tr = &tenantReplay{seen: make(map[replayKey]struct{})}
+		c.tenants[tenant] = tr
+	}
+	if _, dup := tr.seen[k]; dup {
+		return
+	}
+	tr.seen[k] = struct{}{}
+	tr.fifo = append(tr.fifo, k)
+	if len(tr.fifo) > replayWindow {
+		evict := tr.fifo[0]
+		tr.fifo = tr.fifo[1:]
+		delete(tr.seen, evict)
+	}
+}
+
+func (c *replayCache) has(tenant string, k replayKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.tenants[tenant]
+	if !ok {
+		return false
+	}
+	_, hit := tr.seen[k]
+	return hit
+}
+
+func (c *replayCache) snapshot(tenant string) []replayKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.tenants[tenant]
+	if !ok {
+		return nil
+	}
+	return append([]replayKey(nil), tr.fifo...)
+}
+
+func (c *replayCache) seed(tenant string, keys []replayKey) {
+	for _, k := range keys {
+		c.add(tenant, k)
+	}
+}

@@ -38,18 +38,30 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/crashpoint"
 	"repro/internal/dist"
 	"repro/internal/lodes"
 	"repro/internal/privacy"
 )
 
-// Server is the multi-tenant release service. Create with New, expose
-// via Handler.
+// Lifecycle states (Server.state). Requests to the /v1 endpoints are
+// only served in stateReady; /healthz and /readyz always answer.
+const (
+	stateStarting int32 = iota
+	stateReady
+	stateDraining
+)
+
+// Server is the multi-tenant release service. Create with New (in
+// memory) or Open (durable accounting under a state directory), expose
+// via Handler or serve on a socket via Start.
 type Server struct {
 	pub *core.Publisher
 	reg *privacy.Registry
@@ -68,9 +80,33 @@ type Server struct {
 	// (quarter q draws from deltaSeed+q), so an advance sequence is
 	// reproducible regardless of how it is split into calls.
 	quartersAbsorbed int
+	// quarterSeeds records each absorbed quarter's generation seed, in
+	// order — the durable form of the dataset lineage (guarded by advMu).
+	quarterSeeds []int64
 	// seqs assigns per-tenant sequence numbers to requests that do not
 	// carry one: map[string]*atomic.Int64 keyed by tenant name.
 	seqs sync.Map
+
+	// persist is the write-ahead accounting store; nil for in-memory
+	// servers (New), set by Open.
+	persist *Persistence
+	// replay remembers recently charged request identities so a client
+	// retry of a durable charge is re-served without charging again.
+	replay *replayCache
+	// extraTenants carries recovered accounting for tenants absent from
+	// the current configuration: their spend history must survive into
+	// future snapshots even while no key maps to them.
+	extraTenants map[string]*tenantState
+
+	// state is the lifecycle gate (starting → ready → draining).
+	state atomic.Int32
+	// inflight counts requests inside the /v1 endpoints, for load
+	// shedding; maxInFlight bounds it.
+	inflight    atomic.Int64
+	maxInFlight int
+	// reqTimeout, when positive, bounds each release endpoint's handler
+	// time via http.TimeoutHandler (set by Start's RunOptions).
+	reqTimeout time.Duration
 }
 
 // Options configure a Server beyond its publisher and tenants.
@@ -85,34 +121,265 @@ type Options struct {
 	// DeltaConfig parameterizes generated quarterly deltas; zero value
 	// means lodes.DefaultDeltaConfig().
 	DeltaConfig *lodes.DeltaConfig
+	// StateDir, when non-empty, enables durable accounting: Open
+	// recovers from it and journals every charge to it. Ignored by New.
+	StateDir string
+	// MaxInFlight bounds concurrently served /v1 requests; excess is
+	// shed with 503 + Retry-After. 0 means the default (256), negative
+	// disables shedding.
+	MaxInFlight int
 }
 
-// New creates a server over the publisher and tenant registry.
-func New(pub *core.Publisher, reg *privacy.Registry, opts Options) *Server {
+const defaultMaxInFlight = 256
+
+// newServer builds the server in stateStarting; callers mark it ready.
+func newServer(pub *core.Publisher, reg *privacy.Registry, opts Options) *Server {
 	cfg := lodes.DefaultDeltaConfig()
 	if opts.DeltaConfig != nil {
 		cfg = *opts.DeltaConfig
 	}
-	return &Server{
-		pub:       pub,
-		reg:       reg,
-		noise:     dist.NewStreamFromSeed(opts.NoiseSeed),
-		adminKey:  opts.AdminKey,
-		deltaCfg:  cfg,
-		deltaSeed: opts.DeltaSeed,
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = defaultMaxInFlight
 	}
+	return &Server{
+		pub:         pub,
+		reg:         reg,
+		noise:       dist.NewStreamFromSeed(opts.NoiseSeed),
+		adminKey:    opts.AdminKey,
+		deltaCfg:    cfg,
+		deltaSeed:   opts.DeltaSeed,
+		replay:      newReplayCache(),
+		maxInFlight: maxInFlight,
+	}
+}
+
+// New creates an in-memory server over the publisher and tenant
+// registry: no durability, immediately ready. Budgets reset on
+// restart — the serving shape for tests and embedded use; production
+// serving goes through Open.
+func New(pub *core.Publisher, reg *privacy.Registry, opts Options) *Server {
+	s := newServer(pub, reg, opts)
+	s.state.Store(stateReady)
+	return s
+}
+
+// Open creates a server with durable accounting under
+// opts.StateDir: it recovers the write-ahead state (spend totals,
+// per-epoch ledgers, dataset lineage, sequence counters, replay
+// identities), restores every configured tenant's accountant
+// bit-identically, replays the dataset lineage by regenerating each
+// recorded quarter's delta from its recorded seed, attaches the
+// journal so every future charge is durable before its response, and
+// compacts the log into a fresh snapshot. The server is ready when
+// Open returns. With an empty StateDir it degenerates to New.
+//
+// The publisher must be at the dataset lineage's epoch 0 (the same
+// built-from-config dataset every boot); recovery re-derives later
+// epochs. A recovered tenant whose configured definition or α changed
+// is a boot error — spend history under one privacy definition cannot
+// be reinterpreted under another. Changed budgets are honored (the
+// history is kept; an accountant restored over budget refuses further
+// charges). Recovered tenants absent from the configuration are
+// carried forward untouched.
+func Open(pub *core.Publisher, reg *privacy.Registry, opts Options) (*Server, error) {
+	s := newServer(pub, reg, opts)
+	if opts.StateDir == "" {
+		s.state.Store(stateReady)
+		return s, nil
+	}
+	pers, st, err := openState(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Server, error) {
+		pers.store.Close()
+		return nil, err
+	}
+
+	// Replay the dataset lineage: regenerate each recorded quarter's
+	// delta from its seed and advance. Generation and Advance are
+	// deterministic, so the publisher lands on the exact snapshot chain
+	// the crashed process served.
+	for q, seed := range st.QuarterSeeds {
+		dl, err := lodes.GenerateDelta(s.pub.Dataset(), s.deltaCfg, dist.NewStreamFromSeed(seed))
+		if err != nil {
+			return fail(fmt.Errorf("server: recovery quarter %d: %w", q, err))
+		}
+		if err := s.pub.Advance(dl); err != nil {
+			return fail(fmt.Errorf("server: recovery quarter %d: %w", q, err))
+		}
+	}
+	s.quartersAbsorbed = len(st.QuarterSeeds)
+	s.quarterSeeds = append([]int64(nil), st.QuarterSeeds...)
+
+	// Restore every recovered tenant onto its configured accountant.
+	for name, ts := range st.Tenants {
+		t, ok := reg.Tenant(name)
+		if !ok {
+			if s.extraTenants == nil {
+				s.extraTenants = make(map[string]*tenantState)
+			}
+			s.extraTenants[name] = ts
+			continue
+		}
+		def, alpha := t.Acct.Def()
+		if def != ts.Def || alpha != ts.Alpha {
+			return fail(fmt.Errorf("server: tenant %q recovered under %v(alpha=%g) but configured as %v(alpha=%g): spend history cannot change privacy definition",
+				name, ts.Def, ts.Alpha, def, alpha))
+		}
+		if err := t.Acct.Restore(ts.SpentEps, ts.SpentDelta, ts.Releases, ts.Ledger); err != nil {
+			return fail(fmt.Errorf("server: tenant %q: %w", name, err))
+		}
+		ctr := new(atomic.Int64)
+		ctr.Store(ts.NextSeq)
+		s.seqs.Store(name, ctr)
+		s.replay.seed(name, ts.Recent)
+	}
+
+	// Reconcile: a crash can land between the dataset advance record
+	// and some tenants' ledger advances. Fast-forward every ledger to
+	// the publisher's epoch (not journaled — recovery re-derives this
+	// from the lineage), so an advance is atomic-on-recovery: it either
+	// completed for all tenants or completes now.
+	for _, t := range reg.Tenants() {
+		for t.Acct.Epoch() < s.pub.Epoch() {
+			t.Acct.AdvanceEpoch()
+		}
+	}
+
+	// From here every charge is write-ahead: registration records for
+	// the full registry land first, then the journal is live.
+	if err := reg.AttachJournal(pers); err != nil {
+		return fail(fmt.Errorf("server: attaching journal: %w", err))
+	}
+	s.persist = pers
+
+	// Fold everything into a fresh snapshot so the replayed log is
+	// compacted away and the next boot starts from this state.
+	if err := s.Compact(); err != nil {
+		return fail(fmt.Errorf("server: boot compaction: %w", err))
+	}
+	s.state.Store(stateReady)
+	return s, nil
+}
+
+// snapshotState assembles the full persistent state from the live
+// server: the dataset lineage, every registered tenant's accounting
+// (bit-exact copies of the accountant's floats), sequence counters,
+// replay identities, and any carried-forward unconfigured tenants.
+func (s *Server) snapshotState() *persistentState {
+	st := newPersistentState()
+	s.advMu.Lock()
+	st.QuarterSeeds = append([]int64(nil), s.quarterSeeds...)
+	s.advMu.Unlock()
+	for name, ts := range s.extraTenants {
+		st.Tenants[name] = ts
+	}
+	for _, t := range s.reg.Tenants() {
+		def, alpha := t.Acct.Def()
+		beps, bdelta := t.Acct.Budget()
+		spent := t.Acct.Spent()
+		var nextSeq int64
+		if v, ok := s.seqs.Load(t.Name); ok {
+			nextSeq = v.(*atomic.Int64).Load()
+		}
+		st.Tenants[t.Name] = &tenantState{
+			Def: def, Alpha: alpha,
+			BudgetEps: beps, BudgetDelta: bdelta,
+			SpentEps: spent.Eps, SpentDelta: spent.Delta,
+			Releases: t.Acct.Releases(),
+			Ledger:   t.Acct.SpendByEpoch(),
+			NextSeq:  nextSeq,
+			Recent:   s.replay.snapshot(t.Name),
+		}
+	}
+	return st
+}
+
+// Compact folds the current state into a fresh snapshot and rotates
+// the log. No-op without persistence.
+func (s *Server) Compact() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.store.Snapshot(encodeSnapshot(s.snapshotState()))
+}
+
+// closePersistent compacts and closes the accounting store; the
+// shutdown path calls it after the drain, when no request can be
+// mid-charge.
+func (s *Server) closePersistent() error {
+	if s.persist == nil {
+		return nil
+	}
+	err := s.Compact()
+	if cerr := s.persist.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// beginDrain moves the server to draining: /readyz turns not-ready and
+// the /v1 endpoints refuse new requests while in-flight ones finish.
+func (s *Server) beginDrain() {
+	s.state.Store(stateDraining)
 }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("POST /v1/release", s.withTenant(s.handleRelease))
-	mux.HandleFunc("POST /v1/batch", s.withTenant(s.handleBatch))
-	mux.HandleFunc("POST /v1/cell", s.withTenant(s.handleCell))
-	mux.HandleFunc("GET /v1/stats", s.withTenant(s.handleStats))
-	mux.HandleFunc("POST /v1/admin/advance", s.withAdmin(s.handleAdvance))
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.Handle("POST /v1/release", s.withTimeout(s.shed(s.withTenant(s.handleRelease))))
+	mux.Handle("POST /v1/batch", s.withTimeout(s.shed(s.withTenant(s.handleBatch))))
+	mux.Handle("POST /v1/cell", s.withTimeout(s.shed(s.withTenant(s.handleCell))))
+	mux.Handle("GET /v1/stats", s.withTimeout(s.shed(s.withTenant(s.handleStats))))
+	// The admin advance is deliberately outside withTimeout: absorbing
+	// several quarters legitimately outlives a per-request deadline,
+	// and aborting it mid-sweep would buy nothing (each quarter is
+	// journaled before it applies). It still sheds and drains.
+	mux.HandleFunc("POST /v1/admin/advance", s.shed(s.withAdmin(s.handleAdvance)))
 	return http.MaxBytesHandler(mux, maxBodyBytes)
+}
+
+// shed gates a /v1 endpoint on lifecycle state and the in-flight
+// bound: not-ready (starting or draining) and over-capacity requests
+// get 503 + Retry-After instead of degrading everyone's latency.
+func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch s.state.Load() {
+		case stateStarting:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "service is starting"})
+			return
+		case stateDraining:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "service is draining"})
+			return
+		}
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if s.maxInFlight > 0 && n > int64(s.maxInFlight) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "service is overloaded"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// withTimeout bounds a handler's total time when a per-request
+// deadline is configured (Start's RunOptions); zero means unbounded.
+// With the mid-response crash point armed the wrapper is skipped:
+// http.TimeoutHandler buffers the whole response, which would turn a
+// mid-body kill into a no-bytes kill and blind the chaos harness to
+// exactly the torn-response case it exists to test.
+func (s *Server) withTimeout(h http.Handler) http.Handler {
+	if s.reqTimeout <= 0 || crashpoint.Armed(crashMidResponse) {
+		return h
+	}
+	return http.TimeoutHandler(h, s.reqTimeout, `{"error":"request deadline exceeded"}`+"\n")
 }
 
 // tenantStream derives the root stream of one tenant's noise. Labeling

@@ -36,6 +36,14 @@ func (p *Publisher) ReleaseBatch(reqs []Request, s *dist.Stream) ([]*Release, er
 // or noise is paid for, with ErrBudgetExhausted in the error chain. A
 // nil accountant releases unaccounted.
 func (p *Publisher) ReleaseBatchFor(a *privacy.Accountant, reqs []Request, s *dist.Stream) ([]*Release, error) {
+	return p.ReleaseBatchTagged(a, reqs, s, nil)
+}
+
+// ReleaseBatchTagged is ReleaseBatchFor carrying a spend tag for the
+// accountant's write-ahead journal (see ReleaseMarginalTagged). The
+// whole batch is one atomic charge, so it journals as one spend record
+// tagged with the batch request's identity and the pinned epoch.
+func (p *Publisher) ReleaseBatchTagged(a *privacy.Accountant, reqs []Request, s *dist.Stream, tag *privacy.SpendTag) ([]*Release, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
@@ -121,7 +129,7 @@ func (p *Publisher) ReleaseBatchFor(a *privacy.Accountant, reqs []Request, s *di
 	}
 
 	if a != nil {
-		if err := a.SpendAll(losses); err != nil {
+		if err := a.SpendAllTagged(losses, stampTag(tag, sn.epoch)); err != nil {
 			return nil, fmt.Errorf("core: batch blocked: %w", err)
 		}
 	}

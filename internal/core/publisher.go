@@ -271,16 +271,38 @@ func (p *Publisher) ReleaseMarginal(req Request, s *dist.Stream) (*Release, erro
 // fronts many tenants each with their own budget. A nil accountant
 // releases unaccounted.
 func (p *Publisher) ReleaseMarginalFor(a *privacy.Accountant, req Request, s *dist.Stream) (*Release, error) {
+	return p.ReleaseMarginalTagged(a, req, s, nil)
+}
+
+// ReleaseMarginalTagged is ReleaseMarginalFor carrying a spend tag —
+// the request's durable identity (sequence number and body digest) —
+// for the accountant's write-ahead journal. The tag is stamped with
+// the epoch the release actually pinned, so the journaled record names
+// exactly the bytes the response will carry; with wire determinism
+// that makes the record sufficient to recognize and replay a client
+// retry without charging twice. A nil tag charges untagged.
+func (p *Publisher) ReleaseMarginalTagged(a *privacy.Accountant, req Request, s *dist.Stream, tag *privacy.SpendTag) (*Release, error) {
 	rel, err := p.releaseUnaccounted(p.snap.Load(), req, s)
 	if err != nil {
 		return nil, err
 	}
 	if a != nil {
-		if err := a.Spend(rel.Loss); err != nil {
+		if err := a.SpendTagged(rel.Loss, stampTag(tag, rel.Epoch)); err != nil {
 			return nil, fmt.Errorf("core: release blocked: %w", err)
 		}
 	}
 	return rel, nil
+}
+
+// stampTag copies tag with the pinned epoch filled in. The copy keeps
+// the caller's tag reusable across retries of different epochs.
+func stampTag(tag *privacy.SpendTag, epoch int) *privacy.SpendTag {
+	if tag == nil {
+		return nil
+	}
+	t := *tag
+	t.Epoch = epoch
+	return &t
 }
 
 // releaseUnaccounted builds a release without charging the accountant —
@@ -355,6 +377,13 @@ func (p *Publisher) ReleaseSingleCell(req Request, cellValues []string, s *dist.
 // atomically with the read — a serving layer cannot learn it otherwise
 // without racing a concurrent Advance.
 func (p *Publisher) ReleaseSingleCellFor(a *privacy.Accountant, req Request, cellValues []string, s *dist.Stream) (noisy float64, truth int64, loss privacy.Loss, epoch int, err error) {
+	return p.ReleaseSingleCellTagged(a, req, cellValues, s, nil)
+}
+
+// ReleaseSingleCellTagged is ReleaseSingleCellFor carrying a spend tag
+// for the accountant's write-ahead journal (see ReleaseMarginalTagged);
+// the tag is stamped with the pinned epoch before the charge.
+func (p *Publisher) ReleaseSingleCellTagged(a *privacy.Accountant, req Request, cellValues []string, s *dist.Stream, tag *privacy.SpendTag) (noisy float64, truth int64, loss privacy.Loss, epoch int, err error) {
 	sn := p.snap.Load()
 	epoch = sn.epoch
 	if req.Mechanism == MechTruncatedLaplace {
@@ -396,7 +425,7 @@ func (p *Publisher) ReleaseSingleCellFor(a *privacy.Accountant, req Request, cel
 		return 0, 0, privacy.Loss{}, epoch, err
 	}
 	if a != nil {
-		if err := a.Spend(loss); err != nil {
+		if err := a.SpendTagged(loss, stampTag(tag, epoch)); err != nil {
 			return 0, 0, privacy.Loss{}, epoch, fmt.Errorf("core: release blocked: %w", err)
 		}
 	}

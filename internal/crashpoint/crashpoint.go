@@ -1,0 +1,59 @@
+// Package crashpoint provides environment-armed SIGKILL fault
+// injection for crash-safety testing.
+//
+// A process is armed by setting EREE_CRASH to "point" or "point:N"
+// (N ≥ 1, default 1). When the named point's Maybe is reached for the
+// N-th time the process SIGKILLs itself — no deferred functions, no
+// flushes, no signal handlers: the same abrupt death an OOM kill or
+// power loss produces, which is exactly what the write-ahead log's
+// durability contract must survive. Unarmed (the normal case) every
+// call is a cheap counter check that compiles to nothing observable.
+package crashpoint
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+)
+
+var (
+	armedPoint string
+	armedCount int64
+	hits       atomic.Int64
+)
+
+func init() {
+	spec := os.Getenv("EREE_CRASH")
+	if spec == "" {
+		return
+	}
+	point, countStr, found := strings.Cut(spec, ":")
+	armedPoint = point
+	armedCount = 1
+	if found {
+		if n, err := strconv.ParseInt(countStr, 10, 64); err == nil && n >= 1 {
+			armedCount = n
+		}
+	}
+}
+
+// Maybe kills the process with SIGKILL if point is the armed crash
+// point and this is its armed-count'th hit. Otherwise it is a no-op.
+func Maybe(point string) {
+	if armedPoint != point {
+		return
+	}
+	if hits.Add(1) == armedCount {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		// SIGKILL is not deliverable to a handler; execution never
+		// reaches here. Block just in case delivery is asynchronous.
+		select {}
+	}
+}
+
+// Armed reports whether point is this process's armed crash point,
+// for code paths that change shape under injection (for example,
+// splitting a response body to expose a mid-response kill window).
+func Armed(point string) bool { return armedPoint == point }

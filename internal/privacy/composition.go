@@ -202,6 +202,11 @@ type Accountant struct {
 	// ledger holds one entry per epoch since construction; the last
 	// entry is the open epoch charges currently land in.
 	ledger []EpochSpend
+	// journal, when attached, makes every charge durable before it is
+	// applied (see SpendAllTagged); tenant names this accountant in
+	// the journaled records.
+	journal Journal
+	tenant  string
 }
 
 // NewAccountant creates an accountant for the given definition, α, and
@@ -243,39 +248,10 @@ func (a *Accountant) Spend(l Loss) error {
 // SpendAll atomically charges a batch of releases: either every loss fits
 // within the remaining budget and all are charged, or none is. Batched
 // release pipelines use this so that a failing batch leaves the budget
-// untouched instead of half-spent.
+// untouched instead of half-spent. With a journal attached the charge
+// is made durable first — see SpendAllTagged.
 func (a *Accountant) SpendAll(losses []Loss) error {
-	var sumEps, sumDelta float64
-	for _, l := range losses {
-		if !Implies(l.Def, a.def) || l.Alpha != a.alpha {
-			return fmt.Errorf("%w: accountant is for %v(alpha=%g), got %v", ErrIncompatibleLoss, a.def, a.alpha, l)
-		}
-		if err := l.Validate(); err != nil {
-			// Wrap in the sentinel so a serving layer classifies a
-			// malformed loss as bad input (4xx), not a server fault.
-			return fmt.Errorf("%w: %v", ErrInvalidLoss, err)
-		}
-		sumEps += l.Eps
-		sumDelta += l.Delta
-	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.spentEps+sumEps > a.budgetEps+1e-12 {
-		return fmt.Errorf("%w: eps spent %g + %g > %g",
-			ErrBudgetExhausted, a.spentEps, sumEps, a.budgetEps)
-	}
-	if a.spentDelta+sumDelta > a.budgetDelta+1e-15 {
-		return fmt.Errorf("%w: delta spent %g + %g > %g",
-			ErrBudgetExhausted, a.spentDelta, sumDelta, a.budgetDelta)
-	}
-	a.spentEps += sumEps
-	a.spentDelta += sumDelta
-	a.numReleases += len(losses)
-	cur := &a.ledger[len(a.ledger)-1]
-	cur.Eps += sumEps
-	cur.Delta += sumDelta
-	cur.Releases += len(losses)
-	return nil
+	return a.SpendAllTagged(losses, nil)
 }
 
 // AdvanceEpoch seals the current ledger entry and opens the next epoch,
@@ -283,13 +259,12 @@ func (a *Accountant) SpendAll(losses []Loss) error {
 // dataset snapshot, so subsequent charges are attributed to releases of
 // the new epoch. (A release pinned to an older snapshot that charges
 // after the advance is attributed to the open epoch — attribution
-// follows spend time; the enforced total is unaffected.)
+// follows spend time; the enforced total is unaffected.) With a
+// journal attached a journal failure leaves the ledger unchanged; use
+// AdvanceEpochLogged to observe it.
 func (a *Accountant) AdvanceEpoch() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	next := a.ledger[len(a.ledger)-1].Epoch + 1
-	a.ledger = append(a.ledger, EpochSpend{Epoch: next})
-	return next
+	n, _ := a.AdvanceEpochLogged()
+	return n
 }
 
 // Epoch returns the open ledger epoch charges currently land in.

@@ -31,9 +31,10 @@ type Tenant struct {
 // registered one, so a caller probing the endpoint cannot recover a key
 // byte-by-byte from response timing.
 type Registry struct {
-	mu     sync.RWMutex
-	byKey  map[[sha256.Size]byte]*Tenant
-	byName map[string]*Tenant
+	mu      sync.RWMutex
+	byKey   map[[sha256.Size]byte]*Tenant
+	byName  map[string]*Tenant
+	journal Journal
 }
 
 // keyDigest fixes a key's map identity. SHA-256 is one-way, so even the
@@ -70,10 +71,50 @@ func (r *Registry) Register(name, key string, a *Accountant) (*Tenant, error) {
 	if _, ok := r.byKey[digest]; ok {
 		return nil, fmt.Errorf("privacy: duplicate API key for tenant %q", name)
 	}
+	if r.journal != nil {
+		// The tenant's existence must be durable before any of its
+		// charges can be: a spend record for an unknown tenant would be
+		// unreplayable. On journal failure nothing is registered.
+		if err := r.journal.LogRegister(registerRecord(name, a)); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+		a.AttachJournal(r.journal, name)
+	}
 	t := &Tenant{Name: name, Acct: a}
 	r.byName[name] = t
 	r.byKey[digest] = t
 	return t, nil
+}
+
+func registerRecord(name string, a *Accountant) RegisterRecord {
+	def, alpha := a.Def()
+	eps, delta := a.Budget()
+	return RegisterRecord{Tenant: name, Def: def, Alpha: alpha, BudgetEps: eps, BudgetDelta: delta}
+}
+
+// AttachJournal routes the registry's accounting through j: every
+// already-registered tenant is journaled (a register record, in name
+// order) and its accountant attached, and tenants registered later are
+// journaled at registration time. The serving layer attaches the
+// journal after recovery has restored the accountants, so the log
+// always carries a tenant's registration before its first spend.
+func (r *Registry) AttachJournal(j Journal) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := r.byName[name]
+		if err := j.LogRegister(registerRecord(name, t.Acct)); err != nil {
+			return fmt.Errorf("%w: %v", ErrPersistence, err)
+		}
+		t.Acct.AttachJournal(j, name)
+	}
+	r.journal = j
+	return nil
 }
 
 // Lookup resolves an API key to its tenant. The key is compared by
@@ -121,8 +162,16 @@ func (r *Registry) Len() int {
 // quarterly delta, so each tenant's subsequent charges are attributed
 // to the new dataset epoch. Budgets are untouched — epochs compose
 // sequentially, an update never refreshes anyone's privacy.
-func (r *Registry) AdvanceEpoch() {
+//
+// With a journal attached each advance is durable before that ledger
+// moves. A journal failure stops the sweep: tenants before the failure
+// have advanced (durably), the rest have not — recovery reconciles
+// every ledger to the publisher's epoch, so the gap heals on restart.
+func (r *Registry) AdvanceEpoch() error {
 	for _, t := range r.Tenants() {
-		t.Acct.AdvanceEpoch()
+		if _, err := t.Acct.AdvanceEpochLogged(); err != nil {
+			return fmt.Errorf("privacy: advancing tenant %q: %w", t.Name, err)
+		}
 	}
+	return nil
 }

@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzRecovery damages a real log — truncation, a bit flip, appended
+// garbage — and checks the recovery reader's contract: it never
+// panics, it never returns a record that was not fully written before
+// the damage point, and it always returns every record that lies
+// entirely before the damage point. It then proves the truncated log
+// is appendable and recovers again.
+func FuzzRecovery(f *testing.F) {
+	f.Add(uint8(5), uint16(0), uint16(0), false, []byte(nil))
+	f.Add(uint8(8), uint16(40), uint16(0), false, []byte(nil))       // truncate mid-record
+	f.Add(uint8(8), uint16(0), uint16(30), true, []byte(nil))        // flip a payload bit
+	f.Add(uint8(3), uint16(0), uint16(9), true, []byte(nil))         // flip a length-field bit
+	f.Add(uint8(4), uint16(0), uint16(0), false, []byte("garbage"))  // trailing junk
+	f.Add(uint8(0), uint16(0), uint16(0), false, []byte{0, 0, 0, 1}) // junk on empty log
+	f.Add(uint8(6), uint16(33), uint16(20), true, []byte{0xff, 0x00, 0x61})
+
+	f.Fuzz(func(t *testing.T, nRecords uint8, cut uint16, flipAt uint16, doFlip bool, garbage []byte) {
+		n := int(nRecords % 24)
+		dir := t.TempDir()
+		s, _, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		originals := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			originals[i] = payloadFor(i)
+			if err := s.Append(originals[i]); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		path := filepath.Join(dir, logName(0))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Damage offset: the first byte of the file that no longer
+		// matches what the store wrote.
+		damage := len(data)
+		if int(cut) < len(data) && cut > 0 {
+			data = data[:cut]
+			damage = len(data)
+		}
+		if doFlip && len(data) > 0 {
+			at := int(flipAt) % len(data)
+			data[at] ^= 1 << (flipAt % 8)
+			if at < damage {
+				damage = at
+			}
+		}
+		if len(garbage) > 0 {
+			if len(data) < damage {
+				damage = len(data)
+			}
+			data = append(data, garbage...)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s2, rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open after damage at offset %d: %v", damage, err)
+		}
+
+		// Every record lying entirely before the damage point must be
+		// recovered, byte-exact, at its original index.
+		off := len(logMagic)
+		intact := 0
+		for i := 0; i < n; i++ {
+			end := off + 8 + len(originals[i])
+			if end > damage {
+				break
+			}
+			off = end
+			intact++
+		}
+		if len(rec.Records) < intact {
+			t.Fatalf("recovered %d records, want at least the %d before the damage point (offset %d)",
+				len(rec.Records), intact, damage)
+		}
+		for i := 0; i < intact; i++ {
+			if !bytes.Equal(rec.Records[i], originals[i]) {
+				t.Fatalf("record %d diverged: got %q want %q", i, rec.Records[i], originals[i])
+			}
+		}
+		// Anything recovered beyond the intact prefix must carry a
+		// valid checksum by construction; what must never happen is a
+		// *modified* copy of an original surviving at its own index.
+		for i := intact; i < len(rec.Records) && i < n; i++ {
+			if !bytes.Equal(rec.Records[i], originals[i]) && bytes.HasPrefix(rec.Records[i], []byte("record-")) &&
+				len(rec.Records[i]) == len(originals[i]) {
+				// A same-length, same-index "record-..." payload that
+				// differs from the original means a corrupted record
+				// passed the checksum — astronomically unlikely, and a
+				// privacy bug if it ever happens.
+				t.Fatalf("record %d recovered in modified form: %q vs %q", i, rec.Records[i], originals[i])
+			}
+		}
+
+		// The truncated log must accept appends and recover them.
+		extra := []byte("post-damage-append")
+		if err := s2.Append(extra); err != nil {
+			t.Fatalf("Append after recovery: %v", err)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatalf("Close after recovery: %v", err)
+		}
+		_, rec2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("second Open: %v", err)
+		}
+		if len(rec2.Records) != len(rec.Records)+1 ||
+			!bytes.Equal(rec2.Records[len(rec2.Records)-1], extra) {
+			t.Fatalf("post-damage append not recovered: %d records", len(rec2.Records))
+		}
+	})
+}

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Boots ereeserve -demo on a local port, drives it with ereeload, and
 # fails unless every request comes back 200 and an admin epoch advance
-# lands while the server is warm. CI runs this as the end-to-end smoke
-# of the serving stack: real binaries, real sockets, real JSON.
+# lands while the server is warm. Then runs the durability leg: a
+# stateful server is killed with SIGKILL mid-life, restarted over the
+# same state directory, and must recover the exact spend and serve the
+# identical reissued workload from its replay cache without charging a
+# second time. CI runs this as the end-to-end smoke of the serving
+# stack: real binaries, real sockets, real JSON, real kill -9.
 #
 # Usage:
 #   scripts/serve_smoke.sh            # bounded smoke (300 requests)
@@ -11,7 +15,7 @@
 #
 # The recording mode's numbers are host-dependent; BENCH_serve.json's
 # environment block states the recording host. EREE_SMOKE_PORT
-# overrides the default port 18080.
+# overrides the default port 18080 (the durability leg uses port+1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,18 +25,31 @@ record=0
 port="${EREE_SMOKE_PORT:-18080}"
 base="http://127.0.0.1:$port"
 bin="$(mktemp -d)"
-srv_pid=""
-trap '[[ -n "$srv_pid" ]] && kill "$srv_pid" 2>/dev/null || true; rm -rf "$bin"' EXIT
+pids=()
+trap 'for p in ${pids[@]+"${pids[@]}"}; do kill -9 "$p" 2>/dev/null || true; done; rm -rf "$bin"' EXIT
 
 go build -o "$bin/ereeserve" ./cmd/ereeserve
 go build -o "$bin/ereeload" ./cmd/ereeload
 
+# wait_ready polls /readyz — not /healthz — because a recovering server
+# is live long before it may serve traffic.
+wait_ready() {
+  for _ in $(seq 1 100); do
+    curl -fs "$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "serve smoke: $1 never became ready" >&2
+  return 1
+}
+
+tenant_spent() {
+  curl -fs -H "X-API-Key: tenant-alpha-key" "$1/v1/stats" \
+    | grep -o '"spent_eps": *[0-9.eE+-]*'
+}
+
 "$bin/ereeserve" -demo -addr "127.0.0.1:$port" &
-srv_pid=$!
-for _ in $(seq 1 50); do
-  curl -fs "$base/healthz" >/dev/null 2>&1 && break
-  sleep 0.2
-done
+pids+=($!)
+wait_ready "$base"
 curl -fs "$base/healthz" >/dev/null
 
 run_load() {
@@ -45,14 +62,58 @@ if [[ "$record" == 1 ]]; then
   echo "== warm =="
   run_load 2000
   echo "Copy the summaries into BENCH_serve.json (and keep its environment block honest)."
-else
-  out="$(run_load 300)"
-  echo "$out"
-  echo "$out" | grep -q '"errors": 0' || { echo "serve smoke: transport errors" >&2; exit 1; }
-  echo "$out" | grep -q '"200": 300' || { echo "serve smoke: non-200 responses" >&2; exit 1; }
-  curl -fs -X POST -H "X-API-Key: admin-demo-key" -d '{"quarters":1}' "$base/v1/admin/advance" \
-    | grep -q '"epoch":1' || { echo "serve smoke: admin advance failed" >&2; exit 1; }
-  curl -fs "$base/healthz" | grep -q '"epoch":1' \
-    || { echo "serve smoke: new epoch not visible on /healthz" >&2; exit 1; }
-  echo "serve smoke OK"
+  exit 0
 fi
+
+out="$(run_load 300)"
+echo "$out"
+echo "$out" | grep -q '"errors": 0' || { echo "serve smoke: transport errors" >&2; exit 1; }
+echo "$out" | grep -q '"200": 300' || { echo "serve smoke: non-200 responses" >&2; exit 1; }
+curl -fs -X POST -H "X-API-Key: admin-demo-key" -d '{"quarters":1}' "$base/v1/admin/advance" \
+  | grep -q '"epoch":1' || { echo "serve smoke: admin advance failed" >&2; exit 1; }
+curl -fs "$base/healthz" | grep -q '"epoch":1' \
+  || { echo "serve smoke: new epoch not visible on /healthz" >&2; exit 1; }
+
+echo "== durable leg: kill -9, recover, replay =="
+dport=$((port + 1))
+dbase="http://127.0.0.1:$dport"
+state="$bin/state"
+
+"$bin/ereeserve" -demo -addr "127.0.0.1:$dport" -state-dir "$state" &
+dpid=$!
+pids+=("$dpid")
+wait_ready "$dbase"
+
+run_durable() {
+  "$bin/ereeload" -url "$dbase" -key tenant-alpha-key -n 200 -conc 8 -seed 7
+}
+dout="$(run_durable)"
+echo "$dout" | grep -q '"200": 200' || { echo "serve smoke: durable load failed" >&2; exit 1; }
+spent_before="$(tenant_spent "$dbase")"
+[[ -n "$spent_before" ]] || { echo "serve smoke: no spend reported" >&2; exit 1; }
+
+kill -9 "$dpid"
+wait "$dpid" 2>/dev/null || true
+
+"$bin/ereeserve" -demo -addr "127.0.0.1:$dport" -state-dir "$state" &
+dpid=$!
+pids+=("$dpid")
+wait_ready "$dbase"
+
+spent_recovered="$(tenant_spent "$dbase")"
+[[ "$spent_recovered" == "$spent_before" ]] \
+  || { echo "serve smoke: spend changed across kill -9 ($spent_before -> $spent_recovered)" >&2; exit 1; }
+
+# Reissue the byte-identical workload (same seed, same seqs): every
+# request replays from the durable cache — all 200, nothing re-charged.
+dout2="$(run_durable)"
+echo "$dout2" | grep -q '"200": 200' || { echo "serve smoke: replayed load failed" >&2; exit 1; }
+spent_after="$(tenant_spent "$dbase")"
+[[ "$spent_after" == "$spent_before" ]] \
+  || { echo "serve smoke: replay double-charged ($spent_before -> $spent_after)" >&2; exit 1; }
+
+# The durable server drains cleanly on SIGTERM.
+kill "$dpid"
+wait "$dpid" 2>/dev/null || { echo "serve smoke: durable server did not exit cleanly" >&2; exit 1; }
+
+echo "serve smoke OK"
