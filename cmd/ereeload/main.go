@@ -8,6 +8,12 @@
 //	         [-n 2000] [-conc 8] [-seed 1] [-zipf 1.1] [-eps 0.5] \
 //	         [-retries 3] [-retry-base 100ms] [-retry-max 2s]
 //
+// -url takes a comma-separated endpoint list; attempt a of any request
+// targets endpoints[a mod len] — deterministic failover that walks the
+// list in a fixed order, so a run against a primary/follower pair
+// retries the follower's 503-with-hint against the next endpoint
+// rather than hammering one node.
+//
 // The whole request sequence is planned up front from -seed: request i
 // queries the marginal drawn by a Zipf(-zipf) pick over a fixed query
 // catalog and carries explicit sequence number i. The plan — and with
@@ -33,6 +39,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,6 +137,40 @@ func backoffFor(e planEntry, attempt int, base, max time.Duration) time.Duration
 	return d
 }
 
+// retryDelay is the sleep before attempt+1: the deterministic backoff,
+// floored by the server's Retry-After when the refused attempt carried
+// one. The floor deliberately overrides the -retry-max cap — a server
+// asking for N seconds of quiet gets them — while jitter still comes
+// only from the plan stream, never the clock, so two runs against the
+// same shedding server sleep the same schedule.
+func retryDelay(e planEntry, attempt int, base, max, retryAfter time.Duration) time.Duration {
+	d := backoffFor(e, attempt, base, max)
+	if retryAfter > d {
+		return retryAfter
+	}
+	return d
+}
+
+// retryAfterOf parses an attempt's Retry-After response header as
+// delay-seconds (the only form ereeserve emits); absent or malformed
+// means no floor.
+func retryAfterOf(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// endpointFor picks the target of one attempt: deterministic failover
+// walks the endpoint list in order, one step per retry.
+func endpointFor(endpoints []string, attempt int) string {
+	return endpoints[attempt%len(endpoints)]
+}
+
 // transient reports whether an attempt's outcome warrants a retry:
 // transport failure (code 0) or a 5xx — the server shedding load,
 // draining, or briefly away. 4xx are final: the request itself is
@@ -154,7 +196,7 @@ type summary struct {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ereeload", flag.ContinueOnError)
-	url := fs.String("url", "http://localhost:8080", "ereeserve base URL")
+	url := fs.String("url", "http://localhost:8080", "comma-separated ereeserve base URL(s); retries walk the list")
 	key := fs.String("key", "tenant-alpha-key", "tenant API key")
 	n := fs.Int("n", 2000, "total requests")
 	conc := fs.Int("conc", 8, "concurrent client workers")
@@ -175,6 +217,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be non-negative")
+	}
+	var endpoints []string
+	for _, e := range strings.Split(*url, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			endpoints = append(endpoints, strings.TrimRight(e, "/"))
+		}
+	}
+	if len(endpoints) == 0 {
+		return fmt.Errorf("-url must name at least one endpoint")
 	}
 
 	plan := buildPlan(*seed, *n, *zipf, *eps)
@@ -199,18 +250,20 @@ func run(args []string, out io.Writer) error {
 				for a := 0; ; a++ {
 					t0 := time.Now()
 					code := 0
-					req, err := http.NewRequest("POST", *url+"/v1/release", bytes.NewReader(plan[i].Body))
+					var retryAfter time.Duration
+					req, err := http.NewRequest("POST", endpointFor(endpoints, a)+"/v1/release", bytes.NewReader(plan[i].Body))
 					if err == nil {
 						req.Header.Set("X-API-Key", *key)
 						if resp, err := client.Do(req); err == nil {
 							io.Copy(io.Discard, resp.Body)
 							resp.Body.Close()
 							code = resp.StatusCode
+							retryAfter = retryAfterOf(resp)
 						}
 					}
 					if transient(code) && a < *retries {
 						retried.Add(1)
-						time.Sleep(backoffFor(plan[i], a, *retryBase, *retryMax))
+						time.Sleep(retryDelay(plan[i], a, *retryBase, *retryMax, retryAfter))
 						continue
 					}
 					lat[i] = time.Since(t0)

@@ -274,3 +274,106 @@ func TestRunAgainstServer(t *testing.T) {
 		t.Fatalf("latency summary implausible: %+v", sum)
 	}
 }
+
+// TestRetryDelayRetryAfterFloor pins the satellite contract: a 503's
+// Retry-After is a floor under the deterministic backoff — never a
+// replacement for it, never a jitter source. Below the planned backoff
+// it changes nothing; above it, it wins even past the -retry-max cap.
+func TestRetryDelayRetryAfterFloor(t *testing.T) {
+	base, max := 10*time.Millisecond, 2*time.Second
+	plan := buildPlan(1, 4, 1.1, 0.5)
+	for i := range plan {
+		for attempt := 0; attempt < 4; attempt++ {
+			planned := backoffFor(plan[i], attempt, base, max)
+			if got := retryDelay(plan[i], attempt, base, max, 0); got != planned {
+				t.Fatalf("req %d attempt %d: no Retry-After changed the delay: %v != %v", i, attempt, got, planned)
+			}
+			if got := retryDelay(plan[i], attempt, base, max, planned/2); got != planned {
+				t.Fatalf("req %d attempt %d: sub-backoff Retry-After overrode the plan: %v != %v", i, attempt, got, planned)
+			}
+			if got := retryDelay(plan[i], attempt, base, max, 3*time.Second); got != 3*time.Second {
+				t.Fatalf("req %d attempt %d: Retry-After floor not honored past the cap: %v", i, attempt, got)
+			}
+		}
+	}
+	// The floored schedule is still deterministic: identical plans,
+	// identical delays.
+	again := buildPlan(1, 4, 1.1, 0.5)
+	for i := range plan {
+		if retryDelay(plan[i], 1, base, max, time.Second) != retryDelay(again[i], 1, base, max, time.Second) {
+			t.Fatalf("req %d: floored delay not reproducible across identical plans", i)
+		}
+	}
+}
+
+// TestRetryAfterParsing: only well-formed delay-seconds headers floor
+// the backoff.
+func TestRetryAfterParsing(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := map[string]time.Duration{
+		"":     0,
+		"2":    2 * time.Second,
+		"0":    0,
+		"-3":   0,
+		"soon": 0,
+		"1.5":  0,
+	}
+	for v, want := range cases {
+		if got := retryAfterOf(mk(v)); got != want {
+			t.Errorf("retryAfterOf(%q) = %v, want %v", v, got, want)
+		}
+	}
+	if got := retryAfterOf(nil); got != 0 {
+		t.Errorf("retryAfterOf(nil) = %v, want 0", got)
+	}
+}
+
+// TestRunFailsOverAcrossEndpoints: with a dead first endpoint and a
+// healthy second, every request succeeds on its first retry — the
+// deterministic failover walk endpoints[attempt mod len] — and the
+// healthy endpoint sees each body exactly once.
+func TestRunFailsOverAcrossEndpoints(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":"read-only follower"}`, http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	var healthyHits atomic.Int64
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		healthyHits.Add(1)
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	defer up.Close()
+
+	var out strings.Builder
+	if err := run([]string{
+		"-url", down.URL + "," + up.URL, "-n", "12", "-conc", "3", "-seed", "1",
+		"-retries", "3", "-retry-base", "1ms", "-retry-max", "5ms",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Statuses["200"] != 12 || sum.Errors != 0 {
+		t.Fatalf("summary = %+v, want 12× 200 via failover", sum)
+	}
+	if sum.Retries != 12 {
+		t.Fatalf("retries = %d, want exactly one per request (first endpoint sheds, second serves)", sum.Retries)
+	}
+	if healthyHits.Load() != 12 {
+		t.Fatalf("healthy endpoint saw %d requests, want 12", healthyHits.Load())
+	}
+	if got := endpointFor([]string{"a", "b", "c"}, 4); got != "b" {
+		t.Fatalf("endpointFor walk = %q at attempt 4 of 3 endpoints, want \"b\"", got)
+	}
+}

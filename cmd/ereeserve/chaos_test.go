@@ -147,14 +147,16 @@ type chaosProc struct {
 }
 
 // startChaos boots the re-exec'd server; crash, when non-empty, arms a
-// kill point ("name:N" SIGKILLs the process on the Nth hit).
-func startChaos(t *testing.T, cfgPath, stateDir, crash string) *chaosProc {
+// kill point ("name:N" SIGKILLs the process on the Nth hit). extra args
+// are appended verbatim (e.g. -replicate-from for a follower).
+func startChaos(t *testing.T, cfgPath, stateDir, crash string, extra ...string) *chaosProc {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
 	args := []string{"-config", cfgPath, "-addr", "127.0.0.1:0", "-state-dir", stateDir}
+	args = append(args, extra...)
 	raw, _ := json.Marshal(args)
 	cmd := exec.Command(exe)
 	cmd.Env = append(os.Environ(),
@@ -341,8 +343,10 @@ func TestChaosKillRecovery(t *testing.T) {
 	}
 
 	// Crash legs. Sync counts are deterministic under this serial
-	// client: boot journals 1 tenant registration (sync 1), each charge
-	// is one sync, the advance's dataset record is sync 7.
+	// client: boot journals the tenant registration (sync 1) and the
+	// node's fencing term (sync 2), each charge is one sync, the
+	// advance's dataset record is sync 8 (periodic digest records ride
+	// in their trigger's group commit, so they add no syncs).
 	legs := []struct {
 		name  string
 		crash string
@@ -362,7 +366,7 @@ func TestChaosKillRecovery(t *testing.T) {
 		// Killed before the dataset-advance record's fsync: the advance
 		// must be absent after recovery, and the retry must continue the
 		// exact seed lineage.
-		{"advance-lost", "wal-before-sync:7"},
+		{"advance-lost", "wal-before-sync:8"},
 	}
 	for _, leg := range legs {
 		t.Run(leg.name, func(t *testing.T) {
@@ -438,4 +442,387 @@ func TestChaosKillRecovery(t *testing.T) {
 			proc2.stop(t)
 		})
 	}
+}
+
+// --- Two-node failover chaos ---------------------------------------
+
+// chaosReplStatus mirrors the /v1/replication/status body.
+type chaosReplStatus struct {
+	Role           string `json:"role"`
+	Term           uint64 `json:"term"`
+	Fenced         bool   `json:"fenced"`
+	DurableRecords uint64 `json:"durable_records"`
+	AppliedRecords uint64 `json:"applied_records"`
+	LagRecords     int64  `json:"replication_lag_records"`
+	StateDigest    string `json:"state_digest"`
+	Diverged       string `json:"diverged"`
+}
+
+func readReplStatus(t *testing.T, addr string) chaosReplStatus {
+	t.Helper()
+	req, _ := http.NewRequest("GET", "http://"+addr+"/v1/replication/status", nil)
+	req.Header.Set("X-API-Key", chaosAdminKey)
+	resp, err := chaosClient.Do(req)
+	if err != nil {
+		t.Fatalf("replication status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st chaosReplStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("replication status decode: %v", err)
+	}
+	return st
+}
+
+// chaosReady mirrors the /readyz body.
+type chaosReady struct {
+	Ready bool   `json:"ready"`
+	State string `json:"state"`
+	Role  string `json:"role"`
+	Term  uint64 `json:"term"`
+	Lag   int64  `json:"replication_lag_records"`
+}
+
+func readReady(t *testing.T, addr string) chaosReady {
+	t.Helper()
+	resp, err := chaosClient.Get("http://" + addr + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	defer resp.Body.Close()
+	var rd chaosReady
+	if err := json.NewDecoder(resp.Body).Decode(&rd); err != nil {
+		t.Fatalf("readyz decode: %v", err)
+	}
+	return rd
+}
+
+// sendCode is send for steps whose refusal is the point: it returns
+// the HTTP status (0 on transport error) and the raw body.
+func sendCode(addr string, step chaosStep) (int, []byte) {
+	key := chaosTenantKey
+	if step.advance {
+		key = chaosAdminKey
+	}
+	req, err := http.NewRequest("POST", "http://"+addr+step.path, strings.NewReader(step.body))
+	if err != nil {
+		return 0, nil
+	}
+	req.Header.Set("X-API-Key", key)
+	resp, err := chaosClient.Do(req)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// waitCaughtUp holds the script until the follower has applied every
+// record the primary has made durable — the precondition that every
+// observed response is already replicated, so a promotion after the
+// next kill cannot lose a charge the client saw.
+func waitCaughtUp(t *testing.T, primary, follower string) {
+	t.Helper()
+	want := readReplStatus(t, primary).DurableRecords
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		st := readReplStatus(t, follower)
+		if st.Diverged != "" {
+			t.Fatalf("follower diverged: %s", st.Diverged)
+		}
+		if st.AppliedRecords >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: applied %d, want %d", st.AppliedRecords, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// promote drives POST /v1/admin/promote and decodes the result.
+func promote(t *testing.T, addr string) (role string, term uint64) {
+	t.Helper()
+	req, _ := http.NewRequest("POST", "http://"+addr+"/v1/admin/promote", nil)
+	req.Header.Set("X-API-Key", chaosAdminKey)
+	resp, err := chaosClient.Do(req)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: %s: %s", resp.Status, raw)
+	}
+	var pr struct {
+		Role string `json:"role"`
+		Term uint64 `json:"term"`
+	}
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatalf("promote decode: %v", err)
+	}
+	return pr.Role, pr.Term
+}
+
+// fenceProbe shows a node a foreign fencing term via the replication
+// stream endpoint and returns the response.
+func fenceProbe(addr string, term uint64) (int, []byte) {
+	req, err := http.NewRequest("GET", "http://"+addr+"/v1/replication/stream?gen=1&offset=0", nil)
+	if err != nil {
+		return 0, nil
+	}
+	req.Header.Set("X-API-Key", chaosAdminKey)
+	req.Header.Set("X-Eree-Term", fmt.Sprintf("%d", term))
+	resp, err := chaosClient.Do(req)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+// killNow SIGKILLs the child and reaps it — a machine failure with no
+// chance to flush anything not already durable.
+func (p *chaosProc) killNow(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+// TestChaosFailover is the two-node crash matrix: a follower mirrors
+// the primary while the script runs, the primary SIGKILLs itself at an
+// armed crash point, the follower is promoted, and the client retries
+// exactly the steps it never observed — against the promoted node. On
+// top of the single-node invariants it checks the replication
+// contract itself:
+//
+//   - observed ⊆ replicated: the client moves past a step only after
+//     the follower has applied everything the primary made durable, so
+//     promotion can never lose a response the client saw;
+//   - the promoted world converges: final stats AND the state digest
+//     (hex SHA-256 over the canonical accounting state) are
+//     byte-for-byte the uninterrupted single-node baseline's;
+//   - the deposed primary, restarted and shown the promoted term,
+//     fences and refuses writes without spending a thing.
+func TestChaosFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness boots real processes; skipped in -short")
+	}
+	steps := chaosScript()
+
+	// Baseline: the same script against an uninterrupted single node.
+	base := t.TempDir()
+	baseline := make([][]byte, len(steps))
+	var baseStats chaosStats
+	var baseDigest string
+	{
+		proc := startChaos(t, writeChaosConfig(t, base), filepath.Join(base, "state"), "")
+		for i, step := range steps {
+			ok, body := send(proc.addr, step)
+			if !ok {
+				t.Fatalf("baseline step %s failed: %s", step.name, body)
+			}
+			baseline[i] = body
+		}
+		baseStats = readStats(t, proc.addr)
+		baseDigest = readReplStatus(t, proc.addr).StateDigest
+		proc.stop(t)
+	}
+	if baseDigest == "" {
+		t.Fatal("baseline reported no state digest")
+	}
+
+	// The same crash points as the single-node matrix, now with a live
+	// follower to fail over to.
+	legs := []struct {
+		name  string
+		crash string
+	}{
+		{"before-response", "serve-before-response:3"},
+		{"mid-response", "serve-mid-response:2"},
+		{"before-sync", "wal-before-sync:4"},
+		{"after-sync", "wal-after-sync:5"},
+		{"advance-after-record", "advance-after-record:1"},
+		{"advance-lost", "wal-before-sync:8"},
+	}
+	for _, leg := range legs {
+		t.Run(leg.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := writeChaosConfig(t, dir)
+			primary := startChaos(t, cfg, filepath.Join(dir, "primary"), leg.crash)
+			follower := startChaos(t, cfg, filepath.Join(dir, "follower"), "",
+				"-replicate-from", "http://"+primary.addr, "-repl-poll", "25ms")
+
+			// The follower advertises its role on /readyz and sheds spend
+			// traffic with a hint to the primary.
+			if rd := readReady(t, follower.addr); !rd.Ready || rd.Role != "follower" {
+				t.Fatalf("follower readyz: %+v", rd)
+			}
+			if code, body := sendCode(follower.addr, steps[0]); code != http.StatusServiceUnavailable ||
+				!strings.Contains(string(body), primary.addr) {
+				t.Fatalf("follower write shed: got %d %s, want 503 with a primary hint", code, body)
+			}
+
+			observed := make([]bool, len(steps))
+			crashBodies := make([][]byte, len(steps))
+			var observedEps float64
+			for i, step := range steps {
+				observed[i], crashBodies[i] = send(primary.addr, step)
+				if observed[i] {
+					observedEps += step.eps
+					waitCaughtUp(t, primary.addr, follower.addr)
+				}
+			}
+			primary.waitKilled(t)
+
+			// Observed-before-crash responses match the baseline.
+			for i := range steps {
+				if observed[i] && !steps[i].advance && string(crashBodies[i]) != string(baseline[i]) {
+					t.Fatalf("step %s observed before crash differs from baseline:\n  crash:    %s\n  baseline: %s",
+						steps[i].name, crashBodies[i], baseline[i])
+				}
+			}
+
+			// Fail over: the follower becomes the primary at a higher term.
+			role, term := promote(t, follower.addr)
+			if role != "primary" || term < 2 {
+				t.Fatalf("promotion: role %q term %d, want primary at term >= 2", role, term)
+			}
+			if rd := readReady(t, follower.addr); !rd.Ready || rd.Role != "primary" || rd.Term != term {
+				t.Fatalf("promoted readyz: %+v", rd)
+			}
+
+			// Invariant 1: no observed response without a replicated charge.
+			recovered := readStats(t, follower.addr)
+			if recovered.SpentEps+1e-9 < observedEps {
+				t.Fatalf("promoted spend %g < observed charges %g: a response the client saw was not replicated",
+					recovered.SpentEps, observedEps)
+			}
+			// Invariant 2: never over budget.
+			if recovered.SpentEps > chaosBudgetEps+1e-9 {
+				t.Fatalf("promoted spend %g exceeds budget %g", recovered.SpentEps, chaosBudgetEps)
+			}
+
+			// Replay the unobserved steps against the promoted node.
+			for i, step := range steps {
+				if observed[i] {
+					continue
+				}
+				if step.advance && readEpoch(t, follower.addr) >= 1 {
+					continue
+				}
+				ok, body := send(follower.addr, step)
+				if !ok {
+					t.Fatalf("retry of %s on the promoted node failed: %s", step.name, body)
+				}
+				if !step.advance && string(body) != string(baseline[i]) {
+					t.Fatalf("retry of %s differs from baseline:\n  retry:    %s\n  baseline: %s",
+						step.name, body, baseline[i])
+				}
+			}
+
+			// Full convergence: stats and the state digest are the
+			// uninterrupted baseline's, byte for byte.
+			final := readStats(t, follower.addr)
+			if final.SpentEps > chaosBudgetEps+1e-9 {
+				t.Fatalf("final spend %g exceeds budget %g", final.SpentEps, chaosBudgetEps)
+			}
+			if !reflect.DeepEqual(final, baseStats) {
+				t.Fatalf("final stats diverge from baseline:\n  final:    %+v\n  baseline: %+v", final, baseStats)
+			}
+			if d := readReplStatus(t, follower.addr).StateDigest; d != baseDigest {
+				t.Fatalf("promoted state digest %s != baseline %s: the failover world forked", d, baseDigest)
+			}
+
+			// The deposed primary comes back from its kill, is shown the
+			// promoted term, and must fence: no write, no spend.
+			exPrimary := startChaos(t, cfg, filepath.Join(dir, "primary"), "")
+			before := readStats(t, exPrimary.addr)
+			if code, body := fenceProbe(exPrimary.addr, term); code != http.StatusConflict {
+				t.Fatalf("fence probe on the deposed primary: got %d %s, want 409", code, body)
+			}
+			if code, body := sendCode(exPrimary.addr, steps[0]); code != http.StatusServiceUnavailable ||
+				!strings.Contains(string(body), "fenced") {
+				t.Fatalf("deposed primary served a write: %d %s", code, body)
+			}
+			if after := readStats(t, exPrimary.addr); !reflect.DeepEqual(after, before) {
+				t.Fatalf("fenced node's accounting moved:\n  before: %+v\n  after:  %+v", before, after)
+			}
+			exPrimary.stop(t)
+			follower.stop(t)
+		})
+	}
+}
+
+// TestChaosFencing pins the fence's durability: a primary that
+// observes a higher term journals the fence BEFORE the 409 refusal is
+// visible, so not even kill -9 at that exact instant can bring it back
+// as a writer. Only an operator promotion — a strictly higher term —
+// reopens writes.
+func TestChaosFencing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness boots real processes; skipped in -short")
+	}
+	steps := chaosScript()
+	dir := t.TempDir()
+	cfg := writeChaosConfig(t, dir)
+	stateDir := filepath.Join(dir, "state")
+	proc := startChaos(t, cfg, stateDir, "")
+	for _, step := range steps[:3] {
+		if ok, body := send(proc.addr, step); !ok {
+			t.Fatalf("setup step %s failed: %s", step.name, body)
+		}
+	}
+	before := readStats(t, proc.addr)
+
+	// A replication request carrying a higher term deposes this node.
+	const foreignTerm = 7
+	if code, body := fenceProbe(proc.addr, foreignTerm); code != http.StatusConflict {
+		t.Fatalf("fence probe: got %d %s, want 409", code, body)
+	}
+	if code, body := sendCode(proc.addr, steps[3]); code != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "fenced") {
+		t.Fatalf("fenced primary served a write: %d %s", code, body)
+	}
+	if after := readStats(t, proc.addr); !reflect.DeepEqual(after, before) {
+		t.Fatalf("fenced node's accounting moved:\n  before: %+v\n  after:  %+v", before, after)
+	}
+	if st := readReplStatus(t, proc.addr); !st.Fenced || st.Term != foreignTerm {
+		t.Fatalf("status after fencing: %+v, want fenced at term %d", st, foreignTerm)
+	}
+
+	// kill -9 immediately: the fence record was durable before the 409
+	// left the process, so it must survive.
+	proc.killNow(t)
+	proc = startChaos(t, cfg, stateDir, "")
+	if code, body := sendCode(proc.addr, steps[3]); code != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "fenced") {
+		t.Fatalf("fence did not survive kill -9: %d %s", code, body)
+	}
+
+	// A graceful cycle too: the fence rides the compacted snapshot.
+	proc.stop(t)
+	proc = startChaos(t, cfg, stateDir, "")
+	if code, body := sendCode(proc.addr, steps[3]); code != http.StatusServiceUnavailable ||
+		!strings.Contains(string(body), "fenced") {
+		t.Fatalf("fence did not survive a graceful restart: %d %s", code, body)
+	}
+
+	// Promotion is the only way back: a strictly higher term, then
+	// writes resume and charge normally.
+	role, term := promote(t, proc.addr)
+	if role != "primary" || term != foreignTerm+1 {
+		t.Fatalf("promotion of a fenced primary: role %q term %d, want primary at %d", role, term, foreignTerm+1)
+	}
+	if ok, body := send(proc.addr, steps[3]); !ok {
+		t.Fatalf("writes did not resume after promotion: %s", body)
+	}
+	if st := readStats(t, proc.addr); st.SpentEps != 2.0 {
+		t.Fatalf("spend after resuming: %g, want 2.0 (4 charges of 0.5)", st.SpentEps)
+	}
+	proc.stop(t)
 }

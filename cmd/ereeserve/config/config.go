@@ -92,8 +92,20 @@ type Config struct {
 	// is written ahead to a log under this directory and recovered on
 	// restart. Empty means in-memory accounting (budgets reset on
 	// restart) — fine for demos, not for real budgets.
-	StateDir string   `json:"state_dir"`
-	Tenants  []Tenant `json:"tenants"`
+	StateDir string `json:"state_dir"`
+	// ReplicateFrom, when set, boots this node as a follower mirroring
+	// the primary at this base URL (e.g. "http://primary:8080"). Requires
+	// state_dir and admin_key — the replication endpoints authenticate
+	// with the shared admin key. The follower serves reads, sheds spend
+	// traffic with a hint to the primary, and takes over on
+	// POST /v1/admin/promote.
+	ReplicateFrom string `json:"replicate_from"`
+	// ReplayWindow bounds the per-tenant durable replay-dedup ring
+	// (request identities re-served without a second charge). 0 means
+	// the server default (4096). Primary and followers must agree — the
+	// ring is covered by the replication divergence digests.
+	ReplayWindow int      `json:"replay_window"`
+	Tenants      []Tenant `json:"tenants"`
 }
 
 // Default returns the baseline configuration with no tenants: test
@@ -155,6 +167,17 @@ func (c Config) Validate() error {
 	}
 	if len(c.Tenants) == 0 {
 		return fmt.Errorf("config: at least one tenant is required")
+	}
+	if c.ReplayWindow < 0 {
+		return fmt.Errorf("config: replay_window must be non-negative (0 means the default)")
+	}
+	if c.ReplicateFrom != "" {
+		if c.StateDir == "" {
+			return fmt.Errorf("config: replicate_from requires state_dir (the follower mirrors the primary's log durably)")
+		}
+		if c.AdminKey == "" {
+			return fmt.Errorf("config: replicate_from requires admin_key (replication endpoints authenticate with it)")
+		}
 	}
 	for i, t := range c.Tenants {
 		if _, err := ParseDefinition(t.Definition); err != nil {

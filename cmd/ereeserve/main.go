@@ -9,6 +9,8 @@
 //	ereeserve -config server.json        # full configuration from a file
 //	ereeserve -demo -addr :9090          # override the listen address
 //	ereeserve -demo -state-dir ./state   # durable, crash-safe accounting
+//	ereeserve -demo -state-dir ./f -addr :9091 \
+//	          -replicate-from http://localhost:9090   # hot-standby follower
 //
 // With -state-dir (or "state_dir" in the config) every budget charge is
 // written ahead to a log before its response leaves the process, and a
@@ -64,6 +66,9 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	demo := fs.Bool("demo", false, "serve the built-in two-tenant demo configuration")
 	addr := fs.String("addr", "", "override the configured listen address")
 	stateDir := fs.String("state-dir", "", "directory for durable accounting state (overrides the configured state_dir)")
+	replicateFrom := fs.String("replicate-from", "", "boot as a follower mirroring the primary at this base URL (overrides the configured replicate_from)")
+	replayWindow := fs.Int("replay-window", 0, "per-tenant replay-dedup ring bound, 0 = default (overrides the configured replay_window)")
+	replPoll := fs.Duration("repl-poll", 0, "follower poll interval for the primary's replication stream, 0 = default (250ms)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -91,6 +96,18 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	if *stateDir != "" {
 		cfg.StateDir = *stateDir
 	}
+	if *replicateFrom != "" {
+		cfg.ReplicateFrom = *replicateFrom
+	}
+	if *replayWindow != 0 {
+		cfg.ReplayWindow = *replayWindow
+	}
+	if cfg.ReplicateFrom != "" {
+		// Re-check the follower invariants after flag overrides.
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
 
 	data, err := buildDataset(cfg)
 	if err != nil {
@@ -101,10 +118,13 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	srv, err := server.Open(core.NewPublisher(data), reg, server.Options{
-		NoiseSeed: cfg.NoiseSeed,
-		AdminKey:  cfg.AdminKey,
-		DeltaSeed: cfg.DeltaSeed,
-		StateDir:  cfg.StateDir,
+		NoiseSeed:     cfg.NoiseSeed,
+		AdminKey:      cfg.AdminKey,
+		DeltaSeed:     cfg.DeltaSeed,
+		StateDir:      cfg.StateDir,
+		ReplicateFrom: cfg.ReplicateFrom,
+		ReplayWindow:  cfg.ReplayWindow,
+		ReplPoll:      *replPoll,
 	})
 	if err != nil {
 		return err
@@ -118,6 +138,9 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		data.NumJobs(), data.NumEstablishments(), reg.Len())
 	if cfg.StateDir != "" {
 		fmt.Fprintf(out, "durable accounting under %s\n", cfg.StateDir)
+	}
+	if cfg.ReplicateFrom != "" {
+		fmt.Fprintf(out, "follower: replicating from %s\n", cfg.ReplicateFrom)
 	}
 	fmt.Fprintf(out, "listening on %s\n", svc.Addr())
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/lodes"
 	"repro/internal/privacy"
+	"repro/internal/wal"
 )
 
 // BenchmarkServeMarginal measures the full single-goroutine handler
@@ -104,6 +105,87 @@ func BenchmarkServeMarginalDurable(b *testing.B) {
 		h.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
 			b.Fatalf("release = %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+}
+
+// BenchmarkFollowerApply measures the follower's catch-up path per
+// shipped record: stream-sized batches appended to the local WAL
+// (durable before observed), then applied to the mirrored state
+// through applyRecord — the identical code recovery runs, digest
+// verification included. The record stream is real: spend records a
+// durable primary journaled serving the workload-1 marginal.
+// BENCH_serve.json's replication block records the result.
+func BenchmarkFollowerApply(b *testing.B) {
+	cfg := lodes.TestConfig()
+	cfg.NumEstablishments = 500
+	data := lodes.MustGenerate(cfg, dist.NewStreamFromSeed(1))
+	acct, err := privacy.NewAccountant(privacy.WeakEREE, 0.1, 1e18, 0.999999)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := privacy.NewRegistry()
+	if _, err := reg.Register("bench", "bench-key", acct); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := Open(core.NewPublisher(data), reg, Options{NoiseSeed: 7, StateDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.closePersistent()
+	gen, snap, err := srv.persist.store.ExportSnapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	for i := 0; i < 512; i++ {
+		body := fmt.Sprintf(
+			`{"attrs":["place","industry","ownership"],"mechanism":"smooth-gamma","alpha":0.1,"eps":0.5,"seq":%d}`,
+			1+i%(maxSeq-1))
+		req := httptest.NewRequest("POST", "/v1/release", strings.NewReader(body))
+		req.Header.Set(apiKeyHeader, "bench-key")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("release = %d: %s", rec.Code, rec.Body.Bytes())
+		}
+	}
+	recs, _, err := srv.persist.store.ReadFrom(gen, wal.StreamStart(), 64<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(recs) < 512 {
+		b.Fatalf("primary journaled %d records, want >= 512", len(recs))
+	}
+
+	// The mirror: its own WAL (one fsync per stream batch) and the
+	// decoded snapshot the stream starts from, reset per pass so every
+	// digest record verifies at the position it was emitted.
+	mirror, _, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mirror.Close()
+	const batch = 64
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for applied := 0; applied < b.N; {
+		st, err := decodeSnapshot(snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < len(recs) && applied < b.N; off += batch {
+			end := min(off+batch, len(recs))
+			if err := mirror.AppendBatch(recs[off:end]); err != nil {
+				b.Fatal(err)
+			}
+			for _, rec := range recs[off:end] {
+				if err := st.applyRecord(rec); err != nil {
+					b.Fatal(err)
+				}
+				applied++
+			}
 		}
 	}
 }

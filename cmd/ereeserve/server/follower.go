@@ -1,0 +1,473 @@
+package server
+
+// Follower mode: a live, bit-identical mirror of a primary's durable
+// state, maintained by tailing the primary's WAL and applying every
+// shipped record through applyRecord — the identical code path boot
+// recovery uses, so a mirror is correct exactly when recovery is.
+//
+// The loop's contract, in order, for every batch: (1) append the
+// shipped records to the local WAL — byte-identical frames, durable
+// before anything observes them — then (2) apply each to the mirrored
+// state, advancing the local publisher inline on dataset-advance
+// records. Shipped digest records are verified by applyRecord at the
+// same log positions the primary computed them, so a mirror that has
+// diverged halts loudly (stops replicating, stops serving, refuses
+// promotion) instead of serving or inheriting a forked ledger. A
+// follower that falls behind a compaction re-seeds from the snapshot
+// endpoint and resumes — catch-up is part of the protocol, not an
+// operator event.
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/cmd/ereeserve/config"
+	"repro/internal/dist"
+	"repro/internal/lodes"
+	"repro/internal/privacy"
+	"repro/internal/wal"
+)
+
+// replFatalError marks a replication failure that retrying cannot fix:
+// a record the mirror refuses, a digest mismatch, a forked dataset
+// lineage. The loop halts on it; transport errors just back off.
+type replFatalError struct{ err error }
+
+func (e *replFatalError) Error() string { return e.err.Error() }
+func (e *replFatalError) Unwrap() error { return e.err }
+
+func fatalRepl(err error) error { return &replFatalError{err} }
+
+// replState is a follower's replication machinery: the upstream
+// cursor, the mirrored state, and the streaming loop's lifecycle.
+type replState struct {
+	upstream string
+	adminKey string
+	client   *http.Client
+	poll     time.Duration
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu     sync.Mutex
+	fState *persistentState
+	// synced means (gen, offset) is a valid cursor into the primary's
+	// live generation; false forces a snapshot bootstrap.
+	synced bool
+	gen    uint64
+	offset int64
+	// applied counts records applied within gen; upstreamDurable is the
+	// primary's durable record count in gen as of the last response —
+	// their difference is the replication lag.
+	applied         uint64
+	upstreamDurable uint64
+	totalApplied    uint64
+	diverged        string
+	lastErr         string
+}
+
+// openFollower boots s as a follower of opts.ReplicateFrom: recover
+// the local mirror (so reads serve immediately after a restart), then
+// stream. Open returns without waiting for the primary — /readyz turns
+// ready at the first successful bootstrap, and promotion works even
+// while catching up (the mirror is whatever has been made durable).
+func openFollower(s *Server, opts Options) (*Server, error) {
+	if opts.AdminKey == "" {
+		return nil, fmt.Errorf("server: follower mode requires the admin key (replication endpoints authenticate with it)")
+	}
+	pers, st, err := openState(opts.StateDir, opts.ReplayWindow)
+	if err != nil {
+		return nil, err
+	}
+	s.persist = pers
+	s.role.Store(roleFollower)
+	if st.Term > 0 {
+		s.term.Store(st.Term)
+	}
+	poll := opts.ReplPoll
+	if poll <= 0 {
+		poll = defaultReplPoll
+	}
+	rs := &replState{
+		upstream: strings.TrimRight(opts.ReplicateFrom, "/"),
+		adminKey: opts.AdminKey,
+		client:   &http.Client{Timeout: maxStreamWait + 15*time.Second},
+		poll:     poll,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		fState:   st,
+	}
+	s.repl = rs
+	if err := rs.advancePublisherLocked(s); err != nil {
+		pers.store.Close()
+		return nil, err
+	}
+	go rs.run(s)
+	return s, nil
+}
+
+// advancePublisherLocked replays the mirrored dataset lineage the
+// publisher has not yet absorbed (exclusive access to fState required:
+// boot, or under rs.mu). Generation and Advance are deterministic, so
+// the follower's snapshots are the primary's.
+func (rs *replState) advancePublisherLocked(s *Server) error {
+	for q := s.pub.Epoch(); q < len(rs.fState.QuarterSeeds); q++ {
+		seed := rs.fState.QuarterSeeds[q]
+		dl, err := lodes.GenerateDelta(s.pub.Dataset(), s.deltaCfg, dist.NewStreamFromSeed(seed))
+		if err != nil {
+			return fmt.Errorf("server: follower quarter %d: %w", q, err)
+		}
+		if err := s.pub.Advance(dl); err != nil {
+			return fmt.Errorf("server: follower quarter %d: %w", q, err)
+		}
+	}
+	return nil
+}
+
+// run is the replication loop: bootstrap when the cursor is invalid,
+// otherwise tail; back off rs.poll on transport errors and idle polls,
+// halt permanently on divergence.
+func (rs *replState) run(s *Server) {
+	defer close(rs.done)
+	for {
+		select {
+		case <-rs.stop:
+			return
+		default:
+		}
+		progressed, err := rs.syncOnce(s)
+		if err != nil {
+			var fatal *replFatalError
+			if errors.As(err, &fatal) {
+				rs.markDiverged(s, err.Error())
+				log.Printf("ereeserve follower: DIVERGED from %s, halting replication: %v", rs.upstream, err)
+				return
+			}
+			rs.noteErr(err)
+		}
+		if progressed && err == nil {
+			continue
+		}
+		select {
+		case <-rs.stop:
+			return
+		case <-time.After(rs.poll):
+		}
+	}
+}
+
+func (rs *replState) syncOnce(s *Server) (bool, error) {
+	rs.mu.Lock()
+	synced := rs.synced
+	rs.mu.Unlock()
+	if !synced {
+		if err := rs.bootstrap(s); err != nil {
+			return false, err
+		}
+		s.state.CompareAndSwap(stateStarting, stateReady)
+		return true, nil
+	}
+	return rs.streamOnce(s)
+}
+
+// bootstrap (re-)seeds the mirror from the primary's compacted
+// snapshot: decode it, verify the dataset lineage extends what the
+// local publisher already absorbed (a publisher cannot rewind — a
+// shorter or forked lineage is divergence), install the snapshot bytes
+// into the local WAL so the next restart recovers from the same prefix
+// the primary's would, and point the cursor at the generation's start.
+func (rs *replState) bootstrap(s *Server) error {
+	var snap replSnapshotJSON
+	if err := rs.get(s, "/v1/replication/snapshot", nil, &snap); err != nil {
+		return err
+	}
+	next := newPersistentState()
+	next.window = s.replayWindow
+	if snap.Snapshot != nil {
+		st, err := decodeSnapshot(snap.Snapshot)
+		if err != nil {
+			return fatalRepl(fmt.Errorf("primary snapshot undecodable: %w", err))
+		}
+		st.window = s.replayWindow
+		next = st
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err := rs.checkLineageLocked(s, next); err != nil {
+		return fatalRepl(err)
+	}
+	if snap.Snapshot != nil {
+		if err := s.persist.store.Snapshot(snap.Snapshot); err != nil {
+			return fatalRepl(fmt.Errorf("installing primary snapshot: %w", err))
+		}
+	}
+	rs.fState = next
+	if err := rs.advancePublisherLocked(s); err != nil {
+		return fatalRepl(err)
+	}
+	if next.Term > s.term.Load() {
+		s.term.Store(next.Term)
+	}
+	rs.gen = snap.Gen
+	rs.offset = wal.StreamStart()
+	rs.applied = 0
+	rs.upstreamDurable = snap.DurableRecords
+	rs.synced = true
+	rs.lastErr = ""
+	return nil
+}
+
+// checkLineageLocked verifies the incoming state's dataset lineage is
+// an extension of what this node's publisher has already absorbed.
+func (rs *replState) checkLineageLocked(s *Server, next *persistentState) error {
+	n := s.pub.Epoch()
+	if len(next.QuarterSeeds) < n {
+		return fmt.Errorf("primary lineage has %d quarters but the local publisher is at epoch %d: mirrors have forked", len(next.QuarterSeeds), n)
+	}
+	for i := 0; i < n; i++ {
+		if next.QuarterSeeds[i] != rs.fState.QuarterSeeds[i] {
+			return fmt.Errorf("dataset lineage fork at quarter %d: primary seed %d, local %d", i, next.QuarterSeeds[i], rs.fState.QuarterSeeds[i])
+		}
+	}
+	return nil
+}
+
+// streamOnce tails one batch from the cursor and mirrors it: local WAL
+// append first (durable before observed), then state application.
+func (rs *replState) streamOnce(s *Server) (bool, error) {
+	rs.mu.Lock()
+	gen, off := rs.gen, rs.offset
+	rs.mu.Unlock()
+	q := url.Values{}
+	q.Set("gen", strconv.FormatUint(gen, 10))
+	q.Set("offset", strconv.FormatInt(off, 10))
+	q.Set("wait_ms", strconv.FormatInt(int64(rs.poll/time.Millisecond)+1, 10))
+	var resp replStreamJSON
+	if err := rs.get(s, "/v1/replication/stream", q, &resp); err != nil {
+		return false, err
+	}
+	if resp.Compacted {
+		rs.mu.Lock()
+		rs.synced = false
+		rs.mu.Unlock()
+		return true, nil
+	}
+	if len(resp.Records) == 0 {
+		rs.mu.Lock()
+		rs.upstreamDurable = resp.DurableRecords
+		rs.mu.Unlock()
+		return false, nil
+	}
+	if err := s.persist.store.AppendBatch(resp.Records); err != nil {
+		return false, fatalRepl(fmt.Errorf("mirroring records to the local log: %w", err))
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, rec := range resp.Records {
+		if err := rs.applyLocked(s, rec); err != nil {
+			return false, fatalRepl(err)
+		}
+	}
+	rs.offset = resp.Next
+	rs.upstreamDurable = resp.DurableRecords
+	rs.lastErr = ""
+	return true, nil
+}
+
+// applyLocked applies one shipped record to the mirrored state —
+// applyRecord verifies digest records in passing — and mirrors its
+// side effects: dataset advances move the publisher, term records move
+// the node's term.
+func (rs *replState) applyLocked(s *Server, rec []byte) error {
+	if err := rs.fState.applyRecord(rec); err != nil {
+		return fmt.Errorf("applying shipped record: %w", err)
+	}
+	rs.applied++
+	rs.totalApplied++
+	if len(rec) > 0 {
+		switch rec[0] {
+		case recAdvanceDataset:
+			if err := rs.advancePublisherLocked(s); err != nil {
+				return err
+			}
+		case recTerm, recFence:
+			if t := rs.fState.Term; t > s.term.Load() {
+				s.term.Store(t)
+			}
+		}
+	}
+	return nil
+}
+
+// get performs one authenticated replication request against the
+// upstream, decoding a 200 JSON body into out.
+func (rs *replState) get(s *Server, path string, q url.Values, out any) error {
+	u := rs.upstream + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(apiKeyHeader, rs.adminKey)
+	req.Header.Set(replTermHeader, strconv.FormatUint(s.term.Load(), 10))
+	resp, err := rs.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("primary %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, out)
+}
+
+// markDiverged halts the node: replication stops (the loop exits after
+// this), /readyz reports diverged, the /v1 endpoints shed, and
+// promotion is refused. The forked state stays on disk for forensics.
+func (rs *replState) markDiverged(s *Server, msg string) {
+	rs.mu.Lock()
+	rs.diverged = msg
+	rs.synced = false
+	rs.mu.Unlock()
+	s.state.Store(stateDiverged)
+}
+
+func (rs *replState) noteErr(err error) {
+	rs.mu.Lock()
+	rs.lastErr = err.Error()
+	rs.mu.Unlock()
+}
+
+// stopLoop stops the replication loop and waits for it to exit.
+// Idempotent; safe after the loop already halted itself.
+func (rs *replState) stopLoop() {
+	rs.stopOnce.Do(func() { close(rs.stop) })
+	<-rs.done
+}
+
+// lag is the follower's replication lag in records within the current
+// generation (0 while unsynced — there is no frontier to lag).
+func (rs *replState) lag() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	l := int64(rs.upstreamDurable) - int64(rs.applied)
+	if l < 0 || !rs.synced {
+		return 0
+	}
+	return l
+}
+
+// status fills the follower half of a replication status response.
+func (rs *replState) status(out *replStatusJSON) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out.Upstream = rs.upstream
+	out.Gen = rs.gen
+	out.AppliedRecords = rs.applied
+	if l := int64(rs.upstreamDurable) - int64(rs.applied); l > 0 && rs.synced {
+		out.LagRecords = l
+	}
+	d := digestOf(rs.fState)
+	out.StateDigest = hex.EncodeToString(d[:])
+	out.Diverged = rs.diverged
+}
+
+// encodeState snapshots the mirrored state (shutdown compaction).
+func (rs *replState) encodeState() []byte {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return encodeSnapshot(rs.fState)
+}
+
+// promoteFollower is the follower half of /v1/admin/promote (fenceMu
+// held): stop mirroring, journal a strictly higher term, and adopt the
+// mirrored state exactly as boot recovery would — restored
+// accountants, attached journal, compacted snapshot. The promoted node
+// is a primary whose history is the primary's history.
+func (s *Server) promoteFollower() error {
+	rs := s.repl
+	rs.stopLoop()
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.diverged != "" {
+		return fmt.Errorf("refusing to promote a diverged follower: %s", rs.diverged)
+	}
+	st := rs.fState
+	newTerm := st.Term + 1
+	if newTerm < 2 {
+		newTerm = 2
+	}
+	var w recWriter
+	w.u8(recTerm)
+	w.u64(newTerm)
+	if err := s.persist.append(w.b); err != nil {
+		return fmt.Errorf("journaling promotion term: %w", err)
+	}
+	if err := st.applyRecord(w.b); err != nil {
+		return fmt.Errorf("applying promotion term: %w", err)
+	}
+	s.term.Store(newTerm)
+	s.fenced.Store(false)
+	if err := s.adopt(s.persist, st); err != nil {
+		return fmt.Errorf("adopting mirrored state: %w", err)
+	}
+	s.role.Store(rolePrimary)
+	s.state.Store(stateReady)
+	return nil
+}
+
+// followerStats renders /v1/stats from the mirrored state: a follower
+// has no live accountants (charges happen on the primary), so the
+// tenant's position is read from the mirror. The publisher's cache
+// stats are this node's own — followers serve their own reads.
+func (s *Server) followerStats(t *privacy.Tenant) statsJSON {
+	rs := s.repl
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	def, alpha := t.Acct.Def()
+	out := statsJSON{
+		Tenant:     t.Name,
+		Definition: config.DefinitionToken(def),
+		Alpha:      alpha,
+		Epoch:      s.pub.Epoch(),
+	}
+	if ts, ok := rs.fState.Tenants[t.Name]; ok {
+		out.SpentEps = ts.SpentEps
+		out.SpentDelta = ts.SpentDelta
+		out.Releases = ts.Releases
+		out.RemainingEps = max(ts.BudgetEps-ts.SpentEps, 0)
+		out.RemainingDelta = max(ts.BudgetDelta-ts.SpentDelta, 0)
+		out.SpendByEpoch = make([]epochSpendJSON, len(ts.Ledger))
+		for i, e := range ts.Ledger {
+			out.SpendByEpoch[i] = epochSpendJSON{Epoch: e.Epoch, Eps: e.Eps, Delta: e.Delta, Releases: e.Releases}
+		}
+		out.ReplayCache = &replayCacheJSON{Capacity: rs.fState.windowSize(), Size: len(ts.Recent)}
+	} else {
+		beps, bdelta := t.Acct.Budget()
+		out.RemainingEps, out.RemainingDelta = beps, bdelta
+		out.SpendByEpoch = []epochSpendJSON{}
+		out.ReplayCache = &replayCacheJSON{Capacity: rs.fState.windowSize()}
+	}
+	for _, cs := range s.pub.CacheStatsByEpoch() {
+		out.Cache = append(out.Cache, cacheStatsJSON{Epoch: cs.Epoch, Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions})
+	}
+	return out
+}

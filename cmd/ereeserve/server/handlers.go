@@ -26,6 +26,9 @@ type errorBody struct {
 	Error          string   `json:"error"`
 	RemainingEps   *float64 `json:"remaining_eps,omitempty"`
 	RemainingDelta *float64 `json:"remaining_delta,omitempty"`
+	// Primary is a follower's redirect hint on shed spend traffic: the
+	// base URL writes belong on.
+	Primary string `json:"primary,omitempty"`
 }
 
 // statusFor maps a release error to its HTTP status via the typed
@@ -187,28 +190,47 @@ func releaseToJSON(rel *core.Release, seq int64, attrs []string) releaseJSON {
 // draining; that is what /readyz distinguishes.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		OK    bool `json:"ok"`
-		Epoch int  `json:"epoch"`
-	}{true, s.pub.Epoch()})
+		OK    bool   `json:"ok"`
+		Role  string `json:"role"`
+		Epoch int    `json:"epoch"`
+	}{true, s.roleName(), s.pub.Epoch()})
+}
+
+// readyJSON is the /readyz body: besides the lifecycle state it names
+// the node's replication role, fencing term, and — on followers — the
+// replication lag in records, so a load balancer (or the smoke script)
+// can route reads to a caught-up follower without a separate
+// authenticated status call.
+type readyJSON struct {
+	Ready                 bool   `json:"ready"`
+	State                 string `json:"state"`
+	Role                  string `json:"role"`
+	Term                  uint64 `json:"term"`
+	ReplicationLagRecords int64  `json:"replication_lag_records"`
 }
 
 // handleReady is the unauthenticated readiness probe: 200 only when
-// the server is accepting release traffic — recovery finished, drain
-// not begun. Load balancers route on this, and the smoke/chaos
-// harnesses poll it instead of sleeping.
+// the server is accepting traffic — recovery finished, drain not
+// begun, mirror not diverged. Load balancers route on this, and the
+// smoke/chaos harnesses poll it instead of sleeping.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	type readyBody struct {
-		Ready bool   `json:"ready"`
-		State string `json:"state"`
+	out := readyJSON{Role: s.roleName(), Term: s.term.Load()}
+	if s.role.Load() == roleFollower && s.repl != nil {
+		out.ReplicationLagRecords = s.repl.lag()
 	}
+	status := http.StatusServiceUnavailable
 	switch s.state.Load() {
 	case stateReady:
-		writeJSON(w, http.StatusOK, readyBody{true, "ready"})
+		out.Ready, out.State = true, "ready"
+		status = http.StatusOK
 	case stateDraining:
-		writeJSON(w, http.StatusServiceUnavailable, readyBody{false, "draining"})
+		out.State = "draining"
+	case stateDiverged:
+		out.State = "diverged"
 	default:
-		writeJSON(w, http.StatusServiceUnavailable, readyBody{false, "starting"})
+		out.State = "starting"
 	}
+	writeJSON(w, status, out)
 }
 
 // replayed serves a request whose charge is already durable (the
@@ -367,6 +389,16 @@ type statsJSON struct {
 	SpendByEpoch   []epochSpendJSON `json:"spend_by_epoch"`
 	Epoch          int              `json:"epoch"`
 	Cache          []cacheStatsJSON `json:"cache"`
+	ReplayCache    *replayCacheJSON `json:"replay_cache,omitempty"`
+}
+
+// replayCacheJSON reports the tenant's replay-dedup ring: the
+// configured bound, the live occupancy, and how many identities this
+// process has evicted (an evicted identity's retry re-charges).
+type replayCacheJSON struct {
+	Capacity  int   `json:"capacity"`
+	Size      int   `json:"size"`
+	Evictions int64 `json:"evictions"`
 }
 
 type epochSpendJSON struct {
@@ -383,8 +415,14 @@ type cacheStatsJSON struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// handleStats serves GET /v1/stats.
+// handleStats serves GET /v1/stats. A follower has no live
+// accountants — charges happen on the primary — so it renders the
+// tenant's position from the mirrored state instead.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *privacy.Tenant) {
+	if s.role.Load() == roleFollower && s.repl != nil {
+		writeJSON(w, http.StatusOK, s.followerStats(t))
+		return
+	}
 	spent := t.Acct.Spent()
 	remEps, remDelta := t.Acct.Remaining()
 	ledger := t.Acct.SpendByEpoch()
@@ -406,6 +444,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *privacy.
 	for _, cs := range s.pub.CacheStatsByEpoch() {
 		out.Cache = append(out.Cache, cacheStatsJSON{Epoch: cs.Epoch, Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions})
 	}
+	size, evictions, capacity := s.replay.stats(t.Name)
+	out.ReplayCache = &replayCacheJSON{Capacity: capacity, Size: size, Evictions: evictions}
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -109,6 +109,12 @@ func (s *Service) Done() <-chan error {
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.srv.beginDrain()
 	err := s.hs.Shutdown(ctx)
+	// A follower's replication loop appends to the store; it must be
+	// fully stopped before the store is compacted and closed. Idempotent
+	// (a promoted node already stopped it).
+	if s.srv.repl != nil {
+		s.srv.repl.stopLoop()
+	}
 	if cerr := s.srv.closePersistent(); err == nil {
 		err = cerr
 	}

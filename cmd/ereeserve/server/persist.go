@@ -9,13 +9,22 @@ package server
 // record but before the response wastes budget); under-charging would
 // let a restarted tenant re-spend, which is a privacy violation.
 //
-// The log carries four record kinds: tenant registration (budget
+// The log carries seven record kinds: tenant registration (budget
 // parameters, so recovery can rebuild an accountant before replaying
 // its charges), spends (the summed (ε, δ) of one charge plus its
-// request identity when tagged), per-tenant ledger advances, and
-// dataset advances (the absolute quarter index and generation seed —
-// deltas are generated deterministically from the seed, so recovery
-// replays the dataset lineage instead of persisting datasets).
+// request identity when tagged), per-tenant ledger advances, dataset
+// advances (the absolute quarter index and generation seed — deltas
+// are generated deterministically from the seed, so recovery replays
+// the dataset lineage instead of persisting datasets), fencing terms
+// (a node establishing or observing a term — see replication.go),
+// and periodic state digests (SHA-256 over the canonical state
+// encoding; replaying a digest record verifies it, so both recovery
+// and a streaming follower detect divergence instead of serving from
+// a forked state).
+//
+// The same log is the replication stream: a follower applies shipped
+// records through applyRecord — the identical code path recovery
+// uses — so a mirror is correct exactly when recovery is.
 //
 // Floats travel as IEEE-754 bit patterns and recovery re-applies the
 // same additions in the same per-tenant order the live accountant
@@ -24,6 +33,8 @@ package server
 // crashed — spent totals, per-epoch ledgers, everything.
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -42,14 +53,27 @@ const (
 	recSpend          byte = 2
 	recAdvanceTenant  byte = 3
 	recAdvanceDataset byte = 4
+	recTerm           byte = 5 // node establishes fencing term (promote / first boot)
+	recFence          byte = 6 // node observed a higher foreign term and fenced itself
+	recDigest         byte = 7 // SHA-256 over the canonical state body at this log position
 )
 
-const snapshotVersion byte = 1
+// snapshotVersion 2 added the fencing term and fenced flag; version-1
+// snapshots (pre-replication state dirs) decode with term 0.
+const snapshotVersion byte = 2
 
-// replayWindow bounds the per-tenant ring of remembered request
-// identities for duplicate detection. A retry older than the window
-// re-charges — the safe direction (never a free fresh release).
+// replayWindow is the default bound on the per-tenant ring of
+// remembered request identities for duplicate detection (configurable
+// via Options.ReplayWindow / the replay_window config field). A retry
+// older than the window re-charges — the safe direction (never a free
+// fresh release).
 const replayWindow = 4096
+
+// digestEveryDefault is how many appended records elapse between
+// journaled state digests. Small enough that every chaos script
+// crosses at least one digest check; the encode-and-hash is over the
+// accounting state only (tens of KB at realistic tenant counts).
+const digestEveryDefault = 8
 
 // Crash-point names (armed via EREE_CRASH, see internal/crashpoint).
 const (
@@ -128,6 +152,15 @@ func (r *recReader) str() (string, error) {
 	return s, nil
 }
 
+func (r *recReader) bytes(n int) ([]byte, error) {
+	if len(r.b)-r.off < n {
+		return nil, errTruncatedRecord
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
 func (r *recReader) done() error {
 	if r.off != len(r.b) {
 		return fmt.Errorf("record has %d trailing bytes", len(r.b)-r.off)
@@ -139,10 +172,76 @@ func (r *recReader) done() error {
 
 // Persistence adapts the WAL store into the privacy.Journal the
 // accountants write through, plus the server-level dataset-advance
-// record. Every Log method is durable on return (wal.Store.Append
-// fsyncs, group-committed under concurrency).
+// record. Every Log method is durable on return (group-committed
+// under concurrency via wal.Store.Stage/Commit).
+//
+// When a shadow state is attached (setShadow, done by the primary
+// after its boot compaction), every staged record is also applied to
+// the shadow — a persistentState maintained in exact log order, which
+// is what log replay would reconstruct. The shadow is what periodic
+// digest records are computed over: every digestEvery records the
+// journal stages a recDigest carrying SHA-256 over the canonical
+// state body, and any replayer (recovery, a streaming follower)
+// recomputes and compares at the same log position. Staging — record
+// ordering plus shadow application — happens under p.mu; the fsync
+// wait does not, so group commit still batches.
 type Persistence struct {
 	store *wal.Store
+
+	mu          sync.Mutex
+	shadow      *persistentState
+	digestEvery int
+	sinceDigest int
+}
+
+// setShadow attaches the log-ordered shadow state digests are
+// computed over. digestEvery ≤ 0 selects the default cadence.
+func (p *Persistence) setShadow(st *persistentState, digestEvery int) {
+	if digestEvery <= 0 {
+		digestEvery = digestEveryDefault
+	}
+	p.mu.Lock()
+	p.shadow = st
+	p.digestEvery = digestEvery
+	p.sinceDigest = 0
+	p.mu.Unlock()
+}
+
+// append stages one record (and, at the digest cadence, a trailing
+// digest record), applies it to the shadow state, and blocks until
+// the group commit covering it completes.
+func (p *Persistence) append(rec []byte) error {
+	p.mu.Lock()
+	seq, err := p.store.Stage(rec)
+	if err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	if p.shadow != nil {
+		if aerr := p.shadow.applyRecord(rec); aerr != nil {
+			// The record is staged but the shadow refused it: the log and
+			// the in-memory mirror would disagree from here on. Surfacing
+			// the error aborts the charge (the server sheds), which is the
+			// safe over-charging direction — the staged record may still
+			// reach disk and replay as spend with no response sent.
+			p.mu.Unlock()
+			return fmt.Errorf("server: shadow state apply: %w", aerr)
+		}
+		p.sinceDigest++
+		if p.sinceDigest >= p.digestEvery {
+			d := digestOf(p.shadow)
+			var w recWriter
+			w.u8(recDigest)
+			w.b = append(w.b, d[:]...)
+			if dseq, derr := p.store.Stage(w.b); derr == nil {
+				// Digest records do not mutate state; nothing to apply.
+				seq = dseq
+				p.sinceDigest = 0
+			}
+		}
+	}
+	p.mu.Unlock()
+	return p.store.Commit(seq)
 }
 
 func (p *Persistence) LogSpend(rec privacy.SpendRecord) error {
@@ -160,7 +259,7 @@ func (p *Persistence) LogSpend(rec privacy.SpendRecord) error {
 	} else {
 		w.u8(0)
 	}
-	return p.store.Append(w.b)
+	return p.append(w.b)
 }
 
 func (p *Persistence) LogAdvance(rec privacy.AdvanceRecord) error {
@@ -168,7 +267,7 @@ func (p *Persistence) LogAdvance(rec privacy.AdvanceRecord) error {
 	w.u8(recAdvanceTenant)
 	w.str(rec.Tenant)
 	w.u64(uint64(rec.Epoch))
-	return p.store.Append(w.b)
+	return p.append(w.b)
 }
 
 func (p *Persistence) LogRegister(rec privacy.RegisterRecord) error {
@@ -179,7 +278,7 @@ func (p *Persistence) LogRegister(rec privacy.RegisterRecord) error {
 	w.f64(rec.Alpha)
 	w.f64(rec.BudgetEps)
 	w.f64(rec.BudgetDelta)
-	return p.store.Append(w.b)
+	return p.append(w.b)
 }
 
 // LogDatasetAdvance records that the server absorbed its quarter-th
@@ -190,7 +289,25 @@ func (p *Persistence) LogDatasetAdvance(quarter int, seed int64) error {
 	w.u8(recAdvanceDataset)
 	w.u64(uint64(quarter))
 	w.i64(seed)
-	return p.store.Append(w.b)
+	return p.append(w.b)
+}
+
+// LogTerm durably records this node establishing term (promotion or
+// first primary boot); LogFence records it observing a higher foreign
+// term and fencing itself. Both are monotonic: applyRecord refuses a
+// regression, so a forked log cannot smuggle an old term back in.
+func (p *Persistence) LogTerm(term uint64) error {
+	var w recWriter
+	w.u8(recTerm)
+	w.u64(term)
+	return p.append(w.b)
+}
+
+func (p *Persistence) LogFence(term uint64) error {
+	var w recWriter
+	w.u8(recFence)
+	w.u64(term)
+	return p.append(w.b)
 }
 
 // ---- recovered state ----------------------------------------------
@@ -220,14 +337,42 @@ type tenantState struct {
 }
 
 // persistentState is everything the snapshot carries (and the log
-// patches): the dataset lineage and every tenant's accounting.
+// patches): the dataset lineage, every tenant's accounting, and the
+// node's fencing term. window bounds each tenant's Recent ring; it is
+// configuration (not state), so it travels outside the snapshot — but
+// because digests cover the ring, primary and follower must agree on
+// it (a mismatch surfaces as a divergence halt, which is correct:
+// the mirrors genuinely differ).
 type persistentState struct {
 	QuarterSeeds []int64
 	Tenants      map[string]*tenantState
+	Term         uint64
+	Fenced       bool
+
+	window int
 }
 
 func newPersistentState() *persistentState {
 	return &persistentState{Tenants: make(map[string]*tenantState)}
+}
+
+func (st *persistentState) windowSize() int {
+	if st.window > 0 {
+		return st.window
+	}
+	return replayWindow
+}
+
+// digestOf is the divergence detector's view of state: SHA-256 over
+// the canonical body encoding — dataset lineage, tenant ledgers, seq
+// counters, replay rings — in sorted tenant order. The fencing term
+// and fenced flag are deliberately excluded: a promoted follower (term
+// bumped) must still converge byte-for-byte with an uninterrupted
+// single-node run of the same history.
+func digestOf(st *persistentState) [sha256.Size]byte {
+	var w recWriter
+	encodeStateBody(&w, st)
+	return sha256.Sum256(w.b)
 }
 
 // applyRecord replays one log record onto the state. Records are
@@ -335,8 +480,8 @@ func (st *persistentState) applyRecord(payload []byte) error {
 		cur.Releases += int(releases)
 		if tagged == 1 {
 			t.Recent = append(t.Recent, tag)
-			if len(t.Recent) > replayWindow {
-				t.Recent = t.Recent[len(t.Recent)-replayWindow:]
+			if win := st.windowSize(); len(t.Recent) > win {
+				t.Recent = t.Recent[len(t.Recent)-win:]
 			}
 			if tag.Seq+1 > t.NextSeq {
 				t.NextSeq = tag.Seq + 1
@@ -385,16 +530,56 @@ func (st *persistentState) applyRecord(payload []byte) error {
 		st.QuarterSeeds = append(st.QuarterSeeds, seed)
 		return nil
 
+	case recTerm, recFence:
+		term, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if err := r.done(); err != nil {
+			return err
+		}
+		if term <= st.Term {
+			return fmt.Errorf("fencing term regression: %d after %d", term, st.Term)
+		}
+		st.Term = term
+		st.Fenced = kind == recFence
+		return nil
+
+	case recDigest:
+		sum, err := r.bytes(sha256.Size)
+		if err != nil {
+			return err
+		}
+		if err := r.done(); err != nil {
+			return err
+		}
+		if want := digestOf(st); !bytes.Equal(sum, want[:]) {
+			return fmt.Errorf("state digest mismatch at log position: recorded %x, computed %x — replica/replay has diverged", sum, want)
+		}
+		return nil
+
 	default:
 		return fmt.Errorf("unknown record kind %d", kind)
 	}
 }
 
 // encodeSnapshot serializes the full state (sorted tenant order, so
-// identical state is identical bytes).
+// identical state is identical bytes): a version byte, the fencing
+// term and fenced flag, then the canonical body digests cover.
 func encodeSnapshot(st *persistentState) []byte {
 	var w recWriter
 	w.u8(snapshotVersion)
+	w.u64(st.Term)
+	if st.Fenced {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	encodeStateBody(&w, st)
+	return w.b
+}
+
+func encodeStateBody(w *recWriter, st *persistentState) {
 	w.u32(uint32(len(st.QuarterSeeds)))
 	for _, seed := range st.QuarterSeeds {
 		w.i64(seed)
@@ -430,7 +615,6 @@ func encodeSnapshot(st *persistentState) []byte {
 			w.u64(uint64(k.Epoch))
 		}
 	}
-	return w.b
 }
 
 func decodeSnapshot(payload []byte) (*persistentState, error) {
@@ -439,10 +623,20 @@ func decodeSnapshot(payload []byte) (*persistentState, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != snapshotVersion {
+	if ver != 1 && ver != snapshotVersion {
 		return nil, fmt.Errorf("snapshot version %d not supported", ver)
 	}
 	st := newPersistentState()
+	if ver >= 2 {
+		if st.Term, err = r.u64(); err != nil {
+			return nil, err
+		}
+		fenced, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		st.Fenced = fenced == 1
+	}
 	nq, err := r.u32()
 	if err != nil {
 		return nil, err
@@ -547,8 +741,10 @@ func decodeSnapshot(payload []byte) (*persistentState, error) {
 }
 
 // openState opens the WAL in dir and reconstructs the persistent
-// state: decode the snapshot, then replay every post-snapshot record.
-func openState(dir string) (*Persistence, *persistentState, error) {
+// state: decode the snapshot, then replay every post-snapshot record
+// (digest records along the way re-verify the replay). window bounds
+// the per-tenant replay rings; ≤ 0 selects the default.
+func openState(dir string, window int) (*Persistence, *persistentState, error) {
 	store, recovered, err := wal.Open(dir, wal.Options{
 		BeforeSync: func() { crashpoint.Maybe(crashBeforeSync) },
 		AfterSync:  func() { crashpoint.Maybe(crashAfterSync) },
@@ -557,12 +753,14 @@ func openState(dir string) (*Persistence, *persistentState, error) {
 		return nil, nil, err
 	}
 	st := newPersistentState()
+	st.window = window
 	if recovered.Snapshot != nil {
 		st, err = decodeSnapshot(recovered.Snapshot)
 		if err != nil {
 			store.Close()
 			return nil, nil, fmt.Errorf("server: state snapshot: %w", err)
 		}
+		st.window = window
 	}
 	for i, raw := range recovered.Records {
 		if err := st.applyRecord(raw); err != nil {
@@ -577,20 +775,26 @@ func openState(dir string) (*Persistence, *persistentState, error) {
 
 // replayCache is the live mirror of each tenant's Recent ring: the
 // request identities whose charges are on disk, so a repeat can be
-// served as a free replay. Bounded per tenant; eviction is
-// oldest-first, and an evicted identity simply re-charges on retry.
+// served as a free replay. Bounded per tenant (capacity comes from
+// Options.ReplayWindow); eviction is oldest-first, and an evicted
+// identity simply re-charges on retry.
 type replayCache struct {
-	mu      sync.Mutex
-	tenants map[string]*tenantReplay
+	mu       sync.Mutex
+	capacity int
+	tenants  map[string]*tenantReplay
 }
 
 type tenantReplay struct {
-	seen map[replayKey]struct{}
-	fifo []replayKey
+	seen      map[replayKey]struct{}
+	fifo      []replayKey
+	evictions int64
 }
 
-func newReplayCache() *replayCache {
-	return &replayCache{tenants: make(map[string]*tenantReplay)}
+func newReplayCache(capacity int) *replayCache {
+	if capacity <= 0 {
+		capacity = replayWindow
+	}
+	return &replayCache{capacity: capacity, tenants: make(map[string]*tenantReplay)}
 }
 
 func (c *replayCache) add(tenant string, k replayKey) {
@@ -606,11 +810,25 @@ func (c *replayCache) add(tenant string, k replayKey) {
 	}
 	tr.seen[k] = struct{}{}
 	tr.fifo = append(tr.fifo, k)
-	if len(tr.fifo) > replayWindow {
+	if len(tr.fifo) > c.capacity {
 		evict := tr.fifo[0]
 		tr.fifo = tr.fifo[1:]
 		delete(tr.seen, evict)
+		tr.evictions++
 	}
+}
+
+// stats reports the tenant's live ring occupancy, how many identities
+// have been evicted over its lifetime, and the configured bound —
+// surfaced in /v1/stats so operators can see when retries are old
+// enough to re-charge.
+func (c *replayCache) stats(tenant string) (size int, evictions int64, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tr, ok := c.tenants[tenant]; ok {
+		return len(tr.fifo), tr.evictions, c.capacity
+	}
+	return 0, 0, c.capacity
 }
 
 func (c *replayCache) has(tenant string, k replayKey) bool {

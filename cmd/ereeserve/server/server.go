@@ -13,7 +13,16 @@
 //	POST /v1/cell           one cell of a marginal
 //	GET  /v1/stats          the calling tenant's budget + cache/epoch stats
 //	POST /v1/admin/advance  absorb quarterly deltas under live load (admin key)
+//	POST /v1/admin/promote  bump the fencing term and take the primary role (admin key)
+//	GET  /v1/replication/*  snapshot / stream / status for followers (admin key)
 //	GET  /healthz           liveness + current epoch (no auth)
+//	GET  /readyz            readiness + role, term, replication lag (no auth)
+//
+// A durable server is either the primary (owns mutation, serves the
+// replication endpoints) or a follower (-replicate-from: mirrors the
+// primary's WAL through the recovery apply path, serves reads, sheds
+// writes with a hint to the primary, and can be promoted). See
+// replication.go and follower.go.
 //
 // # Determinism contract over the wire
 //
@@ -57,6 +66,9 @@ const (
 	stateStarting int32 = iota
 	stateReady
 	stateDraining
+	// stateDiverged is terminal: a follower whose mirror provably forked
+	// from its primary stops serving rather than answer from bad state.
+	stateDiverged
 )
 
 // Server is the multi-tenant release service. Create with New (in
@@ -107,6 +119,36 @@ type Server struct {
 	// reqTimeout, when positive, bounds each release endpoint's handler
 	// time via http.TimeoutHandler (set by Start's RunOptions).
 	reqTimeout time.Duration
+
+	// role is rolePrimary or roleFollower; term is the node's fencing
+	// term and fenced marks a deposed primary (it observed a higher
+	// foreign term and refuses writes until promoted). See replication.go.
+	role   atomic.Int32
+	term   atomic.Uint64
+	fenced atomic.Bool
+	// fenceMu serializes term transitions (observing a foreign term,
+	// promotion) so exactly one fence/term record is journaled per
+	// transition.
+	fenceMu sync.Mutex
+	// repl holds the follower's streaming state; nil on primaries.
+	repl *replState
+	// replayWindow and digestEvery are the configured replication/
+	// durability cadences (defaults applied in newServer).
+	replayWindow int
+	digestEvery  int
+}
+
+// Roles (Server.role).
+const (
+	rolePrimary int32 = iota
+	roleFollower
+)
+
+func (s *Server) roleName() string {
+	if s.role.Load() == roleFollower {
+		return "follower"
+	}
+	return "primary"
 }
 
 // Options configure a Server beyond its publisher and tenants.
@@ -128,9 +170,28 @@ type Options struct {
 	// shed with 503 + Retry-After. 0 means the default (256), negative
 	// disables shedding.
 	MaxInFlight int
+	// ReplicateFrom, when non-empty, boots the server as a follower
+	// mirroring the primary at this base URL (requires StateDir and
+	// AdminKey — the replication endpoints authenticate with the shared
+	// admin key). The follower serves reads, sheds writes with a hint
+	// to the primary, and becomes the primary on /v1/admin/promote.
+	ReplicateFrom string
+	// ReplayWindow bounds the per-tenant durable replay-dedup ring; 0
+	// means the default (4096). Primary and followers must agree — the
+	// ring is covered by the divergence digests.
+	ReplayWindow int
+	// DigestEvery is how many journaled records elapse between state
+	// digest records; 0 means the default (8).
+	DigestEvery int
+	// ReplPoll is the follower's delay between stream polls when the
+	// primary is unreachable or idle; 0 means the default (250ms).
+	// Tests shorten it.
+	ReplPoll time.Duration
 }
 
 const defaultMaxInFlight = 256
+
+const defaultReplPoll = 250 * time.Millisecond
 
 // newServer builds the server in stateStarting; callers mark it ready.
 func newServer(pub *core.Publisher, reg *privacy.Registry, opts Options) *Server {
@@ -142,16 +203,22 @@ func newServer(pub *core.Publisher, reg *privacy.Registry, opts Options) *Server
 	if maxInFlight == 0 {
 		maxInFlight = defaultMaxInFlight
 	}
-	return &Server{
-		pub:         pub,
-		reg:         reg,
-		noise:       dist.NewStreamFromSeed(opts.NoiseSeed),
-		adminKey:    opts.AdminKey,
-		deltaCfg:    cfg,
-		deltaSeed:   opts.DeltaSeed,
-		replay:      newReplayCache(),
-		maxInFlight: maxInFlight,
+	s := &Server{
+		pub:          pub,
+		reg:          reg,
+		noise:        dist.NewStreamFromSeed(opts.NoiseSeed),
+		adminKey:     opts.AdminKey,
+		deltaCfg:     cfg,
+		deltaSeed:    opts.DeltaSeed,
+		replay:       newReplayCache(opts.ReplayWindow),
+		maxInFlight:  maxInFlight,
+		replayWindow: opts.ReplayWindow,
+		digestEvery:  opts.DigestEvery,
 	}
+	// Every node starts at term 1 until recovery or a stream says
+	// otherwise; an in-memory server keeps it.
+	s.term.Store(1)
+	return s
 }
 
 // New creates an in-memory server over the publisher and tenant
@@ -185,37 +252,59 @@ func New(pub *core.Publisher, reg *privacy.Registry, opts Options) *Server {
 func Open(pub *core.Publisher, reg *privacy.Registry, opts Options) (*Server, error) {
 	s := newServer(pub, reg, opts)
 	if opts.StateDir == "" {
+		if opts.ReplicateFrom != "" {
+			return nil, fmt.Errorf("server: follower mode requires a state directory")
+		}
 		s.state.Store(stateReady)
 		return s, nil
 	}
-	pers, st, err := openState(opts.StateDir)
+	if opts.ReplicateFrom != "" {
+		return openFollower(s, opts)
+	}
+	pers, st, err := openState(opts.StateDir, opts.ReplayWindow)
 	if err != nil {
 		return nil, err
 	}
-	fail := func(err error) (*Server, error) {
+	if err := s.adopt(pers, st); err != nil {
 		pers.store.Close()
 		return nil, err
 	}
+	s.state.Store(stateReady)
+	return s, nil
+}
 
-	// Replay the dataset lineage: regenerate each recorded quarter's
-	// delta from its seed and advance. Generation and Advance are
-	// deterministic, so the publisher lands on the exact snapshot chain
-	// the crashed process served.
-	for q, seed := range st.QuarterSeeds {
-		dl, err := lodes.GenerateDelta(s.pub.Dataset(), s.deltaCfg, dist.NewStreamFromSeed(seed))
+// adopt takes ownership of a recovered (or mirrored) persistent
+// state: replay the dataset lineage the publisher has not yet
+// absorbed, restore every configured tenant's accountant
+// bit-identically, reconcile ledgers to the publisher's epoch, attach
+// the journal, establish the fencing term, and compact into a fresh
+// snapshot (which also attaches the digest shadow). Boot recovery and
+// follower promotion are the same operation — a node assuming the
+// primary role over a state it trusts.
+func (s *Server) adopt(pers *Persistence, st *persistentState) error {
+	// Replay the dataset lineage: regenerate each not-yet-absorbed
+	// quarter's delta from its seed and advance. Generation and Advance
+	// are deterministic, so the publisher lands on the exact snapshot
+	// chain the recorded history served. (At boot the publisher is at
+	// epoch 0 and replays everything; at promotion the follower already
+	// advanced through the stream and this is a no-op.)
+	for q := s.pub.Epoch(); q < len(st.QuarterSeeds); q++ {
+		dl, err := lodes.GenerateDelta(s.pub.Dataset(), s.deltaCfg, dist.NewStreamFromSeed(st.QuarterSeeds[q]))
 		if err != nil {
-			return fail(fmt.Errorf("server: recovery quarter %d: %w", q, err))
+			return fmt.Errorf("server: recovery quarter %d: %w", q, err)
 		}
 		if err := s.pub.Advance(dl); err != nil {
-			return fail(fmt.Errorf("server: recovery quarter %d: %w", q, err))
+			return fmt.Errorf("server: recovery quarter %d: %w", q, err)
 		}
 	}
+	s.advMu.Lock()
 	s.quartersAbsorbed = len(st.QuarterSeeds)
 	s.quarterSeeds = append([]int64(nil), st.QuarterSeeds...)
+	s.advMu.Unlock()
 
 	// Restore every recovered tenant onto its configured accountant.
 	for name, ts := range st.Tenants {
-		t, ok := reg.Tenant(name)
+		t, ok := s.reg.Tenant(name)
 		if !ok {
 			if s.extraTenants == nil {
 				s.extraTenants = make(map[string]*tenantState)
@@ -225,11 +314,11 @@ func Open(pub *core.Publisher, reg *privacy.Registry, opts Options) (*Server, er
 		}
 		def, alpha := t.Acct.Def()
 		if def != ts.Def || alpha != ts.Alpha {
-			return fail(fmt.Errorf("server: tenant %q recovered under %v(alpha=%g) but configured as %v(alpha=%g): spend history cannot change privacy definition",
-				name, ts.Def, ts.Alpha, def, alpha))
+			return fmt.Errorf("server: tenant %q recovered under %v(alpha=%g) but configured as %v(alpha=%g): spend history cannot change privacy definition",
+				name, ts.Def, ts.Alpha, def, alpha)
 		}
 		if err := t.Acct.Restore(ts.SpentEps, ts.SpentDelta, ts.Releases, ts.Ledger); err != nil {
-			return fail(fmt.Errorf("server: tenant %q: %w", name, err))
+			return fmt.Errorf("server: tenant %q: %w", name, err)
 		}
 		ctr := new(atomic.Int64)
 		ctr.Store(ts.NextSeq)
@@ -242,7 +331,7 @@ func Open(pub *core.Publisher, reg *privacy.Registry, opts Options) (*Server, er
 	// the publisher's epoch (not journaled — recovery re-derives this
 	// from the lineage), so an advance is atomic-on-recovery: it either
 	// completed for all tenants or completes now.
-	for _, t := range reg.Tenants() {
+	for _, t := range s.reg.Tenants() {
 		for t.Acct.Epoch() < s.pub.Epoch() {
 			t.Acct.AdvanceEpoch()
 		}
@@ -250,18 +339,33 @@ func Open(pub *core.Publisher, reg *privacy.Registry, opts Options) (*Server, er
 
 	// From here every charge is write-ahead: registration records for
 	// the full registry land first, then the journal is live.
-	if err := reg.AttachJournal(pers); err != nil {
-		return fail(fmt.Errorf("server: attaching journal: %w", err))
+	if err := s.reg.AttachJournal(pers); err != nil {
+		return fmt.Errorf("server: attaching journal: %w", err)
 	}
 	s.persist = pers
 
-	// Fold everything into a fresh snapshot so the replayed log is
-	// compacted away and the next boot starts from this state.
-	if err := s.Compact(); err != nil {
-		return fail(fmt.Errorf("server: boot compaction: %w", err))
+	// Establish the fencing term. A fresh history starts at term 1 and
+	// journals it; a recovered one keeps its recorded term — including
+	// the fenced flag, so a deposed primary stays deposed across
+	// restarts until an operator promotes it.
+	s.fenced.Store(st.Fenced)
+	term := st.Term
+	if term == 0 {
+		term = 1
+		if err := pers.LogTerm(term); err != nil {
+			return fmt.Errorf("server: establishing term: %w", err)
+		}
+		st.Term = term
 	}
-	s.state.Store(stateReady)
-	return s, nil
+	s.term.Store(term)
+
+	// Fold everything into a fresh snapshot so the replayed log is
+	// compacted away and the next boot starts from this state. Always
+	// the primary form: adopt is the act of assuming the primary role.
+	if err := s.compactPrimary(); err != nil {
+		return fmt.Errorf("server: boot compaction: %w", err)
+	}
+	return nil
 }
 
 // snapshotState assembles the full persistent state from the live
@@ -270,6 +374,9 @@ func Open(pub *core.Publisher, reg *privacy.Registry, opts Options) (*Server, er
 // replay identities, and any carried-forward unconfigured tenants.
 func (s *Server) snapshotState() *persistentState {
 	st := newPersistentState()
+	st.window = s.replayWindow
+	st.Term = s.term.Load()
+	st.Fenced = s.fenced.Load()
 	s.advMu.Lock()
 	st.QuarterSeeds = append([]int64(nil), s.quarterSeeds...)
 	s.advMu.Unlock()
@@ -298,12 +405,36 @@ func (s *Server) snapshotState() *persistentState {
 }
 
 // Compact folds the current state into a fresh snapshot and rotates
-// the log. No-op without persistence.
+// the log, then re-roots the digest shadow on the exact bytes written
+// — every digest chain is anchored at a snapshot both a recovering
+// process and a bootstrapping follower decode identically. No-op
+// without persistence. Like wal.Store.Snapshot, this is a
+// quiescent-point operation (boot, drain, promote).
 func (s *Server) Compact() error {
 	if s.persist == nil {
 		return nil
 	}
-	return s.persist.store.Snapshot(encodeSnapshot(s.snapshotState()))
+	if s.role.Load() == roleFollower {
+		// The follower's mirror is itself the log-ordered state; no
+		// digest shadow to re-root (followers verify shipped digests,
+		// they never emit their own).
+		return s.persist.store.Snapshot(s.repl.encodeState())
+	}
+	return s.compactPrimary()
+}
+
+func (s *Server) compactPrimary() error {
+	b := encodeSnapshot(s.snapshotState())
+	if err := s.persist.store.Snapshot(b); err != nil {
+		return err
+	}
+	shadow, err := decodeSnapshot(b)
+	if err != nil {
+		return fmt.Errorf("server: compaction round-trip: %w", err)
+	}
+	shadow.window = s.replayWindow
+	s.persist.setShadow(shadow, s.digestEvery)
+	return nil
 }
 
 // closePersistent compacts and closes the accounting store; the
@@ -331,16 +462,47 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.Handle("POST /v1/release", s.withTimeout(s.shed(s.withTenant(s.handleRelease))))
-	mux.Handle("POST /v1/batch", s.withTimeout(s.shed(s.withTenant(s.handleBatch))))
-	mux.Handle("POST /v1/cell", s.withTimeout(s.shed(s.withTenant(s.handleCell))))
+	mux.Handle("POST /v1/release", s.withTimeout(s.shed(s.writable(s.withTenant(s.handleRelease)))))
+	mux.Handle("POST /v1/batch", s.withTimeout(s.shed(s.writable(s.withTenant(s.handleBatch)))))
+	mux.Handle("POST /v1/cell", s.withTimeout(s.shed(s.writable(s.withTenant(s.handleCell)))))
 	mux.Handle("GET /v1/stats", s.withTimeout(s.shed(s.withTenant(s.handleStats))))
 	// The admin advance is deliberately outside withTimeout: absorbing
 	// several quarters legitimately outlives a per-request deadline,
 	// and aborting it mid-sweep would buy nothing (each quarter is
 	// journaled before it applies). It still sheds and drains.
-	mux.HandleFunc("POST /v1/admin/advance", s.shed(s.withAdmin(s.handleAdvance)))
+	mux.HandleFunc("POST /v1/admin/advance", s.shed(s.writable(s.withAdmin(s.handleAdvance))))
+	// Promotion and the replication surface sit outside shed: a
+	// follower must be promotable before it is "ready", and a draining
+	// primary should keep shipping its log so followers catch up.
+	mux.HandleFunc("POST /v1/admin/promote", s.withAdmin(s.handlePromote))
+	mux.HandleFunc("GET /v1/replication/snapshot", s.withAdmin(s.handleReplSnapshot))
+	mux.HandleFunc("GET /v1/replication/stream", s.withAdmin(s.handleReplStream))
+	mux.HandleFunc("GET /v1/replication/status", s.withAdmin(s.handleReplStatus))
 	return http.MaxBytesHandler(mux, maxBodyBytes)
+}
+
+// writable refuses mutation on nodes that must not spend: a follower
+// sheds spend traffic with a hint to the primary, and a fenced
+// ex-primary refuses writes outright — the split-brain guarantee that
+// a deposed node can never double-spend a tenant's budget.
+func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.fenced.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{
+				Error: fmt.Sprintf("fenced: this node was deposed at term %d and refuses writes; promote it to resume", s.term.Load()),
+			})
+			return
+		}
+		if s.role.Load() == roleFollower {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{
+				Error:   "read-only follower: spend traffic belongs on the primary",
+				Primary: s.repl.upstream,
+			})
+			return
+		}
+		h(w, r)
+	}
 }
 
 // shed gates a /v1 endpoint on lifecycle state and the in-flight
@@ -356,6 +518,9 @@ func (s *Server) shed(h http.HandlerFunc) http.HandlerFunc {
 		case stateDraining:
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "service is draining"})
+			return
+		case stateDiverged:
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "replica has diverged from its primary and refuses to serve"})
 			return
 		}
 		n := s.inflight.Add(1)

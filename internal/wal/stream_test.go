@@ -1,0 +1,262 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReadFromCursorWalksDurableLog(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		p := payloadFor(i)
+		want = append(want, p)
+		if err := s.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen, end, nrec := s.Durable()
+	if gen != 0 || nrec != 10 {
+		t.Fatalf("Durable() = gen %d, %d records; want gen 0, 10", gen, nrec)
+	}
+
+	recs, next, err := s.ReadFrom(0, StreamStart(), 0)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if next != end {
+		t.Fatalf("cursor advanced to %d, want durable end %d", next, end)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("streamed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r, want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, r, want[i])
+		}
+	}
+
+	// A cursor at the frontier reads nothing; a later append extends it.
+	recs, next2, err := s.ReadFrom(0, next, 0)
+	if err != nil || len(recs) != 0 || next2 != next {
+		t.Fatalf("frontier read = %d records, next %d, err %v", len(recs), next2, err)
+	}
+	extra := payloadFor(99)
+	if err := s.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err = s.ReadFrom(0, next, 0)
+	if err != nil || len(recs) != 1 || !bytes.Equal(recs[0], extra) {
+		t.Fatalf("incremental read = %v (err %v), want the one new record", recs, err)
+	}
+
+	// maxBytes = 1 forces one whole frame per batch; walking the whole
+	// log in bounded batches reproduces the exact record sequence.
+	_, end, _ = s.Durable()
+	cursor := StreamStart()
+	var got [][]byte
+	for cursor < end {
+		recs, cursor, err = s.ReadFrom(0, cursor, 1)
+		if err != nil {
+			t.Fatalf("bounded ReadFrom: %v", err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("bounded batch returned %d records, want 1", len(recs))
+		}
+		got = append(got, recs[0])
+	}
+	want = append(want, extra)
+	if len(got) != len(want) {
+		t.Fatalf("bounded walk yielded %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("bounded walk record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadFromRejectsBadCursor(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if err := s.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, end, _ := s.Durable()
+	if _, _, err := s.ReadFrom(0, end+1, 0); err == nil {
+		t.Fatal("cursor beyond the durable frontier accepted")
+	}
+	if _, _, err := s.ReadFrom(0, StreamStart()-1, 0); err == nil {
+		t.Fatal("cursor inside the file magic accepted")
+	}
+	if _, _, err := s.ReadFrom(0, StreamStart()+1, 0); err == nil {
+		t.Fatal("cursor off a frame boundary accepted")
+	}
+}
+
+func TestCompactionInvalidatesCursorAndExportReseeds(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := []byte("compacted-through-five")
+	if err := s.Snapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 7; i++ {
+		if err := s.Append(payloadFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The old generation's cursor is dead, loudly.
+	if _, _, err := s.ReadFrom(0, StreamStart(), 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("stale-generation cursor: %v, want ErrCompacted", err)
+	}
+
+	// Re-seed: the export is the compacted prefix, and the new
+	// generation's log streams exactly the records appended after it.
+	gen, snap, err := s.ExportSnapshot()
+	if err != nil {
+		t.Fatalf("ExportSnapshot: %v", err)
+	}
+	if gen != 1 || !bytes.Equal(snap, state) {
+		t.Fatalf("export = gen %d, %q; want gen 1, %q", gen, snap, state)
+	}
+	recs, _, err := s.ReadFrom(1, StreamStart(), 0)
+	if err != nil {
+		t.Fatalf("ReadFrom new generation: %v", err)
+	}
+	if len(recs) != 2 || !bytes.Equal(recs[0], payloadFor(5)) || !bytes.Equal(recs[1], payloadFor(6)) {
+		t.Fatalf("new-generation stream = %q", recs)
+	}
+}
+
+func TestExportSnapshotFirstBoot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	gen, snap, err := s.ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 || snap != nil {
+		t.Fatalf("first-boot export = gen %d, %v; want gen 0, nil", gen, snap)
+	}
+}
+
+func TestTailWaitsForNewRecordsAndTimesOut(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	if err := s.Append(payloadFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, frontier, _ := s.Durable()
+
+	late := payloadFor(1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		s.Append(late)
+	}()
+	recs, next, err := s.Tail(0, frontier, 5*time.Second, 0)
+	if err != nil {
+		t.Fatalf("Tail: %v", err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0], late) {
+		t.Fatalf("Tail = %q, want the late record", recs)
+	}
+
+	// At the frontier with nothing coming, Tail returns empty at the
+	// deadline with the cursor unmoved.
+	recs, again, err := s.Tail(0, next, 20*time.Millisecond, 0)
+	if err != nil || len(recs) != 0 || again != next {
+		t.Fatalf("idle Tail = %d records, next %d, err %v", len(recs), again, err)
+	}
+}
+
+func TestTailObservesCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	defer s.Close()
+	if err := s.Append(payloadFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, frontier, _ := s.Durable()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		s.Snapshot([]byte("rotated"))
+	}()
+	if _, _, err := s.Tail(0, frontier, 5*time.Second, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Tail across compaction: %v, want ErrCompacted", err)
+	}
+}
+
+// TestGroupCommitFaultFailsWholeBatch pins the no-half-acknowledged-
+// group contract: when the sync covering a batch fails, every waiter
+// in that batch observes the failure — none of them can have been
+// told its record was durable. The first leader is parked in the
+// fault hook (outside the store lock) while the batch stages behind
+// it; the next leader's sync is then made to fail.
+func TestGroupCommitFaultFailsWholeBatch(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	injected := errors.New("injected sync failure")
+	var calls atomic.Int32
+	s, _, err := Open(dir, Options{FailSync: func() error {
+		if calls.Add(1) == 1 {
+			<-gate // hold the first group open while the batch stages
+			return nil
+		}
+		return injected
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	first := make(chan error, 1)
+	go func() { first <- s.Append(payloadFor(0)) }()
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond) // leader 1 parked in the hook
+	}
+
+	const batch = 8
+	results := make(chan error, batch)
+	for i := 1; i <= batch; i++ {
+		go func(i int) { results <- s.Append(payloadFor(i)) }(i)
+	}
+	for s.Appends() < batch+1 {
+		time.Sleep(time.Millisecond) // all batch records staged
+	}
+	close(gate)
+
+	if err := <-first; err != nil {
+		t.Fatalf("append covered by the successful sync failed: %v", err)
+	}
+	for i := 0; i < batch; i++ {
+		if err := <-results; !errors.Is(err, injected) {
+			t.Fatalf("batch waiter %d returned %v, want the injected sync failure", i, err)
+		}
+	}
+	// The failure is sticky: the store refuses further appends rather
+	// than resume on a log whose tail state is unknown.
+	if err := s.Append(payloadFor(99)); !errors.Is(err, injected) {
+		t.Fatalf("append after failed sync: %v, want sticky injected error", err)
+	}
+	if got := s.Syncs(); got != 1 {
+		t.Fatalf("completed %d syncs, want exactly the first group's", got)
+	}
+}

@@ -33,6 +33,20 @@
 // them), so it is reported as an error instead of silently dropping
 // accounted spend: for privacy accounting, under-recovery is the
 // failure mode that must never be guessed around.
+//
+// The store also exposes a streaming surface for replication.
+// ReadFrom(gen, offset) and Tail return the durable records of the
+// live log from a byte cursor — only bytes covered by a completed
+// fsync are ever served, so a shipped record is by construction one
+// the primary itself would recover. When the log a cursor points at
+// has been compacted away by Snapshot, the cursor calls return
+// ErrCompacted and the follower re-seeds from ExportSnapshot (the
+// current generation's compacted prefix) before resuming from the
+// head of the new log. Stage and Commit split Append's two halves —
+// ordering a record into the buffer versus waiting for its group
+// fsync — so a caller that must keep its own state in step with log
+// order (the replication shadow state) can do so without serializing
+// fsyncs.
 package wal
 
 import (
@@ -49,6 +63,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -65,6 +80,12 @@ const (
 // ErrClosed is returned by operations on a closed Store.
 var ErrClosed = errors.New("wal: store closed")
 
+// ErrCompacted is returned by ReadFrom and Tail when the requested
+// generation is no longer the live log — a Snapshot has folded its
+// records into the current generation's snapshot. The caller re-seeds
+// from ExportSnapshot and resumes streaming from the new log's head.
+var ErrCompacted = errors.New("wal: generation compacted")
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Options configure a Store. The hooks exist for fault injection —
@@ -74,9 +95,14 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // them reached the OS (a crash here loses them); AfterSync after the
 // fsync returned but before any waiting appender has been released (a
 // crash here leaves the records durable with no response sent).
+// FailSync, when set, runs on the leader after the buffered records
+// were flushed to the file but before the fsync; a non-nil return is
+// treated as the fsync failing, so every append in the group — and
+// the store, whose first failure is sticky — observes the error.
 type Options struct {
 	BeforeSync func()
 	AfterSync  func()
+	FailSync   func() error
 }
 
 // Recovered is what Open found on disk: the newest snapshot payload
@@ -100,8 +126,10 @@ type Store struct {
 	f        *os.File
 	buf      *bufio.Writer
 	gen      uint64
-	appended uint64 // records accepted into the buffer
-	durable  uint64 // records covered by a completed fsync
+	appended uint64 // records in this generation's log, including buffered
+	durable  uint64 // records in this generation covered by a completed fsync
+	stagedB  int64  // log byte length including buffered records
+	durableB int64  // log byte length covered by a completed fsync
 	syncing  bool
 	closed   bool
 	err      error // sticky first write/sync failure
@@ -240,11 +268,15 @@ func Open(dir string, opts Options) (*Store, *Recovered, error) {
 	}
 
 	s := &Store{
-		dir:  dir,
-		opts: opts,
-		f:    f,
-		buf:  bufio.NewWriter(f),
-		gen:  rec.Gen,
+		dir:      dir,
+		opts:     opts,
+		f:        f,
+		buf:      bufio.NewWriter(f),
+		gen:      rec.Gen,
+		appended: uint64(len(rec.Records)),
+		durable:  uint64(len(rec.Records)),
+		stagedB:  validLen,
+		durableB: validLen,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, rec, nil
@@ -333,8 +365,42 @@ func syncDir(dir string) error {
 // Append writes one record and returns once it is durable (flushed
 // and fsynced). Concurrent callers share fsyncs via group commit.
 func (s *Store) Append(payload []byte) error {
+	seq, err := s.Stage(payload)
+	if err != nil {
+		return err
+	}
+	return s.Commit(seq)
+}
+
+// AppendBatch stages every payload in order and returns once the last
+// — and therefore all — of them is durable. The batch shares a single
+// group commit where the fsync allows, which is the follower's bulk
+// apply path.
+func (s *Store) AppendBatch(payloads [][]byte) error {
+	var last uint64
+	for _, p := range payloads {
+		seq, err := s.Stage(p)
+		if err != nil {
+			return err
+		}
+		last = seq
+	}
+	if last == 0 {
+		return nil
+	}
+	return s.Commit(last)
+}
+
+// Stage orders one record into the log buffer and returns its
+// sequence within the current generation. The record is NOT durable
+// until Commit(seq) returns; a caller that stages must commit (or
+// observe the store's sticky error). The two-step form exists so a
+// caller can update state that must mirror log order under its own
+// lock between Stage and Commit without holding that lock across the
+// fsync.
+func (s *Store) Stage(payload []byte) (uint64, error) {
 	if len(payload) == 0 || len(payload) > maxRecordLen {
-		return fmt.Errorf("wal: append: payload length %d out of range", len(payload))
+		return 0, fmt.Errorf("wal: append: payload length %d out of range", len(payload))
 	}
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -343,17 +409,28 @@ func (s *Store) Append(payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if s.err != nil {
-		return s.err
+		return 0, s.err
 	}
 	s.buf.Write(hdr[:])
 	s.buf.Write(payload) // bufio errors are sticky; surfaced at Flush
 	s.appended++
-	mine := s.appended
+	s.stagedB += 8 + int64(len(payload))
+	return s.appended, nil
+}
 
-	for s.durable < mine && s.err == nil {
+// Commit blocks until the record Stage returned seq for is covered by
+// a completed fsync. Concurrent committers share fsyncs: the first to
+// arrive becomes the group leader, flushes everything staged so far,
+// fsyncs once outside the lock, and wakes every waiter that sync
+// covered. A sync failure fails every waiter in the batch — the store
+// never acknowledges half a group.
+func (s *Store) Commit(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.durable < seq && s.err == nil {
 		if s.syncing {
 			s.cond.Wait()
 			continue
@@ -361,12 +438,18 @@ func (s *Store) Append(payload []byte) error {
 		// Become the group commit leader for everything buffered so far.
 		s.syncing = true
 		target := s.appended
+		targetB := s.stagedB
 		if hook := s.opts.BeforeSync; hook != nil {
 			hook()
 		}
 		err := s.buf.Flush()
 		f := s.f
 		s.mu.Unlock()
+		if err == nil {
+			if hook := s.opts.FailSync; hook != nil {
+				err = hook()
+			}
+		}
 		if err == nil {
 			err = f.Sync()
 			s.syncs.Add(1)
@@ -382,6 +465,7 @@ func (s *Store) Append(payload []byte) error {
 			}
 		} else if target > s.durable {
 			s.durable = target
+			s.durableB = targetB
 		}
 		s.cond.Broadcast()
 	}
@@ -405,6 +489,14 @@ func (s *Store) Snapshot(state []byte) error {
 	}
 	if s.err != nil {
 		return s.err
+	}
+	if s.appended != s.durable {
+		// A staged record whose Commit has not completed would be
+		// flushed into the old log and then compacted away without ever
+		// being acknowledged or captured by state. Snapshot is a
+		// quiescent-point operation (boot, drain, promote); calling it
+		// mid-append is a caller bug worth failing loudly on.
+		return fmt.Errorf("wal: snapshot: %d staged records not yet committed", s.appended-s.durable)
 	}
 	if err := s.buf.Flush(); err != nil {
 		s.err = fmt.Errorf("wal: snapshot: %w", err)
@@ -442,8 +534,15 @@ func (s *Store) Snapshot(state []byte) error {
 	s.f = nf
 	s.buf = bufio.NewWriter(nf)
 	s.gen = newGen
+	s.appended = 0
+	s.durable = 0
+	s.stagedB = int64(len(logMagic))
+	s.durableB = int64(len(logMagic))
 	os.Remove(filepath.Join(s.dir, logName(oldGen)))
 	os.Remove(filepath.Join(s.dir, snapName(oldGen)))
+	// Wake any Tail blocked on the old generation so it can observe
+	// ErrCompacted and re-seed.
+	s.cond.Broadcast()
 	if err := syncDir(s.dir); err != nil {
 		s.err = fmt.Errorf("wal: snapshot: %w", err)
 		return s.err
@@ -537,4 +636,128 @@ func (s *Store) Gen() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.gen
+}
+
+// Durable reports the live log's durable frontier: the current
+// generation, the byte offset covered by a completed fsync, and the
+// number of records in the generation up to that offset (recovered
+// records included). A streaming cursor at offset `bytes` has seen
+// exactly `records` records.
+func (s *Store) Durable() (gen uint64, bytes int64, records uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen, s.durableB, s.durable
+}
+
+// StreamStart is the byte offset of the first record in any log — the
+// cursor a follower starts from after seeding on ExportSnapshot.
+func StreamStart() int64 { return int64(len(logMagic)) }
+
+// ReadFrom returns the durable records of generation gen starting at
+// byte offset `offset`, and the offset to resume from. Only bytes
+// covered by a completed fsync are served. If maxBytes > 0 the batch
+// stops at the last whole frame within that many bytes (the resume
+// offset then points mid-log and the caller loops). ErrCompacted
+// reports that gen is no longer the live log; any other parse failure
+// means the cursor does not sit on a frame boundary or the durable
+// prefix is damaged, both of which are loud errors rather than data.
+func (s *Store) ReadFrom(gen uint64, offset int64, maxBytes int) ([][]byte, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readFromLocked(gen, offset, maxBytes)
+}
+
+func (s *Store) readFromLocked(gen uint64, offset int64, maxBytes int) ([][]byte, int64, error) {
+	if s.closed {
+		return nil, 0, ErrClosed
+	}
+	if s.err != nil {
+		return nil, 0, s.err
+	}
+	if gen != s.gen {
+		return nil, 0, ErrCompacted
+	}
+	if offset < int64(len(logMagic)) || offset > s.durableB {
+		return nil, 0, fmt.Errorf("wal: read from: offset %d outside durable log [%d, %d]", offset, len(logMagic), s.durableB)
+	}
+	end := s.durableB
+	if maxBytes > 0 && offset+int64(maxBytes) < end {
+		end = offset + int64(maxBytes)
+	}
+	var records [][]byte
+	next := offset
+	for next < end {
+		if s.durableB-next < 8 {
+			return nil, 0, fmt.Errorf("wal: read from: truncated frame header at offset %d", next)
+		}
+		var hdr [8]byte
+		if _, err := s.f.ReadAt(hdr[:], next); err != nil {
+			return nil, 0, fmt.Errorf("wal: read from: %w", err)
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordLen || s.durableB-next-8 < int64(length) {
+			return nil, 0, fmt.Errorf("wal: read from: bad frame at offset %d", next)
+		}
+		if maxBytes > 0 && next+8+int64(length) > end && next > offset {
+			break // frame would exceed the batch cap; resume here
+		}
+		payload := make([]byte, length)
+		if _, err := s.f.ReadAt(payload, next+8); err != nil {
+			return nil, 0, fmt.Errorf("wal: read from: %w", err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return nil, 0, fmt.Errorf("wal: read from: checksum mismatch at offset %d", next)
+		}
+		records = append(records, payload)
+		next += 8 + int64(length)
+	}
+	return records, next, nil
+}
+
+// Tail is ReadFrom that waits: if the cursor is at the durable
+// frontier it blocks until new records become durable, the generation
+// rotates (ErrCompacted), the store closes, or maxWait elapses —
+// returning an empty batch in the last case. This is the long-poll
+// primitive behind the replication stream endpoint.
+func (s *Store) Tail(gen uint64, offset int64, maxWait time.Duration, maxBytes int) ([][]byte, int64, error) {
+	deadline := time.Now().Add(maxWait)
+	for {
+		s.mu.Lock()
+		records, next, err := s.readFromLocked(gen, offset, maxBytes)
+		s.mu.Unlock()
+		if err != nil || len(records) > 0 {
+			return records, next, err
+		}
+		if !time.Now().Before(deadline) {
+			return nil, offset, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ExportSnapshot returns the current generation and its snapshot
+// payload — the compacted prefix of history a follower seeds from
+// before streaming the live log from StreamStart(). The payload is
+// nil when the generation has no snapshot (a first-boot store that
+// has never compacted).
+func (s *Store) ExportSnapshot() (uint64, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, ErrClosed
+	}
+	if s.err != nil {
+		return 0, nil, s.err
+	}
+	if s.gen == 0 {
+		if _, err := os.Stat(filepath.Join(s.dir, snapName(0))); err != nil {
+			return 0, nil, nil
+		}
+	}
+	snap, err := readSnapshotFile(filepath.Join(s.dir, snapName(s.gen)))
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: export snapshot generation %d: %w", s.gen, err)
+	}
+	return s.gen, snap, nil
 }

@@ -116,4 +116,68 @@ spent_after="$(tenant_spent "$dbase")"
 kill "$dpid"
 wait "$dpid" 2>/dev/null || { echo "serve smoke: durable server did not exit cleanly" >&2; exit 1; }
 
+echo "== two-node leg: follower mirrors, primary killed, follower promoted =="
+pport=$((port + 2)); fport=$((port + 3))
+pbase="http://127.0.0.1:$pport"; fbase="http://127.0.0.1:$fport"
+
+"$bin/ereeserve" -demo -addr "127.0.0.1:$pport" -state-dir "$bin/pstate" &
+ppid=$!
+pids+=("$ppid")
+wait_ready "$pbase"
+"$bin/ereeserve" -demo -addr "127.0.0.1:$fport" -state-dir "$bin/fstate" \
+  -replicate-from "$pbase" -repl-poll 25ms &
+fpid=$!
+pids+=("$fpid")
+wait_ready "$fbase"
+
+# /readyz is JSON with the node's role, term, and replication lag —
+# what a load balancer routes on without an authenticated status call.
+curl -fs "$pbase/readyz" | grep -q '"role":"primary"' \
+  || { echo "serve smoke: primary /readyz does not report its role" >&2; exit 1; }
+fready="$(curl -fs "$fbase/readyz")"
+echo "$fready" | grep -q '"role":"follower"' \
+  || { echo "serve smoke: follower /readyz does not report its role: $fready" >&2; exit 1; }
+echo "$fready" | grep -q '"replication_lag_records":' \
+  || { echo "serve smoke: follower /readyz lacks replication lag: $fready" >&2; exit 1; }
+
+# Drive the pair with the follower FIRST in the endpoint list: every
+# request's first attempt lands on the follower, is shed with 503 + a
+# primary hint, and the deterministic failover walk retries it on the
+# primary — all 200 in the end.
+pair_load() {
+  "$bin/ereeload" -url "$fbase,$pbase" -key tenant-alpha-key -n 24 -conc 8 -seed 11
+}
+pout="$(pair_load)"
+echo "$pout" | grep -q '"200": 24' || { echo "serve smoke: pair load failed: $pout" >&2; exit 1; }
+
+# The follower converges on the primary's exact spend, visible through
+# its own (read-only) /v1/stats.
+spent_primary="$(tenant_spent "$pbase")"
+for _ in $(seq 1 100); do
+  [[ "$(tenant_spent "$fbase")" == "$spent_primary" ]] && break
+  sleep 0.1
+done
+[[ "$(tenant_spent "$fbase")" == "$spent_primary" ]] \
+  || { echo "serve smoke: follower never mirrored the primary's spend" >&2; exit 1; }
+
+# Machine failure: kill -9 the primary, promote the follower.
+kill -9 "$ppid"
+wait "$ppid" 2>/dev/null || true
+curl -fs -X POST -H "X-API-Key: admin-demo-key" "$fbase/v1/admin/promote" \
+  | grep -q '"role":"primary"' || { echo "serve smoke: promotion failed" >&2; exit 1; }
+curl -fs "$fbase/readyz" | grep -q '"role":"primary"' \
+  || { echo "serve smoke: promoted node /readyz still a follower" >&2; exit 1; }
+
+# Reissue the byte-identical workload against the promoted node (the
+# dead primary stays in the endpoint list; failover walks past it):
+# every request replays from the mirrored dedup cache — spend unchanged.
+pout2="$(pair_load)"
+echo "$pout2" | grep -q '"200": 24' || { echo "serve smoke: post-failover replay failed: $pout2" >&2; exit 1; }
+[[ "$(tenant_spent "$fbase")" == "$spent_primary" ]] \
+  || { echo "serve smoke: failover replay double-charged ($spent_primary -> $(tenant_spent "$fbase"))" >&2; exit 1; }
+
+# The promoted node drains cleanly.
+kill "$fpid"
+wait "$fpid" 2>/dev/null || { echo "serve smoke: promoted node did not exit cleanly" >&2; exit 1; }
+
 echo "serve smoke OK"
