@@ -9,6 +9,7 @@ package eree
 
 import (
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -663,6 +664,193 @@ func BenchmarkMergeIndexIncremental(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := table.MergeIndex(base, next.WorkerFull, ids, rows); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	benchPatchOnce    sync.Once
+	benchPatchBaseIx  *table.Index
+	benchPatchTables  []*table.Table
+	benchPatchTouched [][]int32
+	benchPatchRows    [][]int32
+	benchPatchKept    [][]int32
+	benchPatchQs      []*table.Query
+	benchPatchViews   []*table.MarginalView
+)
+
+// benchPatchChain generates the cache-maintenance chain: the same base
+// snapshot as benchDeltaSetup, advanced by benchQuarters deltas drawn
+// from the BED-calibrated churn regime (lodes.CalibratedDeltaConfig —
+// ~70% of survivors post no net employment change, so a quarter
+// touches a minority of establishments, as real quarterly frames do).
+// The ingest benchmarks above keep the harsher every-survivor-shocked
+// DefaultDeltaConfig chain; correctness is regime-independent (the
+// differential suites run both).
+func benchPatchChain(b *testing.B) (*lodes.Dataset, []*lodes.Delta) {
+	b.Helper()
+	d, _ := benchDeltaSetup(b)
+	chain := make([]*lodes.Delta, 0, benchQuarters)
+	cur := d
+	for q := 0; q < benchQuarters; q++ {
+		dl, err := lodes.GenerateDelta(cur, lodes.CalibratedDeltaConfig(), dist.NewStreamFromSeed(int64(2+q)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		chain = append(chain, dl)
+		if cur, err = cur.ApplyDelta(dl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d, chain
+}
+
+// benchWarmWorkingSet is the warm cache the maintenance benchmarks
+// carry across the chain: a multi-tenant working set of eight
+// marginals — every subset of the establishment attributes (the QWI
+// publication axes) plus the paper's Workload 2 (which also covers
+// Workload 3's attribute set) — the "affected marginals" whose
+// per-quarter upkeep the eviction counterfactual pays a full table
+// scan each for.
+func benchWarmWorkingSet() [][]string {
+	return [][]string{
+		{lodes.AttrPlace},
+		{lodes.AttrIndustry},
+		{lodes.AttrOwnership},
+		{lodes.AttrPlace, lodes.AttrIndustry},
+		{lodes.AttrPlace, lodes.AttrOwnership},
+		{lodes.AttrIndustry, lodes.AttrOwnership},
+		eval.Workload1Attrs(),
+		eval.Workload2Attrs(),
+	}
+}
+
+// benchPatchSetup precomputes everything the maintenance benchmarks
+// replay — successor tables, per-quarter touched/rows/kept vectors,
+// queries, and one pristine maintained view per working-set marginal
+// on the base index — so the timed region is exactly the per-quarter
+// cache-maintenance step (no ApplyDelta, no publisher machinery).
+func benchPatchSetup(b *testing.B) {
+	b.Helper()
+	d, chain := benchPatchChain(b)
+	benchPatchOnce.Do(func() {
+		cur := d
+		benchPatchBaseIx = cur.WorkerFull.Index()
+		for _, dl := range chain {
+			ids, rows, kept := dl.TouchedKept(cur)
+			next, err := cur.ApplyDelta(dl)
+			if err != nil {
+				panic(err)
+			}
+			benchPatchTables = append(benchPatchTables, next.WorkerFull)
+			benchPatchTouched = append(benchPatchTouched, ids)
+			benchPatchRows = append(benchPatchRows, rows)
+			benchPatchKept = append(benchPatchKept, kept)
+			cur = next
+		}
+		for _, attrs := range benchWarmWorkingSet() {
+			q, err := table.NewQuery(d.Schema(), attrs...)
+			if err != nil {
+				panic(err)
+			}
+			v, err := table.NewMarginalView(benchPatchBaseIx, q)
+			if err != nil {
+				panic(err)
+			}
+			benchPatchQs = append(benchPatchQs, q)
+			benchPatchViews = append(benchPatchViews, v)
+		}
+	})
+}
+
+// benchFreshChain rebuilds the chain's merged indexes from scratch.
+// Both maintenance benchmarks call it per iteration, untimed, so every
+// timed quarter runs against a merged index that — like a production
+// advance's — has served no prior scans. That keeps the counterfactual
+// honest: the scan kernel only builds its packed fused-key column for
+// a plan after packScanThreshold scans of the same index, so an
+// evict+rescan server recomputing each truth once per fresh quarterly
+// index never crosses the threshold and always pays the unpacked scan.
+// Reusing one prebuilt chain across iterations would let the rescans
+// warm up per-index plan state b.N times and run against packed
+// columns no real advance would ever have built.
+func benchFreshChain(b *testing.B) []*table.Index {
+	b.Helper()
+	ixs := make([]*table.Index, benchQuarters+1)
+	ixs[0] = benchPatchBaseIx
+	for q := 0; q < benchQuarters; q++ {
+		ix, err := table.MergeIndex(ixs[q], benchPatchTables[q], benchPatchTouched[q], benchPatchRows[q])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ixs[q+1] = ix
+	}
+	return ixs
+}
+
+// BenchmarkAdvancePatched measures the cache-maintenance step of the
+// incremental path in isolation: carrying the warm working set across
+// the calibrated 8-quarter chain by patching maintained views — one
+// shared PatchFrame per quarter (table.NewPatchFrame), then
+// MarginalView.ApplyFrame per marginal, O(changed rows) each, no
+// rescan. Compare BenchmarkAdvanceEvictRescan, the pre-maintenance
+// behavior on the identical chain and working set. Both end every
+// quarter with the same bit-identical truths (the differential suites
+// in internal/table/patch_test.go and internal/core/epoch_test.go
+// prove it), so the ratio is exactly what patching saves. This is the
+// benchmark the CI gate tracks (BENCH_incremental.json).
+func BenchmarkAdvancePatched(b *testing.B) {
+	benchPatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ixs := benchFreshChain(b)
+		views := make([]*table.MarginalView, len(benchPatchViews))
+		for j, v := range benchPatchViews {
+			views[j] = v.Clone()
+		}
+		// Drain the GC debt the untimed chain rebuild ran up, so the
+		// collector's mark work (a whole core's worth on a small machine)
+		// doesn't land inside timed quarters at random. The rescan
+		// counterfactual does the same at the same point.
+		runtime.GC()
+		b.StartTimer()
+		for q := 0; q < benchQuarters; q++ {
+			f, err := table.NewPatchFrame(ixs[q], ixs[q+1], benchPatchTouched[q], benchPatchKept[q])
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range views {
+				if _, _, err := v.ApplyFrame(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAdvanceEvictRescan is the counterfactual: the same working
+// set maintained across the same chain by eviction — every quarter,
+// each cached marginal is recomputed with a full pass over the
+// successor's entity-sorted index (what a cache miss pays after the
+// old selective-invalidation path dropped the entry). The per-quarter
+// cost is O(affected marginals × table rows) regardless of how little
+// the delta changed. Indexes come fresh from benchFreshChain, exactly
+// as the patched benchmark's do.
+func BenchmarkAdvanceEvictRescan(b *testing.B) {
+	benchPatchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ixs := benchFreshChain(b)
+		runtime.GC() // symmetric with BenchmarkAdvancePatched
+		b.StartTimer()
+		for q := 0; q < benchQuarters; q++ {
+			for _, qu := range benchPatchQs {
+				if m := ixs[q+1].Compute(qu); len(m.Counts) == 0 {
+					b.Fatal("empty marginal")
+				}
+			}
 		}
 	}
 }

@@ -467,7 +467,7 @@ func (s *Server) followerStats(t *privacy.Tenant) statsJSON {
 		out.ReplayCache = &replayCacheJSON{Capacity: rs.fState.windowSize()}
 	}
 	for _, cs := range s.pub.CacheStatsByEpoch() {
-		out.Cache = append(out.Cache, cacheStatsJSON{Epoch: cs.Epoch, Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions})
+		out.Cache = append(out.Cache, cacheStatsJSON{Epoch: cs.Epoch, Hits: cs.Hits, Misses: cs.Misses, Patches: cs.Patches, Evictions: cs.Evictions})
 	}
 	return out
 }

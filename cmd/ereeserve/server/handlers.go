@@ -412,6 +412,7 @@ type cacheStatsJSON struct {
 	Epoch     int   `json:"epoch"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
+	Patches   int64 `json:"patches"`
 	Evictions int64 `json:"evictions"`
 }
 
@@ -442,7 +443,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, t *privacy.
 		out.SpendByEpoch[i] = epochSpendJSON{Epoch: e.Epoch, Eps: e.Eps, Delta: e.Delta, Releases: e.Releases}
 	}
 	for _, cs := range s.pub.CacheStatsByEpoch() {
-		out.Cache = append(out.Cache, cacheStatsJSON{Epoch: cs.Epoch, Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions})
+		out.Cache = append(out.Cache, cacheStatsJSON{Epoch: cs.Epoch, Hits: cs.Hits, Misses: cs.Misses, Patches: cs.Patches, Evictions: cs.Evictions})
 	}
 	size, evictions, capacity := s.replay.stats(t.Name)
 	out.ReplayCache = &replayCacheJSON{Capacity: capacity, Size: size, Evictions: evictions}
@@ -455,12 +456,18 @@ type advanceJSON struct {
 	Quarters []advanceQuarter `json:"quarters"`
 }
 
+// CachePatches and CacheEvictions report how the marginal cache crossed
+// the bump: truths patched in place by the incremental maintenance path
+// versus truths dropped for on-demand recomputation. A warm server
+// should see patches, not evictions.
 type advanceQuarter struct {
-	Epoch          int `json:"epoch"`
-	Jobs           int `json:"jobs"`
-	Establishments int `json:"establishments"`
-	Births         int `json:"births"`
-	Deaths         int `json:"deaths"`
+	Epoch          int   `json:"epoch"`
+	Jobs           int   `json:"jobs"`
+	Establishments int   `json:"establishments"`
+	Births         int   `json:"births"`
+	Deaths         int   `json:"deaths"`
+	CachePatches   int64 `json:"cache_patches"`
+	CacheEvictions int64 `json:"cache_evictions"`
 }
 
 // advanceErrorJSON is the /v1/admin/advance failure response. Quarters
@@ -545,12 +552,15 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		s.quartersAbsorbed++
 		s.quarterSeeds = append(s.quarterSeeds, seed)
 		next := s.pub.Dataset()
+		cs := s.pub.MarginalCacheStats()
 		out.Quarters = append(out.Quarters, advanceQuarter{
 			Epoch:          s.pub.Epoch(),
 			Jobs:           next.NumJobs(),
 			Establishments: next.NumEstablishments(),
 			Births:         len(dl.Births),
 			Deaths:         len(dl.Deaths),
+			CachePatches:   cs.Patches,
+			CacheEvictions: cs.Evictions,
 		})
 	}
 	out.Epoch = s.pub.Epoch()

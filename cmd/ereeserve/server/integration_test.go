@@ -277,6 +277,74 @@ func TestAdvanceSeedContinuity(t *testing.T) {
 	}
 }
 
+// TestAdvanceWarmCacheTelemetry: a server advanced while its marginal
+// cache is warm reports the maintenance outcome — truths patched in
+// place, none evicted — in both the /v1/admin/advance structured
+// response and the per-epoch cache section of /v1/stats, and the warm
+// truth keeps serving as a hit in the new epoch.
+func TestAdvanceWarmCacheTelemetry(t *testing.T) {
+	opts := Options{NoiseSeed: 7, AdminKey: keyAdmin, DeltaSeed: 100}
+	_, hs := newTestServer(t, 1, opts, nil)
+
+	// Warm two truths: one workplace marginal, one worker marginal.
+	for i, body := range []string{
+		`{"attrs":["place","industry","ownership"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"seq":0}`,
+		`{"attrs":["industry","education"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"seq":1}`,
+	} {
+		if status, raw := do(t, hs, "POST", "/v1/release", keyAlpha, body); status != http.StatusOK {
+			t.Fatalf("warming release %d = %d: %s", i, status, raw)
+		}
+	}
+
+	status, raw := do(t, hs, "POST", "/v1/admin/advance", keyAdmin, `{"quarters":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("advance = %d: %s", status, raw)
+	}
+	var adv advanceJSON
+	if err := json.Unmarshal(raw, &adv); err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Quarters) != 1 {
+		t.Fatalf("quarters = %+v, want exactly one", adv.Quarters)
+	}
+	q := adv.Quarters[0]
+	if q.CachePatches != 2 || q.CacheEvictions != 0 {
+		t.Errorf("advance reported %d patches / %d evictions, want 2 / 0: %s",
+			q.CachePatches, q.CacheEvictions, raw)
+	}
+
+	// The patched truth serves the new epoch from cache: re-releasing one
+	// warmed attribute set must not add a miss.
+	if status, raw := do(t, hs, "POST", "/v1/release", keyAlpha,
+		`{"attrs":["industry","education"],"mechanism":"smooth-gamma","alpha":0.1,"eps":1,"seq":2}`); status != http.StatusOK {
+		t.Fatalf("post-advance release = %d: %s", status, raw)
+	}
+	status, raw = do(t, hs, "GET", "/v1/stats", keyAlpha, "")
+	if status != http.StatusOK {
+		t.Fatalf("stats = %d: %s", status, raw)
+	}
+	var stats struct {
+		Cache []cacheStatsJSON `json:"cache"`
+	}
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Cache) != 2 {
+		t.Fatalf("cache history = %+v, want two epochs: %s", stats.Cache, raw)
+	}
+	if e0 := stats.Cache[0]; e0.Patches != 0 {
+		t.Errorf("epoch 0 reports %d patches, want 0: %s", e0.Patches, raw)
+	}
+	e1 := stats.Cache[1]
+	if e1.Epoch != 1 || e1.Patches != 2 || e1.Evictions != 0 {
+		t.Errorf("epoch 1 cache = %+v, want epoch 1 with 2 patches / 0 evictions: %s", e1, raw)
+	}
+	if e1.Misses != 0 || e1.Hits != 1 {
+		t.Errorf("epoch 1 served %d hits / %d misses, want 1 / 0 (patched truth stays warm): %s",
+			e1.Hits, e1.Misses, raw)
+	}
+}
+
 // TestAdvanceErrorReportsProgress: a failing advance reports how far it
 // got — quarters absorbed in this call, the epoch actually reached, and
 // the per-quarter summaries — so an admin can resume instead of

@@ -5,12 +5,21 @@
 //
 //	lodesgen -out data/ [-seed 1] [-establishments 20000] [-places 60]
 //	lodesgen -out data/ -national [-chunk 1048576]
+//	lodesgen -out data/ -delta data/q1 [-delta-seed 2]
 //
 // With -national (or -stream) the job relation is generated and written
 // chunk-wise: the full table is never held in memory, so the national
 // configuration (~7M establishments, ~130M jobs) is writable on a
 // laptop-sized heap. Streamed output is byte-identical to the
 // materialized path for the same configuration and seed.
+//
+// With -delta DIR one quarter of synthetic churn is additionally drawn
+// against the generated snapshot and exported to DIR as delta CSV
+// (delta_deaths.csv, delta_separations.csv, delta_hires.csv,
+// delta_births.csv, delta_birth_jobs.csv). Loading it back with
+// eree.LoadDeltaCSV and applying it to the snapshot reproduces the
+// successor quarter bit-identically. Deltas require the materialized
+// path (-delta is incompatible with -national/-stream).
 package main
 
 import (
@@ -34,6 +43,8 @@ func main() {
 	national := flag.Bool("national", false, "use the national-scale configuration (~7M establishments, ~130M jobs) and stream the output")
 	stream := flag.Bool("stream", false, "stream job rows to disk chunk-wise instead of materializing the table")
 	chunk := flag.Int("chunk", 0, "rows per streamed chunk (default: 1<<20; implies -stream)")
+	deltaDir := flag.String("delta", "", "also export one generated quarter of churn to this directory as delta CSV")
+	deltaSeed := flag.Int64("delta-seed", 2, "delta generator seed (with -delta)")
 	flag.Parse()
 
 	if *out == "" {
@@ -42,6 +53,9 @@ func main() {
 	}
 	if *small && *national {
 		log.Fatal("-small and -national are mutually exclusive")
+	}
+	if *deltaDir != "" && (*national || *stream || *chunk > 0) {
+		log.Fatal("-delta requires the materialized path (incompatible with -national/-stream/-chunk)")
 	}
 
 	cfg := eree.DefaultDataConfig()
@@ -77,4 +91,18 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d places, %d establishments, %d jobs (max establishment %d)\n",
 		*out, data.NumPlaces(), data.NumEstablishments(), data.NumJobs(), data.MaxEmployment())
+
+	if *deltaDir != "" {
+		dl, err := eree.GenerateDelta(data, eree.DefaultDeltaConfig(), *deltaSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eree.WriteDeltaCSV(data, dl, *deltaDir); err != nil {
+			log.Fatal(err)
+		}
+		added, removed := dl.Jobs(data)
+		fmt.Printf("wrote %s: %d deaths, %d separations, %d hires, %d births (+%d/-%d jobs)\n",
+			*deltaDir, len(dl.Deaths), len(dl.Separations), len(dl.Hires), len(dl.Births),
+			added, removed)
+	}
 }

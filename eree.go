@@ -150,6 +150,23 @@ func ApplyDelta(d *Dataset, delta *Delta) (*Dataset, error) {
 // LoadCSV loads a dataset previously written with Dataset.WriteCSV.
 func LoadCSV(dir string) (*Dataset, error) { return lodes.ReadCSV(dir) }
 
+// WriteDeltaCSV writes a quarterly delta to dir as plain-text CSV
+// (delta_deaths.csv, delta_separations.csv, delta_hires.csv,
+// delta_births.csv, delta_birth_jobs.csv), with attribute values spelled
+// by name under the base dataset's schema. Row order is part of the
+// delta's identity — ApplyDelta assigns birth IDs by position — and is
+// preserved exactly by LoadDeltaCSV.
+func WriteDeltaCSV(base *Dataset, delta *Delta, dir string) error {
+	return lodes.WriteDeltaCSV(dir, base.Schema(), delta)
+}
+
+// LoadDeltaCSV loads a delta previously written with WriteDeltaCSV.
+// Applying the re-read delta to the same base snapshot yields a
+// bit-identical successor.
+func LoadDeltaCSV(base *Dataset, dir string) (*Delta, error) {
+	return lodes.ReadDeltaCSV(dir, base.Schema())
+}
+
 // Attribute names of the WorkerFull relation. Place, industry and
 // ownership are establishment (public) attributes; the rest are worker
 // (private) attributes.

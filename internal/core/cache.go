@@ -45,11 +45,15 @@ import (
 // had already started, or from an entry carried over an epoch bump);
 // Misses counts marginals that had to be computed — one table scan each
 // on the point-miss path, while PrefetchMarginals computes all of its
-// misses in a single shared pass. Evictions counts cached marginals
-// dropped from the epoch's cache: at the Advance that created the epoch
-// (entries whose affected-cell set was nonempty — the observable face
-// of selective invalidation), plus any explicit InvalidateMarginalCache
-// or cache-disable sweeps during the epoch.
+// misses in a single shared pass. Patches counts cached truths the
+// Advance that created the epoch carried by *patching* (incremental
+// view maintenance: the delta's contribution applied in place, no
+// rescan — including request-order aliases re-derived from a patched
+// canonical truth). Evictions counts cached marginals dropped from the
+// epoch's cache: at the Advance that created the epoch (entries the
+// maintenance path could not patch — or, under
+// SetEvictOnAdvance(true), every affected entry), plus any explicit
+// InvalidateMarginalCache or cache-disable sweeps during the epoch.
 //
 // Counters are per-epoch: each Advance starts a fresh set (see
 // Publisher.CacheStatsByEpoch), so hit rates are attributable to the
@@ -59,6 +63,7 @@ type CacheStats struct {
 	Epoch     int
 	Hits      int64
 	Misses    int64
+	Patches   int64
 	Evictions int64
 }
 
@@ -70,6 +75,7 @@ type cacheCounters struct {
 	epoch     int
 	hits      atomic.Int64
 	misses    atomic.Int64
+	patches   atomic.Int64
 	evictions atomic.Int64
 }
 
@@ -79,6 +85,7 @@ func (cc *cacheCounters) view() CacheStats {
 		Epoch:     cc.epoch,
 		Hits:      cc.hits.Load(),
 		Misses:    cc.misses.Load(),
+		Patches:   cc.patches.Load(),
 		Evictions: cc.evictions.Load(),
 	}
 }

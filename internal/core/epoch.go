@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/lodes"
 	"repro/internal/table"
@@ -36,13 +37,21 @@ type epochSnapshot struct {
 // after Advance returns see the new epoch. Advances serialize with
 // each other.
 //
-// Selective invalidation: a cached marginal survives the epoch bump
-// exactly when its affected-cell set (table.AffectedCells over the
-// delta's touched establishments) is empty — then the truth is
-// bit-identical in the new epoch and recomputing it would waste a
-// scan. Every dropped entry counts as an eviction in the new epoch's
-// CacheStats. Entries are keyed by version structurally: each epoch
-// owns its cache, so a truth can never leak across epochs.
+// Cache maintenance: a cached marginal survives the epoch bump either
+// untouched — its affected-cell set (table.AffectedCells over the
+// delta's touched establishments) is empty, so the truth is
+// bit-identical in the new epoch — or *patched*: the delta's
+// contribution is applied to the cached truth in place
+// (table.MarginalView.Apply — O(changed rows), no rescan), counted in
+// CacheStats.Patches. Request-order aliases of a canonical truth move
+// with it, and non-canonical entries are re-derived from their patched
+// canonical sibling by the O(cells) digit remap. Only entries the
+// maintenance path cannot handle (a poisoned view, a vanished
+// canonical sibling) are evicted and recomputed on demand — and
+// SetEvictOnAdvance(true) restores that pre-maintenance behavior
+// wholesale as the differential oracle. Entries are keyed by version
+// structurally: each epoch owns its cache, so a truth can never leak
+// across epochs.
 //
 // An attached accountant's ledger advances too: subsequent charges are
 // attributed to the new epoch (sequential composition across epochs —
@@ -55,7 +64,7 @@ func (p *Publisher) Advance(delta *lodes.Delta) error {
 	if err != nil {
 		return fmt.Errorf("core: advance: %w", err)
 	}
-	touched, touchedRows := delta.Touched(old.data)
+	touched, touchedRows, kept := delta.TouchedKept(old.data)
 	baseIx := old.data.WorkerFull.Index()
 	nextIx, err := table.MergeIndex(baseIx, next.WorkerFull, touched, touchedRows)
 	if err != nil {
@@ -64,11 +73,18 @@ func (p *Publisher) Advance(delta *lodes.Delta) error {
 	next.WorkerFull.AdoptIndex(nextIx)
 
 	cache := newMarginalCache(next.Epoch)
-	if old.cache.off.Load() {
+	switch {
+	case old.cache.off.Load():
 		cache.off.Store(true)
-	} else {
+		p.views = make(map[string]*maintainedView)
+	case p.evictOnAdvance:
 		carried, evicted := survivingEntries(old.cache, baseIx, nextIx, touched)
 		cache.seed(carried)
+		cache.stats.evictions.Store(evicted)
+	default:
+		carried, patched, evicted := p.maintainEntries(old, baseIx, nextIx, touched, kept, next.Epoch)
+		cache.seed(carried)
+		cache.stats.patches.Store(patched)
 		cache.stats.evictions.Store(evicted)
 	}
 
@@ -81,6 +97,201 @@ func (p *Publisher) Advance(delta *lodes.Delta) error {
 	p.historyMu.Unlock()
 	p.snap.Store(sn)
 	return nil
+}
+
+// maintainEntries carries the old epoch's committed truths into the
+// successor epoch, patching the ones the delta affected. Canonical
+// entries (cached under their "\x00"-prefixed plan-key form, possibly
+// with request-order alias keys sharing the pointer) are patched
+// through their maintained view — built lazily, on the first Advance
+// that affects them, from the base index; every alias key re-points at
+// the one patched entry. Non-canonical entries are re-derived from
+// their patched canonical sibling by the O(cells) digit remap. Any
+// entry the maintenance path cannot handle is evicted instead; both
+// outcomes count distinct truths, not keys. Runs under advanceMu — the
+// views map and each view's scratch are single-writer by construction.
+// patchChurnCeiling is the TouchedGroupFraction above which an advance
+// counts as heavy: beyond it, patching a non-flat view's truth costs
+// more than evicting and rescanning it (measured crossover is well
+// above the ~25% of establishments BLS-calibrated churn touches, and
+// below the ~100% the stress generators touch). Flatness is only known
+// once a view exists, so heavy advances never build new views.
+const patchChurnCeiling = 0.5
+
+func (p *Publisher) maintainEntries(old *epochSnapshot, baseIx, nextIx *table.Index, touched, kept []int32, nextEpoch int) (carried map[string]*marginalEntry, patched, evicted int64) {
+	entries := old.cache.committed()
+	// Group keys by distinct entry, noting which entries are canonical
+	// (hold a plan-key form).
+	type entryKeys struct {
+		e     *marginalEntry
+		keys  []string
+		slot  int // position in groups, the affected-vector slot
+		canon bool
+	}
+	uniq := make(map[*marginalEntry]*entryKeys)
+	var groups []*entryKeys
+	for key, e := range entries {
+		g, ok := uniq[e]
+		if !ok {
+			g = &entryKeys{e: e, slot: len(groups)}
+			uniq[e] = g
+			groups = append(groups, g)
+		}
+		g.keys = append(g.keys, key)
+		if len(key) > 0 && key[0] == 0 {
+			g.canon = true
+		}
+	}
+	// liveViews is the successor epoch's view set: views for plans whose
+	// truths survive. Everything else (stale epochs, evicted plans,
+	// truths no longer cached) is garbage and dropped with the swap.
+	liveViews := make(map[string]*maintainedView)
+	defer func() { p.views = liveViews }()
+	if len(groups) == 0 {
+		return nil, 0, 0
+	}
+
+	qs := make([]*table.Query, len(groups))
+	for i, g := range groups {
+		qs[i] = g.e.q
+	}
+	affected := table.Affected(baseIx, nextIx, touched, qs)
+
+	// Cost gate: patching a per-row (non-flat) view is O(touched groups
+	// + changed rows) while the rescan it avoids is O(table), so once a
+	// delta churns most of the frame — the stress regimes, not BLS
+	// reality — patching costs more than it saves. Heavy advances evict
+	// those truths instead (recomputed on demand, exactly the
+	// pre-maintenance behavior); flat views patch in O(1) per span and
+	// stay worth patching at any churn level. The signal counts touched
+	// establishments against base groups (newborns inflate it slightly —
+	// conservative in the right direction).
+	heavy := baseIx.NumGroups() > 0 &&
+		float64(len(touched))/float64(baseIx.NumGroups()) > patchChurnCeiling
+
+	// One frame — the validated touched-establishment span descriptor —
+	// shared by every view patched this advance, built lazily so an
+	// advance that patches nothing (a heavy one, or one with no live
+	// views) never pays the span compilation. If the delta's shape is
+	// inconsistent with the indexes nothing can be patched; affected
+	// truths are evicted below and recomputed on demand.
+	var frame *table.PatchFrame
+	var frameErr error
+	frameBuilt := false
+	getFrame := func() (*table.PatchFrame, error) {
+		if !frameBuilt {
+			frame, frameErr = table.NewPatchFrame(baseIx, nextIx, touched, kept)
+			frameBuilt = true
+		}
+		return frame, frameErr
+	}
+
+	carried = make(map[string]*marginalEntry, len(entries))
+	// patchedCanon maps a canonical plan key to its successor-epoch
+	// truth, for rebuilding non-canonical request orders in the second
+	// pass.
+	patchedCanon := make(map[string]*marginalEntry)
+	var derived []*entryKeys
+	for i, g := range groups {
+		if !g.canon {
+			derived = append(derived, g)
+			continue
+		}
+		pk := g.e.planKey
+		mv := p.views[pk]
+		if mv != nil && mv.epoch != old.epoch {
+			mv = nil // stale: missed a delta (oracle or cache-off interlude)
+		}
+		if !affected[i] {
+			// Truth bit-identical across the bump: carry the entry as-is.
+			// An existing view still absorbs the delta — per-establishment
+			// contributions can change even when no cell statistic does,
+			// and the view must reflect the successor index to patch the
+			// *next* delta correctly.
+			if mv != nil {
+				if f, err := getFrame(); err == nil {
+					if _, _, err := mv.view.ApplyFrame(f); err == nil {
+						mv.epoch = nextEpoch
+						liveViews[pk] = mv
+					}
+				}
+			}
+			for _, k := range g.keys {
+				carried[k] = g.e
+			}
+			patchedCanon[pk] = g.e
+			continue
+		}
+		if heavy && (mv == nil || !mv.view.Flat()) {
+			evicted++
+			continue
+		}
+		f, ferr := getFrame()
+		if ferr != nil {
+			evicted++
+			continue
+		}
+		if mv == nil {
+			v, err := table.NewMarginalView(baseIx, g.e.q)
+			if err != nil {
+				evicted++
+				continue
+			}
+			mv = &maintainedView{view: v, epoch: old.epoch}
+		}
+		newM, _, err := mv.view.ApplyFrame(f)
+		if err != nil {
+			// Poisoned view: evict the truth, recompute on demand.
+			evicted++
+			continue
+		}
+		ne := newMarginalEntry(g.e.q, newM)
+		for _, k := range g.keys {
+			carried[k] = ne
+		}
+		patchedCanon[pk] = ne
+		mv.epoch = nextEpoch
+		liveViews[pk] = mv
+		patched++
+	}
+	for _, g := range derived {
+		if !affected[g.slot] {
+			for _, k := range g.keys {
+				carried[k] = g.e
+			}
+			continue
+		}
+		pk, ok := canonicalPlanKey(old.data.Schema(), g.e.q)
+		src := patchedCanon[pk]
+		if !ok || src == nil {
+			// No patched canonical sibling to derive from (it was evicted,
+			// or never cached): recompute on demand.
+			evicted++
+			continue
+		}
+		ne := newMarginalEntry(g.e.q, remapMarginal(src.m, g.e.q))
+		for _, k := range g.keys {
+			carried[k] = ne
+		}
+		patched++
+	}
+	return carried, patched, evicted
+}
+
+// canonicalPlanKey derives the plan key of the canonical (schema-order)
+// spelling of q's attribute set.
+func canonicalPlanKey(schema *table.Schema, q *table.Query) (string, bool) {
+	idx := append([]int(nil), q.Attrs()...)
+	sort.Ints(idx)
+	names := make([]string, len(idx))
+	for i, a := range idx {
+		names[i] = schema.Attr(a).Name
+	}
+	cq, err := table.NewQuery(schema, names...)
+	if err != nil {
+		return "", false
+	}
+	return cq.PlanKey(), true
 }
 
 // survivingEntries partitions the old epoch's committed truths into

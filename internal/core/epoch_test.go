@@ -103,7 +103,8 @@ func TestAdvanceServesNewEpoch(t *testing.T) {
 // TestAdvanceSelectiveInvalidation pins the cache-survival contract: a
 // delta that provably does not change a marginal's cells carries the
 // cached truth across the epoch bump (same entry object, no rescan),
-// while affected marginals are evicted and recomputed.
+// while affected marginals are *patched* in place — carried as fresh
+// truth objects, served as hits, with no recompute scan.
 func TestAdvanceSelectiveInvalidation(t *testing.T) {
 	d := smallDataset(t, 52)
 	p := NewPublisher(d)
@@ -137,8 +138,8 @@ func TestAdvanceSelectiveInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := p.MarginalCacheStats()
-	if stats.Epoch != 1 || stats.Evictions != 0 {
-		t.Fatalf("no-op advance stats = %+v, want epoch 1 with 0 evictions", stats)
+	if stats.Epoch != 1 || stats.Evictions != 0 || stats.Patches != 0 {
+		t.Fatalf("no-op advance stats = %+v, want epoch 1 with 0 evictions / 0 patches", stats)
 	}
 	truthAfter, err := p.Marginal(w1)
 	if err != nil {
@@ -154,7 +155,7 @@ func TestAdvanceSelectiveInvalidation(t *testing.T) {
 	// A real churn delta: the same establishment hires one
 	// distinguishable worker. Both the workplace marginal (its place ×
 	// industry × ownership cell gains a count) and the sex marginal are
-	// affected and must be evicted.
+	// affected — and must be patched and carried, not evicted.
 	distinct := replacement
 	distinct.Sex = 1 - distinct.Sex
 	real := &lodes.Delta{Hires: []lodes.Hire{{Est: est, Jobs: []lodes.JobRecord{distinct}}}}
@@ -162,21 +163,21 @@ func TestAdvanceSelectiveInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats = p.MarginalCacheStats()
-	if stats.Epoch != 2 || stats.Evictions != 2 {
-		t.Fatalf("churn advance stats = %+v, want epoch 2 with 2 evictions", stats)
+	if stats.Epoch != 2 || stats.Patches != 2 || stats.Evictions != 0 {
+		t.Fatalf("churn advance stats = %+v, want epoch 2 with 2 patches / 0 evictions", stats)
 	}
 	truthNew, err := p.Marginal(w1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if truthNew == truthAfter {
-		t.Fatal("affected marginal survived the epoch bump")
+		t.Fatal("affected marginal's truth object survived the epoch bump unpatched")
 	}
 	if truthNew.Total() != truthAfter.Total()+1 {
 		t.Fatalf("epoch-2 total = %d, want %d", truthNew.Total(), truthAfter.Total()+1)
 	}
-	if got := p.MarginalCacheStats(); got.Misses != 1 {
-		t.Fatalf("evicted marginal recomputed with stats %+v, want 1 miss", got)
+	if got := p.MarginalCacheStats(); got.Misses != 0 || got.Hits != 1 {
+		t.Fatalf("patched marginal served with stats %+v, want 1 hit / 0 misses (no rescan)", got)
 	}
 
 	// Per-epoch history: three epochs, each with its own counters.
@@ -187,8 +188,257 @@ func TestAdvanceSelectiveInvalidation(t *testing.T) {
 	if hist[0].Epoch != 0 || hist[0].Misses != 2 {
 		t.Errorf("epoch-0 history %+v, want 2 misses", hist[0])
 	}
-	if hist[2].Evictions != 2 {
-		t.Errorf("epoch-2 history %+v, want 2 evictions", hist[2])
+	if hist[2].Patches != 2 || hist[2].Evictions != 0 {
+		t.Errorf("epoch-2 history %+v, want 2 patches / 0 evictions", hist[2])
+	}
+}
+
+// TestAdvanceEvictOracle pins the differential oracle: with
+// SetEvictOnAdvance(true) the pre-maintenance behavior returns —
+// affected entries are evicted and recomputed on demand — and flipping
+// back re-enters the patch path from a cold view.
+func TestAdvanceEvictOracle(t *testing.T) {
+	d := smallDataset(t, 52)
+	p := NewPublisher(d)
+	p.SetEvictOnAdvance(true)
+	w1 := workload1Attrs()
+	if _, err := p.Marginal(w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Marginal([]string{lodes.AttrSex}); err != nil {
+		t.Fatal(err)
+	}
+	var est int32 = 3
+	hire := lastRowJob(t, d, est)
+	hire.Sex = 1 - hire.Sex
+	churn := &lodes.Delta{Hires: []lodes.Hire{{Est: est, Jobs: []lodes.JobRecord{hire}}}}
+	if err := p.Advance(churn); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.MarginalCacheStats()
+	if stats.Epoch != 1 || stats.Evictions != 2 || stats.Patches != 0 {
+		t.Fatalf("oracle advance stats = %+v, want epoch 1 with 2 evictions / 0 patches", stats)
+	}
+	if _, err := p.Marginal(w1); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MarginalCacheStats(); got.Misses != 1 {
+		t.Fatalf("evicted marginal recomputed with stats %+v, want 1 miss", got)
+	}
+
+	// Back to the default: the next advance patches again (the view is
+	// rebuilt lazily — stale maintenance state from the oracle interlude
+	// must not leak in).
+	p.SetEvictOnAdvance(false)
+	next := p.Dataset()
+	hire2 := lastRowJob(t, next, est)
+	churn2 := &lodes.Delta{Hires: []lodes.Hire{{Est: est, Jobs: []lodes.JobRecord{hire2}}}}
+	if err := p.Advance(churn2); err != nil {
+		t.Fatal(err)
+	}
+	stats = p.MarginalCacheStats()
+	if stats.Patches != 1 || stats.Evictions != 0 {
+		t.Fatalf("post-oracle advance stats = %+v, want 1 patch / 0 evictions", stats)
+	}
+	truth, err := p.Marginal(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := table.NewQuery(p.Dataset().Schema(), w1...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMarginalEqual(t, truth, table.ComputeReference(p.Dataset().WorkerFull, q), "post-oracle patched truth")
+}
+
+// assertMarginalEqual compares every statistic of two marginals.
+func assertMarginalEqual(t *testing.T, got, want *table.Marginal, label string) {
+	t.Helper()
+	for i := range want.Counts {
+		if got.Counts[i] != want.Counts[i] ||
+			got.MaxEntityContribution[i] != want.MaxEntityContribution[i] ||
+			got.SecondEntityContribution[i] != want.SecondEntityContribution[i] ||
+			got.EntityCount[i] != want.EntityCount[i] {
+			t.Fatalf("%s: cell %d diverges (got %d/%d/%d/%d, want %d/%d/%d/%d)", label, i,
+				got.Counts[i], got.MaxEntityContribution[i], got.SecondEntityContribution[i], got.EntityCount[i],
+				want.Counts[i], want.MaxEntityContribution[i], want.SecondEntityContribution[i], want.EntityCount[i])
+		}
+	}
+}
+
+// TestAdvancePatchedTruthBitIdentical chains generated quarterly deltas
+// through two publishers — the default patch path and the evict+rescan
+// oracle — and requires every cached truth to stay bit-identical to
+// both the oracle and the scalar reference engine at every epoch. This
+// is the end-to-end closure of the kernel-level differential suites in
+// internal/table.
+func TestAdvancePatchedTruthBitIdentical(t *testing.T) {
+	d := smallDataset(t, 60)
+	patch := NewPublisher(d)
+	oracle := NewPublisher(d)
+	oracle.SetEvictOnAdvance(true)
+	attrSets := [][]string{
+		workload1Attrs(),
+		{lodes.AttrSex},
+		{lodes.AttrIndustry, lodes.AttrEducation},
+	}
+	warm := func(p *Publisher) {
+		for _, attrs := range attrSets {
+			if _, err := p.Marginal(attrs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm(patch)
+	warm(oracle)
+	cur := d
+	for epoch := 1; epoch <= 4; epoch++ {
+		// Calibrated churn keeps the advance below the patch-versus-evict
+		// cost gate, so every epoch exercises the patch path proper (the
+		// heavy-churn side of the gate is TestAdvanceHeavyChurnEvicts; the
+		// full-churn kernel differentials live in internal/table).
+		dl, err := lodes.GenerateDelta(cur, lodes.CalibratedDeltaConfig(), dist.NewStreamFromSeed(int64(200+epoch)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := patch.Advance(dl); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Advance(dl); err != nil {
+			t.Fatal(err)
+		}
+		if stats := patch.MarginalCacheStats(); stats.Patches == 0 || stats.Evictions != 0 {
+			t.Fatalf("epoch %d: patch publisher stats %+v, want patches > 0 and no evictions", epoch, stats)
+		}
+		warm(oracle) // the oracle recomputes its evicted truths on demand
+		for _, attrs := range attrSets {
+			pm, err := patch.Marginal(attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			om, err := oracle.Marginal(attrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertMarginalEqual(t, pm, om, "patched-vs-oracle")
+			q, err := table.NewQuery(patch.Dataset().Schema(), attrs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertMarginalEqual(t, pm, table.ComputeReference(patch.Dataset().WorkerFull, q), "patched-vs-reference")
+		}
+		// The patch publisher never rescanned: all serving traffic after
+		// the warmup are hits.
+		if stats := patch.MarginalCacheStats(); stats.Misses != 0 {
+			t.Fatalf("epoch %d: patch publisher rescanned (%+v)", epoch, stats)
+		}
+		cur = patch.Dataset()
+	}
+}
+
+// TestAdvanceHeavyChurnEvicts pins the patch-versus-evict cost gate:
+// a delta that churns most of the frame (the full-churn stress regime
+// touches nearly every establishment) makes per-row patching more
+// expensive than the rescans it avoids, so the advance must fall back
+// to eviction for non-flat truths — and the truths recomputed on
+// demand must still be exact.
+func TestAdvanceHeavyChurnEvicts(t *testing.T) {
+	d := smallDataset(t, 62)
+	p := NewPublisher(d)
+	attrs := []string{lodes.AttrIndustry, lodes.AttrEducation}
+	if _, err := p.Marginal(attrs); err != nil {
+		t.Fatal(err)
+	}
+	// A violent shock (σ=1.5) moves nearly every establishment's
+	// employment, so the delta touches well over half the frame. (At
+	// this tiny scale the default σ=0.1 often rounds to no change.)
+	cfg := lodes.DefaultDeltaConfig()
+	cfg.GrowthSigma = 1.5
+	dl, err := lodes.GenerateDelta(d, cfg, dist.NewStreamFromSeed(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Advance(dl); err != nil {
+		t.Fatal(err)
+	}
+	if stats := p.MarginalCacheStats(); stats.Patches != 0 || stats.Evictions != 1 {
+		t.Fatalf("heavy advance stats %+v, want the truth evicted, not patched", stats)
+	}
+	truth, err := p.Marginal(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := table.NewQuery(p.Dataset().Schema(), attrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMarginalEqual(t, truth, table.ComputeReference(p.Dataset().WorkerFull, q), "post-eviction recompute")
+}
+
+// TestAdvanceAliasSurvival pins alias-group movement across advances: a
+// marginal warmed under two request-order spellings must, after a
+// churn advance, keep the canonical spelling keyed to the single
+// patched canonical entry (one object under both its cache keys), and
+// the non-canonical spelling must be re-derived from it — all served
+// as hits, all bit-identical to a successor-epoch recompute.
+func TestAdvanceAliasSurvival(t *testing.T) {
+	d := smallDataset(t, 61)
+	p := NewPublisher(d)
+	canonical := []string{lodes.AttrPlace, lodes.AttrIndustry}
+	reversed := []string{lodes.AttrIndustry, lodes.AttrPlace}
+	if _, err := p.Marginal(canonical); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Marginal(reversed); err != nil {
+		t.Fatal(err)
+	}
+	if stats := p.MarginalCacheStats(); stats.Misses != 1 {
+		t.Fatalf("warmup stats %+v, want exactly 1 scan for both spellings", stats)
+	}
+
+	var est int32 = 5
+	hire := lastRowJob(t, d, est)
+	churn := &lodes.Delta{Hires: []lodes.Hire{{Est: est, Jobs: []lodes.JobRecord{hire}}}}
+	if err := p.Advance(churn); err != nil {
+		t.Fatal(err)
+	}
+	// Two distinct truths moved: the canonical entry (patched through
+	// its view) and the request-order remap (re-derived from it).
+	stats := p.MarginalCacheStats()
+	if stats.Patches != 2 || stats.Evictions != 0 {
+		t.Fatalf("advance stats %+v, want 2 patches / 0 evictions", stats)
+	}
+
+	// Both spellings of the canonical order share one entry object.
+	sn := p.snap.Load()
+	canonQ, err := sn.canonicalQuery(canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPlan, ok1 := sn.cache.lookup(canonicalCacheKey(canonQ))
+	byName, ok2 := sn.cache.lookup(exactKey(canonical))
+	if !ok1 || !ok2 {
+		t.Fatal("canonical entry lost a cache key across the advance")
+	}
+	if byPlan != byName {
+		t.Fatal("canonical spelling no longer aliases the patched canonical entry")
+	}
+
+	// Both spellings serve as hits, bit-identical to a recompute on the
+	// successor dataset.
+	for _, attrs := range [][]string{canonical, reversed} {
+		m, err := p.Marginal(attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := table.NewQuery(p.Dataset().Schema(), attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMarginalEqual(t, m, table.ComputeReference(p.Dataset().WorkerFull, q), "alias "+attrs[0])
+	}
+	if got := p.MarginalCacheStats(); got.Misses != 0 || got.Hits != 2 {
+		t.Fatalf("post-advance serving stats %+v, want 2 hits / 0 misses", got)
 	}
 }
 

@@ -133,6 +133,26 @@ type Publisher struct {
 	// pinned to an earlier snapshot still counts its hits there.
 	historyMu sync.Mutex
 	history   []*cacheCounters
+
+	// views holds the live maintenance state of cached canonical truths,
+	// keyed by plan key: the per-establishment contribution lists and
+	// per-cell top-K tracking that let Advance patch a truth in place
+	// instead of evicting it (table.MarginalView). Views are built
+	// lazily — on the first Advance that affects a cached truth — and
+	// consulted, mutated and pruned only under advanceMu.
+	views map[string]*maintainedView
+	// evictOnAdvance restores the pre-maintenance Advance semantics
+	// (affected entries evicted, recomputed on demand) as a differential
+	// oracle. Guarded by advanceMu.
+	evictOnAdvance bool
+}
+
+// maintainedView pairs one plan's maintenance state with the epoch its
+// truth reflects; a view whose epoch is not the Advance's base epoch is
+// stale (it missed a delta) and is dropped rather than patched.
+type maintainedView struct {
+	view  *table.MarginalView
+	epoch int
 }
 
 // NewPublisher creates a publisher serving the dataset as its initial
@@ -141,11 +161,26 @@ func NewPublisher(d *lodes.Dataset) *Publisher {
 	if d == nil {
 		panic("core: nil dataset")
 	}
-	p := &Publisher{}
+	p := &Publisher{views: make(map[string]*maintainedView)}
 	sn := &epochSnapshot{epoch: d.Epoch, data: d, cache: newMarginalCache(d.Epoch)}
 	p.snap.Store(sn)
 	p.history = []*cacheCounters{sn.cache.stats}
 	return p
+}
+
+// SetEvictOnAdvance selects what Advance does with cached truths the
+// delta affected: patch them in place (the default — incremental view
+// maintenance, counted in CacheStats.Patches) or evict them for
+// on-demand recomputation (the pre-maintenance behavior, kept as the
+// differential oracle the maintenance path is verified against).
+// Enabling eviction drops the accumulated maintenance state.
+func (p *Publisher) SetEvictOnAdvance(evict bool) {
+	p.advanceMu.Lock()
+	defer p.advanceMu.Unlock()
+	p.evictOnAdvance = evict
+	if evict {
+		p.views = make(map[string]*maintainedView)
+	}
 }
 
 // WithAccountant attaches a budget accountant; every subsequent release

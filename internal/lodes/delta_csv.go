@@ -1,0 +1,314 @@
+package lodes
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/table"
+)
+
+// Plain-text interchange for quarterly deltas, mirroring the snapshot
+// format in csv.go: real quarter-over-quarter files can drive the whole
+// ApplyDelta / MergeIndex / view-maintenance chain instead of the
+// synthetic generator. Five files are written: delta_deaths.csv,
+// delta_separations.csv, delta_hires.csv, delta_births.csv and
+// delta_birth_jobs.csv. Row order is preserved exactly on read-back —
+// ApplyDelta assigns birth IDs by position and appends hire rows in
+// list order, so order is part of the delta's identity.
+
+// WriteDeltaCSV writes the delta to dir, creating it if necessary. The
+// schema supplies the attribute domains (it must be the base dataset's
+// schema, as the values are written by name).
+func WriteDeltaCSV(dir string, schema *table.Schema, dl *Delta) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("lodes: creating %s: %w", dir, err)
+	}
+	if err := writeCSVFile(filepath.Join(dir, "delta_deaths.csv"), func(w *csv.Writer) error {
+		if err := w.Write([]string{"establishment"}); err != nil {
+			return err
+		}
+		for _, e := range dl.Deaths {
+			if err := w.Write([]string{strconv.Itoa(int(e))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := writeCSVFile(filepath.Join(dir, "delta_separations.csv"), func(w *csv.Writer) error {
+		if err := w.Write([]string{"establishment", "count"}); err != nil {
+			return err
+		}
+		for _, s := range dl.Separations {
+			if err := w.Write([]string{strconv.Itoa(int(s.Est)), strconv.Itoa(s.Count)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := writeCSVFile(filepath.Join(dir, "delta_hires.csv"), func(w *csv.Writer) error {
+		jw, err := newDeltaJobsWriter(w, schema, "establishment")
+		if err != nil {
+			return err
+		}
+		for _, h := range dl.Hires {
+			if err := jw.writeJobs(int(h.Est), h.Jobs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := writeCSVFile(filepath.Join(dir, "delta_births.csv"), func(w *csv.Writer) error {
+		if err := w.Write([]string{"birth", "place", "industry", "ownership"}); err != nil {
+			return err
+		}
+		placeDom := schema.Attr(schema.MustAttrIndex(AttrPlace))
+		indDom := schema.Attr(schema.MustAttrIndex(AttrIndustry))
+		ownDom := schema.Attr(schema.MustAttrIndex(AttrOwnership))
+		for i, b := range dl.Births {
+			rec := []string{
+				strconv.Itoa(i),
+				placeDom.Value(b.Place),
+				indDom.Value(b.Industry),
+				ownDom.Value(b.Ownership),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return writeCSVFile(filepath.Join(dir, "delta_birth_jobs.csv"), func(w *csv.Writer) error {
+		jw, err := newDeltaJobsWriter(w, schema, "birth")
+		if err != nil {
+			return err
+		}
+		for i, b := range dl.Births {
+			if err := jw.writeJobs(i, b.Jobs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// deltaJobsWriter emits JobRecord rows keyed by an owner column (an
+// establishment ID for hires, a birth ordinal for newborn rosters).
+type deltaJobsWriter struct {
+	w       *csv.Writer
+	attrIdx []int
+	doms    []*table.Domain
+	rec     []string
+}
+
+func newDeltaJobsWriter(w *csv.Writer, s *table.Schema, owner string) (*deltaJobsWriter, error) {
+	header := append([]string{owner}, WorkerAttrs()...)
+	if err := w.Write(header); err != nil {
+		return nil, err
+	}
+	attrs := WorkerAttrs()
+	jw := &deltaJobsWriter{
+		w:       w,
+		attrIdx: make([]int, len(attrs)),
+		doms:    make([]*table.Domain, len(attrs)),
+		rec:     make([]string, 1+len(attrs)),
+	}
+	for i, name := range attrs {
+		jw.attrIdx[i] = s.MustAttrIndex(name)
+		jw.doms[i] = s.Attr(jw.attrIdx[i])
+	}
+	return jw, nil
+}
+
+func (jw *deltaJobsWriter) writeJobs(owner int, jobs []JobRecord) error {
+	for _, j := range jobs {
+		jw.rec[0] = strconv.Itoa(owner)
+		jw.rec[1] = jw.doms[0].Value(j.Sex)
+		jw.rec[2] = jw.doms[1].Value(j.Age)
+		jw.rec[3] = jw.doms[2].Value(j.Race)
+		jw.rec[4] = jw.doms[3].Value(j.Ethnicity)
+		jw.rec[5] = jw.doms[4].Value(j.Education)
+		if err := jw.w.Write(jw.rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDeltaCSV loads a delta previously written with WriteDeltaCSV. The
+// schema must be the base dataset's (ReadCSV the base snapshot first).
+// The result is validated only structurally here; ApplyDelta validates
+// it against the base dataset.
+func ReadDeltaCSV(dir string, schema *table.Schema) (*Delta, error) {
+	dl := &Delta{}
+	if err := readDeltaRows(filepath.Join(dir, "delta_deaths.csv"), 1, func(rec []string) error {
+		e, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fmt.Errorf("bad establishment %q", rec[0])
+		}
+		dl.Deaths = append(dl.Deaths, int32(e))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readDeltaRows(filepath.Join(dir, "delta_separations.csv"), 2, func(rec []string) error {
+		e, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fmt.Errorf("bad establishment %q", rec[0])
+		}
+		n, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return fmt.Errorf("bad count %q", rec[1])
+		}
+		dl.Separations = append(dl.Separations, Separation{Est: int32(e), Count: n})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	jobReader, err := newDeltaJobsReader(schema)
+	if err != nil {
+		return nil, err
+	}
+	// Hires: consecutive rows of one establishment form its hire list.
+	lastHire := -1
+	if err := readDeltaRows(filepath.Join(dir, "delta_hires.csv"), 6, func(rec []string) error {
+		e, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fmt.Errorf("bad establishment %q", rec[0])
+		}
+		j, err := jobReader.job(rec)
+		if err != nil {
+			return err
+		}
+		if len(dl.Hires) > 0 && e == lastHire {
+			h := &dl.Hires[len(dl.Hires)-1]
+			h.Jobs = append(h.Jobs, j)
+			return nil
+		}
+		if e == lastHire {
+			return fmt.Errorf("establishment %d's hire rows are not contiguous", e)
+		}
+		dl.Hires = append(dl.Hires, Hire{Est: int32(e), Jobs: []JobRecord{j}})
+		lastHire = e
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	placeDom := schema.Attr(schema.MustAttrIndex(AttrPlace))
+	indDom := schema.Attr(schema.MustAttrIndex(AttrIndustry))
+	ownDom := schema.Attr(schema.MustAttrIndex(AttrOwnership))
+	if err := readDeltaRows(filepath.Join(dir, "delta_births.csv"), 4, func(rec []string) error {
+		i, err := strconv.Atoi(rec[0])
+		if err != nil || i != len(dl.Births) {
+			return fmt.Errorf("birth ordinals must be dense and ordered; got %q at %d", rec[0], len(dl.Births))
+		}
+		place, err := placeDom.Code(rec[1])
+		if err != nil {
+			return err
+		}
+		ind, err := indDom.Code(rec[2])
+		if err != nil {
+			return err
+		}
+		own, err := ownDom.Code(rec[3])
+		if err != nil {
+			return err
+		}
+		dl.Births = append(dl.Births, Birth{Place: place, Industry: ind, Ownership: own})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := readDeltaRows(filepath.Join(dir, "delta_birth_jobs.csv"), 6, func(rec []string) error {
+		i, err := strconv.Atoi(rec[0])
+		if err != nil || i < 0 || i >= len(dl.Births) {
+			return fmt.Errorf("bad birth reference %q", rec[0])
+		}
+		j, err := jobReader.job(rec)
+		if err != nil {
+			return err
+		}
+		dl.Births[i].Jobs = append(dl.Births[i].Jobs, j)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return dl, nil
+}
+
+// deltaJobsReader decodes the worker-attribute tail of a delta job row
+// (columns 1..5 after the owner column).
+type deltaJobsReader struct {
+	doms []*table.Domain
+}
+
+func newDeltaJobsReader(s *table.Schema) (*deltaJobsReader, error) {
+	attrs := WorkerAttrs()
+	r := &deltaJobsReader{doms: make([]*table.Domain, len(attrs))}
+	for i, name := range attrs {
+		r.doms[i] = s.Attr(s.MustAttrIndex(name))
+	}
+	return r, nil
+}
+
+func (r *deltaJobsReader) job(rec []string) (JobRecord, error) {
+	var j JobRecord
+	var err error
+	if j.Sex, err = r.doms[0].Code(rec[1]); err != nil {
+		return j, err
+	}
+	if j.Age, err = r.doms[1].Code(rec[2]); err != nil {
+		return j, err
+	}
+	if j.Race, err = r.doms[2].Code(rec[3]); err != nil {
+		return j, err
+	}
+	if j.Ethnicity, err = r.doms[3].Code(rec[4]); err != nil {
+		return j, err
+	}
+	if j.Education, err = r.doms[4].Code(rec[5]); err != nil {
+		return j, err
+	}
+	return j, nil
+}
+
+// readDeltaRows streams one delta CSV file, checking each record's
+// width and skipping the header.
+func readDeltaRows(path string, width int, row func(rec []string) error) error {
+	f, r, err := openCSV(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := r.Read(); err != nil {
+		return fmt.Errorf("lodes: reading %s header: %w", path, err)
+	}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("lodes: reading %s: %w", path, err)
+		}
+		if len(rec) != width {
+			return fmt.Errorf("lodes: %s: record has %d fields, want %d", path, len(rec), width)
+		}
+		if err := row(rec); err != nil {
+			return fmt.Errorf("lodes: %s: %w", path, err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package lodes
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestDeltaCSVRoundTrip pins the interchange contract: a generated
+// quarter written with WriteDeltaCSV and read back with ReadDeltaCSV is
+// structurally identical, and — the property ApplyDelta's positional
+// birth-ID assignment depends on — re-applying the re-read delta yields
+// a bit-identical successor snapshot.
+func TestDeltaCSVRoundTrip(t *testing.T) {
+	d := testDataset(t)
+	dl, err := GenerateDelta(d, DefaultDeltaConfig(), dist.NewStreamFromSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Empty() {
+		t.Fatal("default churn produced an empty delta")
+	}
+	dir := t.TempDir()
+	if err := WriteDeltaCSV(dir, d.Schema(), dl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDeltaCSV(dir, d.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeDelta(dl), normalizeDelta(got)) {
+		t.Fatal("delta changed across CSV round trip")
+	}
+
+	want, err := d.ApplyDelta(dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := d.ApplyDelta(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Establishments, have.Establishments) {
+		t.Error("successor establishment frames differ")
+	}
+	if !reflect.DeepEqual(want.WorkerFull.Entities(), have.WorkerFull.Entities()) {
+		t.Error("successor job relations differ in entity column")
+	}
+	for a := 0; a < want.Schema().NumAttrs(); a++ {
+		if !reflect.DeepEqual(want.WorkerFull.Column(a), have.WorkerFull.Column(a)) {
+			t.Errorf("successor job relations differ in column %s", want.Schema().Attr(a).Name)
+		}
+	}
+	if want.Epoch != have.Epoch {
+		t.Errorf("successor epochs differ: %d vs %d", want.Epoch, have.Epoch)
+	}
+}
+
+// normalizeDelta maps empty slices to nil so a written-then-read delta
+// compares equal to its in-memory original under DeepEqual (the CSV
+// reader only appends, so fields with no rows stay nil).
+func normalizeDelta(dl *Delta) *Delta {
+	n := &Delta{}
+	if len(dl.Deaths) > 0 {
+		n.Deaths = dl.Deaths
+	}
+	if len(dl.Separations) > 0 {
+		n.Separations = dl.Separations
+	}
+	if len(dl.Hires) > 0 {
+		n.Hires = dl.Hires
+	}
+	if len(dl.Births) > 0 {
+		n.Births = append([]Birth(nil), dl.Births...)
+		for i := range n.Births {
+			if len(n.Births[i].Jobs) == 0 {
+				n.Births[i].Jobs = nil
+			}
+		}
+	}
+	return n
+}
+
+// TestDeltaCSVRejectsCorruptInputs injects one corruption per delta
+// file and requires a loud error, never a silently wrong delta.
+func TestDeltaCSVRejectsCorruptInputs(t *testing.T) {
+	d := testDataset(t)
+	dl, err := GenerateDelta(d, DefaultDeltaConfig(), dist.NewStreamFromSeed(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(t *testing.T) string {
+		dir := t.TempDir()
+		if err := WriteDeltaCSV(dir, d.Schema(), dl); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	corrupt := func(t *testing.T, dir, file, old, new string) {
+		path := filepath.Join(dir, file)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := strings.Replace(string(b), old, new, 1)
+		if s == string(b) {
+			t.Fatalf("corruption %q -> %q did not apply to %s", old, new, file)
+		}
+		if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("bad death id", func(t *testing.T) {
+		dir := write(t)
+		corrupt(t, dir, "delta_deaths.csv", "establishment\n", "establishment\nnope\n")
+		if _, err := ReadDeltaCSV(dir, d.Schema()); err == nil {
+			t.Error("non-numeric death establishment accepted")
+		}
+	})
+	t.Run("unknown attribute value", func(t *testing.T) {
+		dir := write(t)
+		corrupt(t, dir, "delta_births.csv", NAICSSectors[dl.Births[0].Industry], "99-Nonsense")
+		if _, err := ReadDeltaCSV(dir, d.Schema()); err == nil {
+			t.Error("unknown industry accepted")
+		}
+	})
+	t.Run("out of order birth ordinal", func(t *testing.T) {
+		dir := write(t)
+		corrupt(t, dir, "delta_births.csv", "\n0,", "\n7,")
+		if _, err := ReadDeltaCSV(dir, d.Schema()); err == nil {
+			t.Error("out-of-order birth ordinal accepted")
+		}
+	})
+	t.Run("dangling birth job reference", func(t *testing.T) {
+		dir := write(t)
+		corrupt(t, dir, "delta_birth_jobs.csv", "\n0,", "\n9999,")
+		if _, err := ReadDeltaCSV(dir, d.Schema()); err == nil {
+			t.Error("dangling birth reference accepted")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		dir := write(t)
+		if err := os.Remove(filepath.Join(dir, "delta_hires.csv")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadDeltaCSV(dir, d.Schema()); err == nil {
+			t.Error("missing delta_hires.csv accepted")
+		}
+	})
+}

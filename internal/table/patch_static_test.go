@@ -1,0 +1,287 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential tests of the kernel's static-attribute machinery. The
+// generic harness (randomEntityRows) draws every attribute per row, so
+// no attribute is ever group-constant and every view runs the dynamic
+// directory path. Real LODES establishment attributes — place,
+// industry, ownership — are constant within an establishment, which is
+// exactly what the view's static factoring and the flat specialization
+// exist for. This harness pins those codes per entity, so views over
+// establishment-constant attributes build flat and views mixing in a
+// worker attribute factor the constant part out, and the differentials
+// here close over the lifecycle the quarterly pipeline produces:
+// churn, full death (a tombstone), rebirth under a different static
+// identity, and — in the demotion test — a delta that breaks an
+// attribute's constancy mid-life.
+
+// staticHarness is entityRows with per-entity pinned place and
+// industry codes; sex stays per-row random.
+type staticHarness struct {
+	rng   *rand.Rand
+	er    *entityRows
+	fixed map[int32][2]int // entity -> pinned (place, industry) codes
+}
+
+func newStaticHarness(rng *rand.Rand, numEnts, maxSize int) *staticHarness {
+	h := &staticHarness{
+		rng:   rng,
+		er:    &entityRows{schema: testSchema(), rows: make(map[int32][][]int)},
+		fixed: make(map[int32][2]int),
+	}
+	for e := int32(0); int(e) < numEnts; e++ {
+		h.assign(e)
+		n := 1 + rng.Intn(maxSize)
+		for i := 0; i < n; i++ {
+			h.er.rows[e] = append(h.er.rows[e], h.row(e))
+		}
+		h.er.order = append(h.er.order, e)
+	}
+	return h
+}
+
+// assign draws a fresh static identity for e — at birth, or at rebirth
+// when the reborn establishment may land in a different place.
+func (h *staticHarness) assign(e int32) {
+	s := h.er.schema
+	h.fixed[e] = [2]int{h.rng.Intn(s.Attr(0).Size()), h.rng.Intn(s.Attr(1).Size())}
+}
+
+func (h *staticHarness) row(e int32) []int {
+	f := h.fixed[e]
+	return []int{f[0], f[1], h.rng.Intn(h.er.schema.Attr(2).Size())}
+}
+
+// churnKept mirrors applyChurnKept but keeps each entity's pinned
+// codes on every appended row.
+func (h *staticHarness) churnKept(removals, adds map[int32]int, births int) (touched map[int32]bool, kept map[int32]int32) {
+	er := h.er
+	oldLen := make(map[int32]int, len(er.rows))
+	for e, rows := range er.rows {
+		oldLen[e] = len(rows)
+	}
+	touched = make(map[int32]bool)
+	for e, k := range removals {
+		if k > len(er.rows[e]) {
+			k = len(er.rows[e])
+		}
+		er.rows[e] = er.rows[e][:len(er.rows[e])-k]
+		touched[e] = true
+	}
+	for e, k := range adds {
+		for i := 0; i < k; i++ {
+			er.rows[e] = append(er.rows[e], h.row(e))
+		}
+		touched[e] = true
+	}
+	next := er.order[len(er.order)-1] + 1
+	for i := 0; i < births; i++ {
+		e := next + int32(i)
+		h.assign(e)
+		n := 1 + h.rng.Intn(4)
+		for j := 0; j < n; j++ {
+			er.rows[e] = append(er.rows[e], h.row(e))
+		}
+		er.order = append(er.order, e)
+		touched[e] = true
+	}
+	kept = make(map[int32]int32, len(touched))
+	for e := range touched {
+		k := oldLen[e]
+		if r, ok := removals[e]; ok {
+			if r > k {
+				r = k
+			}
+			k -= r
+		}
+		kept[e] = int32(k)
+	}
+	return touched, kept
+}
+
+// demoted reports whether entity e sits in the view's mixed directory
+// (the flat specialization or the static factoring gave up on it).
+func demoted(v *MarginalView, e int32) bool {
+	for i, ve := range v.ents {
+		if ve == e {
+			return v.mixed[i]
+		}
+	}
+	return false
+}
+
+// TestPatchFlatChainedEpochs replays 8 epochs of constant-preserving
+// churn through views over establishment-constant attributes,
+// scripting one establishment through the full lifecycle: death at
+// epoch 2 (its flat slot becomes a tombstone), two dormant quarters,
+// and rebirth at epoch 5 in a different place — the reborn group must
+// refresh the tombstoned slot's cell, not inherit the stale one. Every
+// epoch closes the differential against a cold rebuild for flat,
+// factored, and fully dynamic views alike.
+func TestPatchFlatChainedEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	h := newStaticHarness(rng, 40, 6)
+	curIx := h.er.table().Index()
+	s := h.er.schema
+	qs := []*Query{
+		MustNewQuery(s, "place"),
+		MustNewQuery(s, "place", "industry"),
+		MustNewQuery(s, "place", "sex"),
+		MustNewQuery(s, "sex"),
+	}
+	views := make([]*MarginalView, len(qs))
+	for k, q := range qs {
+		v, err := NewMarginalView(curIx, q)
+		if err != nil {
+			t.Fatalf("NewMarginalView(%v): %v", q.AttrNames(), err)
+		}
+		views[k] = v
+	}
+	if !views[0].flat || !views[1].flat {
+		t.Fatal("views over establishment-constant attributes should build flat")
+	}
+	if views[2].flat || views[3].flat {
+		t.Fatal("views touching a worker attribute must not build flat")
+	}
+	if len(views[2].staticIdx) == 0 {
+		t.Fatal("mixed view should factor out its establishment-constant attribute")
+	}
+
+	victim := h.er.order[3]
+	for epoch := 1; epoch <= 8; epoch++ {
+		removals := make(map[int32]int)
+		adds := make(map[int32]int)
+		for _, e := range h.er.order {
+			if e == victim || len(h.er.rows[e]) == 0 {
+				continue
+			}
+			switch rng.Intn(6) {
+			case 0:
+				removals[e] = 1 + rng.Intn(len(h.er.rows[e]))
+			case 1:
+				adds[e] = 1 + rng.Intn(3)
+			}
+		}
+		switch epoch {
+		case 2:
+			removals[victim] = len(h.er.rows[victim]) // full death
+		case 5:
+			h.assign(victim) // reborn elsewhere
+			adds[victim] = 3
+		}
+		touched, kept := h.churnKept(removals, adds, rng.Intn(3))
+		next := h.er.table()
+		ids, sizes := h.er.touchedSets(touched)
+		merged, err := MergeIndex(curIx, next, ids, sizes)
+		if err != nil {
+			t.Fatalf("epoch %d: MergeIndex: %v", epoch, err)
+		}
+		rebuilt := BuildIndex(next)
+		kp := keptSlice(ids, kept)
+		for k, v := range views {
+			m, _, err := v.Apply(curIx, merged, ids, kp)
+			if err != nil {
+				t.Fatalf("epoch %d: Apply(%v): %v", epoch, qs[k].AttrNames(), err)
+			}
+			marginalsEqual(t, m, rebuilt.Compute(qs[k]), "flat-chained")
+		}
+		for _, v := range views {
+			if demoted(v, victim) {
+				t.Fatalf("epoch %d: constant-preserving churn demoted the victim", epoch)
+			}
+		}
+		curIx = merged
+	}
+}
+
+// TestPatchConstancyDemotion breaks an attribute's group-constancy
+// mid-life: a surviving establishment's appended rows land in a
+// different place than its base rows. The kernel must not fail — the
+// establishment is demoted to the per-row mixed directory, in flat and
+// factored views alike — and the patched truths must stay
+// bit-identical through the violating delta and through ordinary churn
+// after it.
+func TestPatchConstancyDemotion(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	h := newStaticHarness(rng, 30, 5)
+	curIx := h.er.table().Index()
+	s := h.er.schema
+	qs := []*Query{
+		MustNewQuery(s, "place"),
+		MustNewQuery(s, "place", "industry"),
+		MustNewQuery(s, "place", "sex"),
+	}
+	views := make([]*MarginalView, len(qs))
+	for k, q := range qs {
+		v, err := NewMarginalView(curIx, q)
+		if err != nil {
+			t.Fatalf("NewMarginalView(%v): %v", q.AttrNames(), err)
+		}
+		views[k] = v
+	}
+	if !views[0].flat || !views[1].flat {
+		t.Fatal("establishment-attribute views should build flat")
+	}
+
+	// Epoch 1: the violator keeps its base rows and gains rows pinned to
+	// a different place.
+	violator := h.er.order[7]
+	f := h.fixed[violator]
+	h.fixed[violator] = [2]int{(f[0] + 1) % s.Attr(0).Size(), f[1]}
+	touched, kept := h.churnKept(nil, map[int32]int{violator: 2}, 0)
+	next := h.er.table()
+	ids, sizes := h.er.touchedSets(touched)
+	merged, err := MergeIndex(curIx, next, ids, sizes)
+	if err != nil {
+		t.Fatalf("MergeIndex: %v", err)
+	}
+	rebuilt := BuildIndex(next)
+	kp := keptSlice(ids, kept)
+	for k, v := range views {
+		m, _, err := v.Apply(curIx, merged, ids, kp)
+		if err != nil {
+			t.Fatalf("violating Apply(%v): %v", qs[k].AttrNames(), err)
+		}
+		marginalsEqual(t, m, rebuilt.Compute(qs[k]), "demotion-epoch")
+		if !demoted(v, violator) {
+			t.Fatalf("view %v did not demote the constancy violator", qs[k].AttrNames())
+		}
+	}
+	curIx = merged
+
+	// Epoch 2: ordinary churn on top — the demoted establishment (and
+	// everyone else) must keep patching exactly.
+	removals := map[int32]int{violator: 1}
+	adds := map[int32]int{violator: 2}
+	for _, e := range h.er.order {
+		if e == violator || len(h.er.rows[e]) == 0 {
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0:
+			removals[e] = 1 + rng.Intn(len(h.er.rows[e]))
+		case 1:
+			adds[e] = 1 + rng.Intn(2)
+		}
+	}
+	touched, kept = h.churnKept(removals, adds, 1)
+	next = h.er.table()
+	ids, sizes = h.er.touchedSets(touched)
+	merged, err = MergeIndex(curIx, next, ids, sizes)
+	if err != nil {
+		t.Fatalf("post-demotion MergeIndex: %v", err)
+	}
+	rebuilt = BuildIndex(next)
+	kp = keptSlice(ids, kept)
+	for k, v := range views {
+		m, _, err := v.Apply(curIx, merged, ids, kp)
+		if err != nil {
+			t.Fatalf("post-demotion Apply(%v): %v", qs[k].AttrNames(), err)
+		}
+		marginalsEqual(t, m, rebuilt.Compute(qs[k]), "post-demotion")
+	}
+}
